@@ -1,0 +1,132 @@
+"""Experiment A4 — ablations of the paper's two mechanisms (Sections 2-3).
+
+Three sweeps quantify the design space the paper describes qualitatively:
+
+1. replication vs data-parallelism for a single stage on k processors —
+   identical periods, diverging delays (Lemma 1's content);
+2. round-robin vs demand-driven distribution on different-speed replicas —
+   throughput gap and ordering violations (the Section 3.3 discussion);
+3. the value of heterogeneity awareness: optimal period as the platform
+   skew grows at constant aggregate speed.
+"""
+
+import pytest
+
+import repro
+from repro.analysis import format_table
+from repro.core import AssignmentKind, GroupAssignment, PipelineMapping
+from repro.core.costs import group_delay, group_period
+from repro.simulation import DispatchPolicy, simulate_pipeline
+
+
+def test_replication_vs_dataparallel_sweep(benchmark, report):
+    """Sweep k for one stage of work 60 on identical unit processors."""
+
+    def run():
+        rows = []
+        for k in (1, 2, 4, 8, 16):
+            speeds = [1.0] * k
+            rep_p = group_period(60.0, speeds, AssignmentKind.REPLICATED)
+            rep_d = group_delay(60.0, speeds, AssignmentKind.REPLICATED)
+            dp_p = group_period(60.0, speeds, AssignmentKind.DATA_PARALLEL)
+            dp_d = group_delay(60.0, speeds, AssignmentKind.DATA_PARALLEL)
+            assert rep_p == pytest.approx(dp_p)  # Lemma 1 on hom platforms
+            rows.append([k, f"{rep_p:g}", f"{rep_d:g}", f"{dp_p:g}",
+                         f"{dp_d:g}"])
+        return rows
+
+    rows = benchmark(run)
+    report(
+        "ablation_replication_vs_dp",
+        format_table(
+            ["k", "replicated period", "replicated delay",
+             "data-par period", "data-par delay"],
+            rows,
+            title="one stage (w=60) on k identical processors: replication "
+                  "halves the period only; data-parallelism also cuts the "
+                  "delay",
+        ),
+    )
+
+
+def test_round_robin_vs_demand_driven(benchmark, report):
+    """The Section 3.3 rule, quantified over growing speed skew."""
+
+    def run():
+        rows = []
+        for slow in (1.0, 2.0, 3.0):
+            fast = 4.0
+            app = repro.PipelineApplication.from_works([24.0])
+            plat = repro.Platform.heterogeneous([fast, slow])
+            mapping = PipelineMapping(
+                application=app, platform=plat,
+                groups=(GroupAssignment(stages=(1,), processors=(0, 1),
+                                        kind=AssignmentKind.REPLICATED),),
+            )
+            rr_analytic = repro.pipeline_period(mapping)
+            dd_ideal = app.total_work / plat.total_speed
+            rr = simulate_pipeline(
+                mapping, num_data_sets=600,
+                policy=DispatchPolicy.ROUND_ROBIN,
+            )
+            dd = simulate_pipeline(
+                mapping, num_data_sets=600, input_period=dd_ideal,
+                policy=DispatchPolicy.DEMAND_DRIVEN, enforce_order=False,
+            )
+            assert dd.measured_period <= rr.measured_period + 1e-6
+            rows.append([
+                f"{fast:g}/{slow:g}",
+                f"{rr_analytic:.3f}", f"{rr.measured_period:.3f}",
+                f"{dd_ideal:.3f}", f"{dd.measured_period:.3f}",
+                dd.order_inversions,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_round_robin",
+        format_table(
+            ["speeds", "RR analytic", "RR measured", "DD ideal",
+             "DD measured", "DD inversions"],
+            rows,
+            title="round-robin (paper's rule) vs demand-driven on two "
+                  "replicas (w=24): throughput gain costs ordering",
+        ),
+    )
+
+
+def test_heterogeneity_skew_sweep(benchmark, report):
+    """Constant aggregate speed 8, growing skew; homogeneous 8-stage
+    pipeline.  Replication groups lose capacity to their slowest member, so
+    the optimal period degrades as skew grows — quantified by Theorem 7."""
+
+    def run():
+        rows = []
+        # coarse stages (n=4 of work 12) so replication granularity matters
+        app = repro.PipelineApplication.homogeneous(4, 12.0)
+        for speeds in ([2, 2, 2, 2], [3, 3, 1, 1], [4, 2, 1, 1], [5, 1, 1, 1]):
+            plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+            spec = repro.ProblemSpec(app, plat, False)
+            sol = repro.solve(spec, repro.Objective.PERIOD)
+            bound = app.total_work / plat.total_speed
+            rows.append([
+                str(speeds), f"{bound:.3f}", f"{sol.period:.3f}",
+                f"{sol.period / bound:.3f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the first (homogeneous) row must meet the bound exactly (Thm 1)...
+    assert rows[0][1] == rows[0][2]
+    # ...and the most skewed platform must pay a strict granularity penalty
+    assert float(rows[-1][3]) > 1.0
+    report(
+        "ablation_skew",
+        format_table(
+            ["speeds (sum 8)", "capacity bound", "optimal period",
+             "period/bound"],
+            rows,
+            title="platform skew vs optimal period (hom. 4-stage pipeline, "
+                  "Thm 7); skew wastes replication capacity",
+        ),
+    )

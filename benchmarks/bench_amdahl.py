@@ -1,0 +1,76 @@
+"""Experiment A9 (extension) — Amdahl overheads on data-parallel stages.
+
+Section 3.3: "we may assume that a fraction of the computations is
+inherently sequential ... introduce a fixed overhead f_i".  The simplified
+model (and all theorems) set f_i = 0; this experiment sweeps the overhead
+and shows where data-parallelism stops beating replication — the crossover
+the paper's modelling discussion predicts.
+
+Setup: the Section 2 pipeline (14, 4, 2, 4) on three unit processors,
+latency objective, Theorem 3 DP extended with overheads (exact; validated
+against brute force in the test-suite).
+"""
+
+import pytest
+
+import repro
+from repro.algorithms import pipeline_hom_platform as hom
+from repro.analysis import format_table
+from repro.core import AssignmentKind
+
+
+def _count_dp_groups(solution) -> int:
+    return sum(
+        1 for g in solution.mapping.groups
+        if g.kind is AssignmentKind.DATA_PARALLEL
+    )
+
+
+def test_overhead_crossover(benchmark, report):
+    plat = repro.Platform.homogeneous(3, 1.0)
+
+    def run():
+        rows = []
+        for f in (0.0, 0.5, 1.0, 2.0, 4.0, 8.0):
+            app = repro.PipelineApplication.from_works(
+                [14, 4, 2, 4], dp_overheads=[f] * 4
+            )
+            sol = hom.min_latency_with_dp(app, plat)
+            rows.append([
+                f"{f:g}", f"{sol.latency:.3f}", _count_dp_groups(sol),
+                sol.mapping.describe(),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # f = 0 recovers the paper's 17; a huge overhead recovers 24 (no dp)
+    assert float(rows[0][1]) == pytest.approx(17.0)
+    assert float(rows[-1][1]) == pytest.approx(24.0)
+    assert rows[0][2] >= 1 and rows[-1][2] == 0
+    # latency is monotone in the overhead
+    latencies = [float(r[1]) for r in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(latencies, latencies[1:]))
+    report(
+        "amdahl_crossover",
+        format_table(
+            ["overhead f", "optimal latency", "#dp groups", "mapping"],
+            rows,
+            title="Amdahl overhead sweep (Section 3.3 extension): "
+                  "data-parallelism stops paying as f grows "
+                  "(Section 2 pipeline, p=3)",
+        ),
+    )
+
+
+def test_overhead_dp_matches_brute_force(benchmark):
+    """Timed exactness check on one overhead instance."""
+    from repro.algorithms import brute_force as bf
+    from repro.algorithms.problem import Objective, ProblemSpec
+
+    app = repro.PipelineApplication.from_works(
+        [9, 3, 6], dp_overheads=[1.0, 0.5, 2.0]
+    )
+    plat = repro.Platform.homogeneous(4, 1.0)
+    sol = benchmark(lambda: hom.min_latency_with_dp(app, plat))
+    want = bf.optimal(ProblemSpec(app, plat, True), Objective.LATENCY).latency
+    assert sol.latency == pytest.approx(want)

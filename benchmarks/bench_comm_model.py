@@ -1,0 +1,124 @@
+"""Experiment A8 (extension) — when is the simplified model safe?
+
+The paper neglects all communication and argues this is "realistic only for
+large-grain applications".  This experiment quantifies that caveat, in the
+direction the conclusion proposes as future work:
+
+for a pipeline with data sizes, sweep the network bandwidth and compare
+
+* the **communication-aware optimum** (this library's Eq. 1-2 interval DP),
+  against
+* the **simplified-model optimum mapping** (chains-to-chains on the works,
+  ignoring data) *re-priced under the communication model*.
+
+As bandwidth grows the two converge (the simplification becomes safe); as
+it shrinks the simplified mapping's real period degrades unboundedly.
+"""
+
+import pytest
+
+import repro
+from repro.algorithms.comm_aware import min_period_comm
+from repro.analysis import format_table
+from repro.chains import chains_to_chains_dp
+from repro.core import OnePortInterval, pipeline_period_with_comm
+
+WORKS = [6.0, 2.0, 8.0, 3.0, 5.0]
+SIZES = [4.0, 12.0, 1.0, 9.0, 2.0, 3.0]
+P = 3
+
+
+def _simplified_intervals(app, p):
+    """The mapping the simplified model would pick (zero-size chains)."""
+    cut = chains_to_chains_dp(list(app.works), p)
+    intervals, start = [], 1
+    for t, end in enumerate(cut.boundaries):
+        intervals.append(OnePortInterval(start=start, end=end, processor=t))
+        start = end + 1
+    return intervals
+
+
+def test_bandwidth_sweep(benchmark, report):
+    app = repro.PipelineApplication.from_works(WORKS, data_sizes=SIZES)
+
+    def run():
+        rows = []
+        for bandwidth in (0.25, 0.5, 1.0, 2.0, 8.0, 64.0):
+            plat = repro.Platform.homogeneous(P, 1.0, bandwidth=bandwidth)
+            aware = min_period_comm(app, plat)
+            naive = pipeline_period_with_comm(
+                app, plat, _simplified_intervals(app, P)
+            )
+            rows.append([
+                f"{bandwidth:g}",
+                f"{aware.period:.3f}",
+                f"{naive:.3f}",
+                f"{naive / aware.period:.3f}",
+                len(aware.intervals),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the simplified mapping can never beat the aware optimum
+    assert all(float(r[3]) >= 1.0 - 1e-9 for r in rows)
+    # at high bandwidth the simplification must become safe (ratio -> 1)
+    assert float(rows[-1][3]) == pytest.approx(1.0, abs=1e-6)
+    # at the lowest bandwidth it must hurt measurably on this instance
+    assert float(rows[0][3]) > 1.05
+    report(
+        "comm_model_error",
+        format_table(
+            ["bandwidth", "comm-aware optimum", "simplified mapping repriced",
+             "penalty ratio", "aware #intervals"],
+            rows,
+            title="cost of ignoring communication (pipeline works "
+                  f"{WORKS}, sizes {SIZES}, p={P}, one-port strict)",
+        ),
+    )
+
+
+def test_comm_aware_dp_speed(benchmark):
+    app = repro.PipelineApplication.from_works(
+        [float(3 + (7 * i) % 11) for i in range(40)],
+        data_sizes=[float(1 + (5 * i) % 7) for i in range(41)],
+    )
+    plat = repro.Platform.homogeneous(10, 1.0, bandwidth=2.0)
+    sol = benchmark(lambda: min_period_comm(app, plat))
+    assert sol.period > 0
+
+
+def test_strict_vs_overlap_models(benchmark, report):
+    """The overlap model can only improve every interval's cycle time."""
+    from repro.core import CommunicationModel
+
+    app = repro.PipelineApplication.from_works(WORKS, data_sizes=SIZES)
+
+    def run():
+        rows = []
+        for bandwidth in (0.5, 2.0, 8.0):
+            plat = repro.Platform.homogeneous(P, 1.0, bandwidth=bandwidth)
+            strict = min_period_comm(
+                app, plat, CommunicationModel.ONE_PORT_STRICT
+            )
+            overlap = min_period_comm(
+                app, plat, CommunicationModel.MULTI_PORT_OVERLAP
+            )
+            assert overlap.period <= strict.period + 1e-9
+            rows.append([
+                f"{bandwidth:g}", f"{strict.period:.3f}",
+                f"{overlap.period:.3f}",
+                f"{strict.period / overlap.period:.3f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "comm_strict_vs_overlap",
+        format_table(
+            ["bandwidth", "one-port strict", "multi-port overlap",
+             "strict/overlap"],
+            rows,
+            title="communication model choice (Section 3.2): serialized vs "
+                  "overlapped transfers",
+        ),
+    )

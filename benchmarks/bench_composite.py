@@ -1,0 +1,100 @@
+"""Experiment A10 (extension) — composite workflows of kernels.
+
+The paper's conclusion: "we could build heuristics based on some of our
+polynomial algorithms to solve more complex instances of the problem, with
+general application graphs structured as combinations of pipeline and fork
+kernels".  This benchmark exercises that mapper and measures:
+
+* the value of the refinement loop (proportional-only vs refined
+  allocation);
+* the gap to the aggregate-capacity lower bound
+  ``max_k W_k / S  <=  period`` (unreachable in general since kernels hold
+  disjoint processors).
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.analysis import format_table
+from repro.composite import CompositeWorkflow, map_composite
+
+
+def _workflow(rng):
+    kernels = []
+    for _ in range(rng.randint(2, 4)):
+        kind = rng.choice(["pipeline", "fork", "forkjoin"])
+        n = rng.randint(2, 6)
+        if kind == "pipeline":
+            kernels.append(
+                repro.PipelineApplication.homogeneous(n, rng.randint(1, 6))
+            )
+        elif kind == "fork":
+            kernels.append(
+                repro.ForkApplication.homogeneous(
+                    n, rng.randint(1, 4), rng.randint(1, 6)
+                )
+            )
+        else:
+            kernels.append(
+                repro.ForkJoinApplication.homogeneous(
+                    n, rng.randint(1, 4), rng.randint(1, 6), rng.randint(1, 4)
+                )
+            )
+    return CompositeWorkflow(kernels=tuple(kernels))
+
+
+def test_composite_mapper_quality(benchmark, report):
+    rng = random.Random(77)
+
+    def run():
+        rows = []
+        for trial in range(6):
+            wf = _workflow(rng)
+            p = rng.randint(wf.num_kernels + 2, 12)
+            platform = repro.Platform.heterogeneous(
+                [rng.randint(1, 4) for _ in range(p)]
+            )
+            refined = map_composite(wf, platform, rng=random.Random(trial))
+            unrefined = map_composite(
+                wf, platform, rng=random.Random(trial), max_refinements=0
+            )
+            # the whole-platform bound for the heaviest kernel
+            bound = max(wf.kernel_works) / platform.total_speed
+            assert refined.period <= unrefined.period + 1e-9
+            assert refined.period >= bound - 1e-9
+            rows.append([
+                trial, wf.describe(), p,
+                f"{unrefined.period:.3f}", f"{refined.period:.3f}",
+                f"{refined.period / bound:.2f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "composite_mapper",
+        format_table(
+            ["trial", "workflow", "p", "proportional", "refined",
+             "refined/bound"],
+            rows,
+            title="composite-kernel mapper (paper's future-work heuristic): "
+                  "refinement value and distance to the capacity bound",
+        ),
+    )
+
+
+@pytest.mark.parametrize("kernels", [2, 4, 6])
+def test_composite_mapper_scaling(benchmark, kernels):
+    rng = random.Random(78 + kernels)
+    wf = CompositeWorkflow(
+        kernels=tuple(
+            repro.PipelineApplication.homogeneous(4, rng.randint(1, 6))
+            for _ in range(kernels)
+        )
+    )
+    platform = repro.Platform.heterogeneous(
+        [rng.randint(1, 4) for _ in range(2 * kernels + 2)]
+    )
+    sol = benchmark(lambda: map_composite(wf, platform))
+    assert len(sol.plans) == kernels

@@ -1,0 +1,105 @@
+"""Experiment F12 — Figures 1 and 2: the application graphs.
+
+The paper's two figures are the pipeline and fork schematics.  We
+regenerate them structurally (stage chain with work/size annotations; root
+fan-out), assert the graph invariants they depict, and render ASCII
+versions as the report.
+"""
+
+import repro
+from repro.analysis import format_table
+
+
+def _render_pipeline(app) -> str:
+    cells = []
+    for stage in app.stages:
+        cells.append(f"[{stage.label} w={stage.work:g}]")
+    chain = " -> ".join(cells)
+    sizes = ", ".join(
+        f"d{stage.index - 1}={stage.input_size:g}" for stage in app.stages
+    )
+    return f"{chain}\n(input sizes: {sizes}, output d{app.n}="\
+           f"{app.stages[-1].output_size:g})"
+
+
+def _render_fork(app) -> str:
+    lines = [f"        [S0 w={app.root.work:g}]"]
+    lines.append("       /" + " | " * (app.n - 2) + "\\" if app.n > 1 else "        |")
+    branches = "  ".join(
+        f"[{s.label} w={s.work:g}]" for s in app.branches
+    )
+    lines.append(branches)
+    return "\n".join(lines)
+
+
+def test_figure1_pipeline_structure(benchmark, report):
+    app = repro.PipelineApplication.from_works(
+        [3, 5, 2, 8, 1], data_sizes=[4, 3, 3, 2, 2, 1]
+    )
+
+    def build_and_check():
+        # Figure 1 invariants: a single dependence chain; stage k consumes
+        # delta_{k-1} and produces delta_k; consecutive sizes agree.
+        assert app.n == 5
+        for left, right in zip(app.stages, app.stages[1:]):
+            assert left.output_size == right.input_size
+            assert right.index == left.index + 1
+        return _render_pipeline(app)
+
+    text = benchmark(build_and_check)
+    report("figure1_pipeline", "Figure 1 (application pipeline), regenerated:\n"
+           + text)
+
+
+def test_figure2_fork_structure(benchmark, report):
+    app = repro.ForkApplication.from_works(
+        2.0, [3, 5, 2, 8], root_output_size=4.0
+    )
+
+    def build_and_check():
+        # Figure 2 invariants: S0 feeds every branch the same delta_0; the
+        # branches are pairwise independent (no inter-branch data).
+        assert app.root.index == 0
+        for branch in app.branches:
+            assert branch.input_size == app.root.output_size
+        assert len({s.index for s in app.all_stages}) == app.n + 1
+        return _render_fork(app)
+
+    text = benchmark(build_and_check)
+    report("figure2_fork", "Figure 2 (application fork), regenerated:\n" + text)
+
+
+def test_forkjoin_structure(benchmark, report):
+    """Section 6.3's extension, rendered the same way."""
+    app = repro.ForkJoinApplication.from_works(2.0, [3, 5, 2], 4.0)
+
+    def build_and_check():
+        assert app.join.index == app.n + 1
+        assert app.total_work == 2 + 10 + 4
+        return _render_fork(app) + f"\n        [S{app.join.index} " \
+               f"w={app.join.work:g}]  (join)"
+
+    text = benchmark(build_and_check)
+    report("figure_forkjoin", "Fork-join graph (Section 6.3), regenerated:\n"
+           + text)
+
+
+def test_graph_family_inventory(benchmark, report):
+    """Summary table of the graph classes the paper studies."""
+
+    def build():
+        rows = []
+        pipe = repro.PipelineApplication.homogeneous(4, 2.0)
+        fork = repro.ForkApplication.homogeneous(4, 1.0, 2.0)
+        fj = repro.ForkJoinApplication.homogeneous(4, 1.0, 2.0, 3.0)
+        rows.append(["pipeline", pipe.n, pipe.total_work, pipe.is_homogeneous])
+        rows.append(["fork", fork.n + 1, fork.total_work, fork.is_homogeneous])
+        rows.append(["fork-join", fj.n + 2, fj.total_work, fj.is_homogeneous])
+        return rows
+
+    rows = benchmark(build)
+    report(
+        "figure_graphs_inventory",
+        format_table(["graph", "stages", "total work", "homogeneous"], rows,
+                     title="application graph classes (Figures 1-2 + Section 6.3)"),
+    )

@@ -1,0 +1,82 @@
+"""Experiment A2 — the starred fork entry (Theorem 14).
+
+Same shape claims as A1, for homogeneous forks on heterogeneous platforms:
+agreement with brute force on small instances, polynomial growth of the
+candidate-search x block-DP algorithm on larger ones, across all three
+objectives.
+"""
+
+import random
+import time
+
+import pytest
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms import fork_het_platform as fhet
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.analysis import format_table
+
+RNG_SEED = 72
+
+
+def _instance(rng, n, p):
+    app = repro.ForkApplication.homogeneous(
+        n, float(rng.randint(1, 8)), float(rng.randint(1, 5))
+    )
+    plat = repro.Platform.heterogeneous([rng.randint(1, 6) for _ in range(p)])
+    return app, plat
+
+
+@pytest.mark.parametrize("size", [4, 8, 12, 16])
+def test_thm14_period_scaling(benchmark, size):
+    rng = random.Random(RNG_SEED + size)
+    app, plat = _instance(rng, size, size)
+    sol = benchmark(lambda: fhet.min_period_homogeneous(app, plat))
+    assert sol.period >= app.total_work / plat.total_speed - 1e-9
+
+
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_thm14_latency_scaling(benchmark, size):
+    rng = random.Random(RNG_SEED + size)
+    app, plat = _instance(rng, size, size)
+    sol = benchmark(lambda: fhet.min_latency_homogeneous(app, plat))
+    # latency of a fork is at least root + one branch on the fastest CPU
+    fastest = max(plat.speeds)
+    assert sol.latency >= (app.root.work + app.branches[0].work) / fastest - 1e-9
+
+
+def test_thm14_vs_exhaustive_gap(benchmark, report):
+    rng = random.Random(RNG_SEED)
+
+    def measure():
+        rows = []
+        for size in (2, 3, 4):
+            app, plat = _instance(rng, size, size)
+            spec = ProblemSpec(app, plat, False)
+            for objective in (Objective.PERIOD, Objective.LATENCY):
+                t0 = time.perf_counter()
+                fast = fhet.solve_homogeneous(app, plat, objective)
+                t_fast = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                slow = bf.optimal(spec, objective)
+                t_slow = time.perf_counter() - t0
+                assert fast.objective_value(objective) == pytest.approx(
+                    slow.objective_value(objective)
+                )
+                rows.append([
+                    size, objective.value,
+                    f"{fast.objective_value(objective):.4g}",
+                    f"{t_fast * 1e3:.2f}", f"{t_slow * 1e3:.2f}",
+                ])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "fork_het_scaling",
+        format_table(
+            ["n=p", "objective", "optimum", "Thm 14 (ms)", "brute (ms)"],
+            rows,
+            title="Theorem 14 vs exhaustive search",
+        ),
+    )

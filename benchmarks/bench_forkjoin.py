@@ -1,0 +1,120 @@
+"""Experiment A6 — fork-join extensions (Section 6.3).
+
+The paper's claim: "the complexity is not modified by the addition of the
+final stage".  Reproduced as:
+
+* the extended polynomial algorithms return brute-force optima on random
+  small fork-joins (hom and het platforms);
+* the overhead of the join loops is a constant-degree polynomial factor —
+  measured against the plain fork solver on matched instances.
+"""
+
+import random
+import time
+
+import pytest
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms import fork_het_platform, forkjoin
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.analysis import format_table
+
+SEED = 75
+
+
+def test_forkjoin_agrees_with_bruteforce(benchmark, report):
+    rng = random.Random(SEED)
+
+    def run():
+        rows = []
+        for trial in range(6):
+            n, p = rng.randint(1, 3), rng.randint(1, 3)
+            app = repro.ForkJoinApplication.homogeneous(
+                n, rng.randint(1, 5), rng.randint(1, 4), rng.randint(1, 5)
+            )
+            hom_plat = repro.Platform.homogeneous(p, 1.0)
+            got = forkjoin.solve_hom_platform(
+                app, hom_plat, Objective.LATENCY, allow_data_parallel=True
+            ).latency
+            want = bf.optimal(
+                ProblemSpec(app, hom_plat, True), Objective.LATENCY
+            ).latency
+            assert got == pytest.approx(want)
+            het_plat = repro.Platform.heterogeneous(
+                [rng.randint(1, 4) for _ in range(p)]
+            )
+            got_h = forkjoin.solve_het_platform(
+                app, het_plat, Objective.PERIOD
+            ).period
+            want_h = bf.optimal(
+                ProblemSpec(app, het_plat, False), Objective.PERIOD
+            ).period
+            assert got_h == pytest.approx(want_h)
+            rows.append([trial, n, p, f"{got:.4g}", f"{got_h:.4g}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "forkjoin_agreement",
+        format_table(
+            ["trial", "n", "p", "hom-platform latency opt",
+             "het-platform period opt"],
+            rows,
+            title="fork-join extended algorithms vs brute force "
+                  "(Section 6.3)",
+        ),
+    )
+
+
+def test_join_overhead_measured(benchmark, report):
+    """Cost of the extra join loops: fork vs fork-join solve times."""
+    rng = random.Random(SEED + 1)
+
+    def run():
+        rows = []
+        for size in (4, 6, 8):
+            fork_app = repro.ForkApplication.homogeneous(size, 2.0, 3.0)
+            fj_app = repro.ForkJoinApplication.homogeneous(size, 2.0, 3.0, 2.0)
+            plat = repro.Platform.heterogeneous(
+                [rng.randint(1, 5) for _ in range(size)]
+            )
+            t0 = time.perf_counter()
+            fork_sol = fork_het_platform.min_period_homogeneous(fork_app, plat)
+            t_fork = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            fj_sol = forkjoin.solve_het_platform(fj_app, plat, Objective.PERIOD)
+            t_fj = time.perf_counter() - t0
+            # adding a join stage can only increase the optimal period
+            assert fj_sol.period >= fork_sol.period - 1e-9
+            rows.append([
+                size, f"{fork_sol.period:.4g}", f"{fj_sol.period:.4g}",
+                f"{t_fork * 1e3:.2f}", f"{t_fj * 1e3:.2f}",
+                f"{t_fj / max(t_fork, 1e-9):.1f}x",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "forkjoin_overhead",
+        format_table(
+            ["n=p", "fork period", "fork-join period", "fork (ms)",
+             "fork-join (ms)", "slowdown"],
+            rows,
+            title="cost of the join extension (polynomial overhead, "
+                  "Section 6.3)",
+        ),
+    )
+
+
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_forkjoin_het_scaling(benchmark, size):
+    app = repro.ForkJoinApplication.homogeneous(size, 2.0, 3.0, 2.0)
+    rng = random.Random(SEED + size)
+    plat = repro.Platform.heterogeneous(
+        [rng.randint(1, 5) for _ in range(min(size, 8))]
+    )
+    sol = benchmark(
+        lambda: forkjoin.solve_het_platform(app, plat, Objective.PERIOD)
+    )
+    assert sol.period >= app.total_work / plat.total_speed - 1e-9

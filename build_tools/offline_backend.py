@@ -1,0 +1,126 @@
+"""Minimal stdlib-only PEP 517 build backend.
+
+This environment has no network access and no ``wheel`` package, so the
+stock setuptools backend cannot produce wheels.  This backend builds valid
+wheels (regular and editable) for the pure-Python ``repro`` package using
+only the standard library, which makes ``pip install -e .`` work offline.
+
+It is intentionally specific to this project: metadata is read from
+``pyproject.toml`` and the code lives under ``src/``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tomllib
+import zipfile
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _project() -> dict:
+    with open(os.path.join(_ROOT, "pyproject.toml"), "rb") as fh:
+        return tomllib.load(fh)["project"]
+
+
+def _dist_info_name() -> str:
+    proj = _project()
+    return f"{proj['name']}-{proj['version']}.dist-info"
+
+
+def _metadata_text() -> str:
+    proj = _project()
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {proj['name']}",
+        f"Version: {proj['version']}",
+    ]
+    if "description" in proj:
+        lines.append(f"Summary: {proj['description']}")
+    if "requires-python" in proj:
+        lines.append(f"Requires-Python: {proj['requires-python']}")
+    for dep in proj.get("dependencies", []):
+        lines.append(f"Requires-Dist: {dep}")
+    return "\n".join(lines) + "\n"
+
+
+_WHEEL_TEXT = (
+    "Wheel-Version: 1.0\n"
+    "Generator: repro-offline-backend\n"
+    "Root-Is-Purelib: true\n"
+    "Tag: py3-none-any\n"
+)
+
+
+def _record_entry(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+    return f"{name},sha256={digest.rstrip(b'=').decode()},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, payload: dict[str, bytes]) -> str:
+    proj = _project()
+    fname = f"{proj['name']}-{proj['version']}-py3-none-any.whl"
+    dist_info = _dist_info_name()
+    payload = dict(payload)
+    payload[f"{dist_info}/METADATA"] = _metadata_text().encode()
+    payload[f"{dist_info}/WHEEL"] = _WHEEL_TEXT.encode()
+    record_name = f"{dist_info}/RECORD"
+    record_lines = [_record_entry(name, data) for name, data in payload.items()]
+    record_lines.append(f"{record_name},,")
+    payload[record_name] = ("\n".join(record_lines) + "\n").encode()
+    path = os.path.join(wheel_directory, fname)
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in payload.items():
+            zf.writestr(name, data)
+    return fname
+
+
+def _package_payload() -> dict[str, bytes]:
+    payload: dict[str, bytes] = {}
+    src = os.path.join(_ROOT, "src")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, src).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                payload[rel] = fh.read()
+    return payload
+
+
+# ---------------------------------------------------------------- PEP 517
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    dist_info = _dist_info_name()
+    target = os.path.join(metadata_directory, dist_info)
+    os.makedirs(target, exist_ok=True)
+    with open(os.path.join(target, "METADATA"), "w") as fh:
+        fh.write(_metadata_text())
+    with open(os.path.join(target, "WHEEL"), "w") as fh:
+        fh.write(_WHEEL_TEXT)
+    return dist_info
+
+
+prepare_metadata_for_build_editable = prepare_metadata_for_build_wheel
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _write_wheel(wheel_directory, _package_payload())
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    src = os.path.join(_ROOT, "src")
+    proj = _project()
+    payload = {f"{proj['name']}.pth": (src + "\n").encode()}
+    return _write_wheel(wheel_directory, payload)

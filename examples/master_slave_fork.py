@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Master-slave shard scan: a fork on a heterogeneous cluster (Theorem 14).
+
+The paper's fork graphs model master-slave distribution (Sections 1, 6.3):
+a root stage prepares a request, independent branches scan shards.  This
+instance — homogeneous fork, heterogeneous platform, no data-parallelism —
+is one of the paper's starred polynomial entries (Theorem 14): solved by a
+binary search over candidate periods combined with a block dynamic program
+over speed-sorted processors.
+
+The example solves all three objectives, shows the optimal mapping
+structure (which processors replicate which branch groups and who hosts the
+root), and checks the optimum against the fork-join variant where results
+must also be combined.
+
+Run:  python examples/master_slave_fork.py
+"""
+
+import repro
+from repro.algorithms import forkjoin
+from repro.generators import get_scenario
+
+
+def main() -> None:
+    scenario = get_scenario("master-slave-fork")
+    app, platform = scenario.application, scenario.platform
+    print(scenario.description)
+    print(f"root work {app.root.work}, {app.n} branches of "
+          f"{app.branches[0].work} each; speeds {platform.speeds}")
+
+    spec = repro.ProblemSpec(app, platform, allow_data_parallel=False)
+    entry = repro.classify(spec, repro.Objective.PERIOD)
+    print(f"\ncomplexity: {entry.describe()}")
+
+    best_period = repro.solve(spec, repro.Objective.PERIOD)
+    print("\nmin period:")
+    print("  ", best_period.describe())
+
+    best_latency = repro.solve(spec, repro.Objective.LATENCY)
+    print("min latency:")
+    print("  ", best_latency.describe())
+
+    mid = (best_period.period + best_period.latency) / 2
+    tradeoff = repro.solve(spec, repro.Objective.LATENCY, period_bound=mid)
+    print(f"min latency with period <= {mid:.2f}:")
+    print("  ", tradeoff.describe())
+
+    # ------------------------------------------------------------------
+    # Gather the results too: the fork-join extension (Section 6.3)
+    # ------------------------------------------------------------------
+    fj_app = repro.ForkJoinApplication.homogeneous(
+        app.n, root_work=app.root.work,
+        branch_work=app.branches[0].work, join_work=60.0,
+    )
+    fj_sol = forkjoin.solve_het_platform(
+        fj_app, platform, repro.Objective.PERIOD
+    )
+    print("\nwith a gather/combine stage (fork-join, join work 60):")
+    print("  ", fj_sol.describe())
+    print(f"join overhead on the period: "
+          f"{fj_sol.period - best_period.period:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Period/latency trade-off curves (bi-criteria optimization).
+
+The paper frames bi-criteria mapping as "minimize latency under a period
+threshold" (Section 3.4).  Sweeping the threshold traces the Pareto front;
+this example draws it as ASCII for the scatter-gather scenario and shows
+the effect of allowing data-parallelism on the curve.
+
+Run:  python examples/pareto_tradeoffs.py
+"""
+
+import repro
+from repro.analysis import format_table, pareto_front
+from repro.generators import get_scenario
+
+
+def ascii_plot(points, width: int = 60, height: int = 16) -> str:
+    xs = [p.period for p in points]
+    ys = [p.latency for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = 0 if x1 == x0 else int((x - x0) / (x1 - x0) * (width - 1))
+        row = 0 if y1 == y0 else int((y - y0) / (y1 - y0) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"period: {x0:.2f} .. {x1:.2f}   latency: {y0:.2f} .. {y1:.2f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    scenario = get_scenario("scatter-gather")
+    app, platform = scenario.application, scenario.platform
+    print(scenario.description)
+
+    rows = []
+    for dp in (False, True):
+        spec = repro.ProblemSpec(app, platform, allow_data_parallel=dp)
+        front = pareto_front(spec, num_points=24)
+        label = "with data-par" if dp else "without data-par"
+        print(f"\nPareto front {label} ({len(front)} points):")
+        print(ascii_plot(front))
+        for sol in front:
+            rows.append([label, f"{sol.period:.3f}", f"{sol.latency:.3f}"])
+
+    print()
+    print(format_table(["variant", "period", "latency"], rows,
+                       title="non-dominated mappings"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Round-robin vs demand-driven replication, simulated (Section 3.3).
+
+The paper enforces round-robin data-set distribution over replicas because
+a demand-driven (earliest-free-server) scheme, while achieving optimal
+throughput on different-speed replicas, "is quite likely to lead to an
+out-of-order execution of data sets" that breaks sequential downstream
+stages.  This example makes that concrete with the discrete-event
+simulator: one replicated stage on a fast + slow processor pair.
+
+Run:  python examples/simulation_demo.py
+"""
+
+import repro
+from repro.analysis import format_table
+from repro.core import AssignmentKind, GroupAssignment, PipelineMapping
+from repro.simulation import DispatchPolicy, simulate_pipeline
+
+
+def main() -> None:
+    app = repro.PipelineApplication.from_works([12.0])
+    platform = repro.Platform.heterogeneous([3.0, 1.0])
+    mapping = PipelineMapping(
+        application=app,
+        platform=platform,
+        groups=(
+            GroupAssignment(
+                stages=(1,), processors=(0, 1),
+                kind=AssignmentKind.REPLICATED,
+            ),
+        ),
+    )
+    analytic = repro.pipeline_period(mapping)
+    demand_bound = app.total_work / platform.total_speed
+    print("one stage of work 12 replicated on speeds (3, 1)")
+    print(f"round-robin analytic period : {analytic:.3f}  (= W / (k min s))")
+    print(f"demand-driven ideal period  : {demand_bound:.3f}  (= W / sum s)")
+
+    rows = []
+    for policy, input_period in (
+        (DispatchPolicy.ROUND_ROBIN, analytic),
+        (DispatchPolicy.DEMAND_DRIVEN, demand_bound),
+    ):
+        res = simulate_pipeline(
+            mapping,
+            num_data_sets=1000,
+            input_period=input_period,
+            policy=policy,
+            enforce_order=False,
+        )
+        rows.append([
+            policy.value,
+            f"{input_period:.3f}",
+            f"{res.measured_period:.3f}",
+            f"{res.max_latency:.3f}",
+            res.order_inversions,
+        ])
+    print()
+    print(format_table(
+        ["policy", "input period", "measured period", "max latency",
+         "inversions"],
+        rows,
+        title="1000 data sets, no reorder buffer",
+    ))
+    print(
+        "\nThe demand-driven policy sustains the higher input rate but\n"
+        "completes data sets out of order; round-robin at its (slower)\n"
+        "rate preserves the stream semantics the paper requires."
+    )
+
+    # what happens if we overdrive round-robin at the demand-driven rate?
+    overdriven = simulate_pipeline(
+        mapping, num_data_sets=1000, input_period=demand_bound,
+        policy=DispatchPolicy.ROUND_ROBIN, enforce_order=False,
+    )
+    print(
+        f"\nround-robin fed at {demand_bound:.3f}: latency grows to "
+        f"{overdriven.max_latency:.1f} after 1000 data sets (unstable queue)"
+    )
+
+
+if __name__ == "__main__":
+    main()

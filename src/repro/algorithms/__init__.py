@@ -1,0 +1,50 @@
+"""Mapping algorithms: one solver per theorem of the paper, plus exhaustive
+and structured exact references for the NP-hard entries.
+
+Most users should go through :func:`repro.algorithms.solve` (re-exported at
+the package root), which consults the Table 1 registry and dispatches to the
+right polynomial algorithm — or refuses, by raising
+:class:`~repro.algorithms.registry.NPHardError`, when the instance is
+NP-hard.
+"""
+
+from . import (
+    brute_force,
+    exact,
+    fork_het_platform,
+    fork_hom_platform,
+    forkjoin,
+    lemmas,
+    pipeline_het_platform,
+    pipeline_hom_platform,
+)
+from .problem import GraphKind, Objective, ProblemSpec, Solution
+from .registry import (
+    TABLE,
+    ComplexityEntry,
+    Criterion,
+    NPHardError,
+    classify,
+    solve,
+)
+
+__all__ = [
+    "GraphKind",
+    "Objective",
+    "ProblemSpec",
+    "Solution",
+    "TABLE",
+    "ComplexityEntry",
+    "Criterion",
+    "NPHardError",
+    "classify",
+    "solve",
+    "brute_force",
+    "exact",
+    "lemmas",
+    "pipeline_hom_platform",
+    "pipeline_het_platform",
+    "fork_hom_platform",
+    "fork_het_platform",
+    "forkjoin",
+]

@@ -1,0 +1,283 @@
+"""Exhaustive optimal solvers — the reference every algorithm is tested against.
+
+These enumerate *all* valid mappings of an instance (Section 3.4 rules) and
+return the best one.  The search space is exponential in both the number of
+stages and the number of processors, so these functions are only usable for
+tiny instances (roughly ``n <= 6``, ``p <= 6``); that is exactly their role:
+they provide ground truth for the polynomial algorithms and for the reduced
+instances of the NP-hardness constructions.
+
+Enumeration notes
+-----------------
+* Pipeline groups are the compositions of ``[1..n]`` into intervals; fork
+  groups are the set partitions of ``{0..n}``.
+* Processor sets: every assignment of disjoint non-empty subsets to groups.
+  Unused processors are allowed (the paper never requires using everybody).
+* A data-parallel group on one processor has exactly the costs of a
+  replicated group on that processor, so single-processor groups are only
+  enumerated as replicated — this halves the kind space without losing any
+  optimal value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+from ..core.application import (
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+)
+from ..core.costs import FLOAT_TOL, evaluate
+from ..core.exceptions import InfeasibleProblemError
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from ..core.validation import is_valid
+from .problem import Objective, ProblemSpec, Solution
+
+__all__ = [
+    "compositions",
+    "set_partitions",
+    "processor_assignments",
+    "enumerate_pipeline_mappings",
+    "enumerate_fork_mappings",
+    "enumerate_forkjoin_mappings",
+    "enumerate_mappings",
+    "optimal",
+]
+
+
+# ----------------------------------------------------------------------
+# combinatorial generators
+# ----------------------------------------------------------------------
+def compositions(n: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All compositions of ``n`` into exactly ``parts`` positive integers."""
+    if parts == 1:
+        yield (n,)
+        return
+    for first in range(1, n - parts + 2):
+        for rest in compositions(n - first, parts - 1):
+            yield (first, *rest)
+
+
+def set_partitions(items: Sequence[int], blocks: int) -> Iterator[list[list[int]]]:
+    """All partitions of ``items`` into exactly ``blocks`` non-empty sets.
+
+    Standard restricted-growth enumeration; blocks come out in order of
+    their smallest element, so no partition is produced twice.
+    """
+    items = list(items)
+    if blocks < 1 or blocks > len(items):
+        return
+
+    def recurse(idx: int, groups: list[list[int]]) -> Iterator[list[list[int]]]:
+        remaining = len(items) - idx
+        if idx == len(items):
+            if len(groups) == blocks:
+                yield [list(g) for g in groups]
+            return
+        # prune: we can open at most `remaining` new groups
+        if len(groups) + remaining < blocks:
+            return
+        item = items[idx]
+        for group in groups:
+            group.append(item)
+            yield from recurse(idx + 1, groups)
+            group.pop()
+        if len(groups) < blocks:
+            groups.append([item])
+            yield from recurse(idx + 1, groups)
+            groups.pop()
+
+    yield from recurse(0, [])
+
+
+def processor_assignments(
+    p: int, groups: int
+) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """All ways to give each of ``groups`` a non-empty set of processors.
+
+    Sets are disjoint; processors may remain unused.  Implemented as a
+    coloring of processors with ``{unused, 1..groups}`` filtered to
+    assignments where every group is non-empty.
+    """
+    if groups > p:
+        return
+    for coloring in itertools.product(range(groups + 1), repeat=p):
+        sets: list[list[int]] = [[] for _ in range(groups)]
+        for proc, color in enumerate(coloring):
+            if color > 0:
+                sets[color - 1].append(proc)
+        if all(sets):
+            yield tuple(tuple(s) for s in sets)
+
+
+def _kind_choices(
+    group_sizes: Sequence[int],
+    proc_counts: Sequence[int],
+    allow_dp: bool,
+) -> Iterator[tuple[AssignmentKind, ...]]:
+    """Kind vectors: replicated always; data-parallel only when it can differ."""
+    options: list[tuple[AssignmentKind, ...]] = []
+    for size, k in zip(group_sizes, proc_counts):
+        if allow_dp and k >= 2:
+            options.append(
+                (AssignmentKind.REPLICATED, AssignmentKind.DATA_PARALLEL)
+            )
+        else:
+            options.append((AssignmentKind.REPLICATED,))
+        del size
+    yield from itertools.product(*options)
+
+
+# ----------------------------------------------------------------------
+# mapping enumerators
+# ----------------------------------------------------------------------
+def enumerate_pipeline_mappings(
+    application: PipelineApplication,
+    platform,
+    allow_data_parallel: bool,
+) -> Iterator[PipelineMapping]:
+    """All valid pipeline mappings (Section 3.4 rules)."""
+    n, p = application.n, platform.p
+    for q in range(1, min(n, p) + 1):
+        for comp in compositions(n, q):
+            # stage intervals, 1-based
+            intervals: list[tuple[int, ...]] = []
+            start = 1
+            for length in comp:
+                intervals.append(tuple(range(start, start + length)))
+                start += length
+            for procs in processor_assignments(p, q):
+                counts = [len(s) for s in procs]
+                for kinds in _kind_choices(comp, counts, allow_data_parallel):
+                    groups = tuple(
+                        GroupAssignment(stages=itv, processors=ps, kind=kind)
+                        for itv, ps, kind in zip(intervals, procs, kinds)
+                    )
+                    mapping = PipelineMapping(
+                        application=application, platform=platform, groups=groups
+                    )
+                    if is_valid(mapping, allow_data_parallel):
+                        yield mapping
+
+
+def _enumerate_fork_like(
+    application,
+    platform,
+    allow_data_parallel: bool,
+    mapping_cls,
+    stage_indices: Sequence[int],
+) -> Iterator:
+    p = platform.p
+    n_stages = len(stage_indices)
+    for q in range(1, min(n_stages, p) + 1):
+        for partition in set_partitions(stage_indices, q):
+            stage_sets = [tuple(sorted(block)) for block in partition]
+            for procs in processor_assignments(p, q):
+                counts = [len(s) for s in procs]
+                sizes = [len(s) for s in stage_sets]
+                for kinds in _kind_choices(sizes, counts, allow_data_parallel):
+                    groups = tuple(
+                        GroupAssignment(stages=ss, processors=ps, kind=kind)
+                        for ss, ps, kind in zip(stage_sets, procs, kinds)
+                    )
+                    mapping = mapping_cls(
+                        application=application, platform=platform, groups=groups
+                    )
+                    if is_valid(mapping, allow_data_parallel):
+                        yield mapping
+
+
+def enumerate_fork_mappings(
+    application: ForkApplication,
+    platform,
+    allow_data_parallel: bool,
+) -> Iterator[ForkMapping]:
+    """All valid fork mappings."""
+    yield from _enumerate_fork_like(
+        application,
+        platform,
+        allow_data_parallel,
+        ForkMapping,
+        range(application.n + 1),
+    )
+
+
+def enumerate_forkjoin_mappings(
+    application: ForkJoinApplication,
+    platform,
+    allow_data_parallel: bool,
+) -> Iterator[ForkJoinMapping]:
+    """All valid fork-join mappings."""
+    yield from _enumerate_fork_like(
+        application,
+        platform,
+        allow_data_parallel,
+        ForkJoinMapping,
+        range(application.n + 2),
+    )
+
+
+def enumerate_mappings(spec: ProblemSpec) -> Iterator:
+    """Dispatch on the graph kind of the spec."""
+    app = spec.application
+    if isinstance(app, ForkJoinApplication):
+        yield from enumerate_forkjoin_mappings(
+            app, spec.platform, spec.allow_data_parallel
+        )
+    elif isinstance(app, ForkApplication):
+        yield from enumerate_fork_mappings(
+            app, spec.platform, spec.allow_data_parallel
+        )
+    else:
+        yield from enumerate_pipeline_mappings(
+            app, spec.platform, spec.allow_data_parallel
+        )
+
+
+# ----------------------------------------------------------------------
+# optimizer
+# ----------------------------------------------------------------------
+def optimal(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+) -> Solution:
+    """Exhaustively optimal solution (tiny instances only).
+
+    ``period_bound`` / ``latency_bound`` turn the call into the bi-criteria
+    problems of the paper: minimize the objective subject to the other
+    criterion not exceeding its bound.
+
+    Raises :class:`InfeasibleProblemError` when no valid mapping meets the
+    bounds.
+    """
+    best: Solution | None = None
+    best_value = float("inf")
+    for mapping in enumerate_mappings(spec):
+        period, latency = evaluate(mapping)
+        if period_bound is not None and period > period_bound * (1 + FLOAT_TOL):
+            continue
+        if latency_bound is not None and latency > latency_bound * (1 + FLOAT_TOL):
+            continue
+        value = period if objective is Objective.PERIOD else latency
+        if value < best_value - FLOAT_TOL:
+            best_value = value
+            best = Solution(
+                mapping=mapping, period=period, latency=latency,
+                meta={"algorithm": "brute-force"},
+            )
+    if best is None:
+        raise InfeasibleProblemError(
+            f"no valid mapping satisfies the bounds (period<={period_bound}, "
+            f"latency<={latency_bound})"
+        )
+    return best

@@ -1,0 +1,264 @@
+"""Communication-aware interval mapping on homogeneous platforms.
+
+The paper's conclusion proposes, as future work, to "select some of the
+polynomial instances of the problem and try to assess the complexity when
+adding some communication parameters".  This module does exactly that for
+the most tractable instance: pipelines on **homogeneous platforms with a
+uniform interconnect**, mapped as plain interval mappings (one interval per
+processor — no replication or data-parallelism), under the Equation 1-2
+cost model of Section 3.3.
+
+With identical processors (speed ``s``) and identical links (bandwidth
+``b``), the cycle time of interval ``[i..j]`` is independent of which
+processor runs it:
+
+* strict one-port:   ``c(i,j) = d_{i-1}/b + W(i,j)/s + d_j/b``
+* overlapped multi-port:  ``c(i,j) = max(d_{i-1}/b, W(i,j)/s, d_j/b)``
+
+(boundary transfers with the outside world included; intervals on the same
+processor never occur since processors are distinct).  Hence:
+
+* **period** minimization = partition ``[1..n]`` into at most ``p``
+  intervals minimizing ``max c`` — an ``O(n^2 p)`` interval DP
+  (:func:`min_period_comm`), a direct generalization of chains-to-chains
+  (which it reduces to when all data sizes are zero) and of Subhlok &
+  Vondran's dynamic programming;
+* **latency** minimization is trivial: merging intervals removes
+  inter-processor transfers, so the whole pipeline on one processor is
+  optimal (:func:`min_latency_comm`);
+* **bi-criteria**: ``min latency s.t. period <= K`` is an ``O(n^2 p)``
+  prefix DP (:func:`min_latency_given_period_comm`); the converse is an
+  exact candidate search (:func:`min_period_given_latency_comm`).
+
+Heterogeneous platforms make even the period problem NP-hard in general
+(it contains Theorem 9's problem when ``b = inf``); no algorithm here
+pretends otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.application import PipelineApplication
+from ..core.comm_costs import (
+    CommunicationModel,
+    OnePortInterval,
+    pipeline_latency_with_comm,
+    pipeline_period_with_comm,
+)
+from ..core.costs import FLOAT_TOL
+from ..core.exceptions import (
+    InfeasibleProblemError,
+    InvalidPlatformError,
+    UnsupportedVariantError,
+)
+from ..core.platform import Platform
+from .search import smallest_feasible, unique_sorted
+
+__all__ = [
+    "CommSolution",
+    "min_period_comm",
+    "min_latency_comm",
+    "min_latency_given_period_comm",
+    "min_period_given_latency_comm",
+]
+
+
+@dataclass(frozen=True)
+class CommSolution:
+    """An interval mapping priced under the communication model."""
+
+    intervals: tuple[OnePortInterval, ...]
+    period: float
+    latency: float
+    model: CommunicationModel
+
+
+def _uniform_parameters(platform: Platform) -> tuple[float, float]:
+    """(speed, bandwidth) after checking the homogeneity requirements."""
+    if not platform.is_homogeneous:
+        raise UnsupportedVariantError(
+            "the communication-aware algorithms require a homogeneous "
+            "platform (heterogeneous versions contain the NP-hard "
+            "Theorem 9 problem)"
+        )
+    inter = platform.interconnect
+    if inter is None:
+        raise InvalidPlatformError(
+            "platform has no interconnect; build it with a bandwidth, e.g. "
+            "Platform.homogeneous(p, bandwidth=...)"
+        )
+    bandwidths = {
+        *(b for row in inter.bandwidth for b in row),
+        *inter.in_bandwidths,
+        *inter.out_bandwidths,
+    }
+    if max(bandwidths) - min(bandwidths) > FLOAT_TOL * max(bandwidths):
+        raise UnsupportedVariantError(
+            "the communication-aware algorithms require a uniform "
+            "interconnect (single bandwidth)"
+        )
+    return platform.processors[0].speed, next(iter(bandwidths))
+
+
+def _interval_cost_table(
+    app: PipelineApplication,
+    s: float,
+    b: float,
+    model: CommunicationModel,
+) -> list[list[float]]:
+    """``c[i][j]`` = cycle time of stage interval ``i..j`` (0-based)."""
+    n = app.n
+    prefix = [0.0] * (n + 1)
+    for k, w in enumerate(app.works):
+        prefix[k + 1] = prefix[k] + w
+    cost = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        recv = app.stages[i].input_size / b
+        for j in range(i, n):
+            compute = (prefix[j + 1] - prefix[i]) / s
+            send = app.stages[j].output_size / b
+            if model is CommunicationModel.ONE_PORT_STRICT:
+                cost[i][j] = recv + compute + send
+            else:
+                cost[i][j] = max(recv, compute, send)
+    return cost
+
+
+def _solution(app, intervals, platform, model) -> CommSolution:
+    intervals = tuple(intervals)
+    return CommSolution(
+        intervals=intervals,
+        period=pipeline_period_with_comm(app, platform, intervals, model),
+        latency=pipeline_latency_with_comm(app, platform, intervals, model),
+        model=model,
+    )
+
+
+def min_period_comm(
+    app: PipelineApplication,
+    platform: Platform,
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> CommSolution:
+    """Optimal-period interval mapping under communication costs.
+
+    ``B[q][i]`` = min over partitions of stages ``1..i`` into exactly ``q``
+    intervals of the max cycle time; answer = min over ``q <= p``.
+    """
+    s, b = _uniform_parameters(platform)
+    n, p = app.n, platform.p
+    cost = _interval_cost_table(app, s, b, model)
+    INF = float("inf")
+    q_max = min(n, p)
+    B = [[INF] * (n + 1) for _ in range(q_max + 1)]
+    back = [[0] * (n + 1) for _ in range(q_max + 1)]
+    B[0][0] = 0.0
+    for q in range(1, q_max + 1):
+        for i in range(1, n + 1):
+            best, arg = INF, 0
+            for k in range(q - 1, i):
+                prev = B[q - 1][k]
+                if prev == INF:
+                    continue
+                cand = max(prev, cost[k][i - 1])
+                if cand < best - FLOAT_TOL:
+                    best, arg = cand, k
+            B[q][i] = best
+            back[q][i] = arg
+    best_q = min(range(1, q_max + 1), key=lambda q: B[q][n])
+    intervals: list[OnePortInterval] = []
+    i, q = n, best_q
+    while q > 0:
+        k = back[q][i]
+        intervals.append(OnePortInterval(start=k + 1, end=i, processor=q - 1))
+        i, q = k, q - 1
+    intervals.reverse()
+    return _solution(app, intervals, platform, model)
+
+
+def min_latency_comm(
+    app: PipelineApplication,
+    platform: Platform,
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> CommSolution:
+    """Optimal-latency mapping: the whole pipeline on one processor.
+
+    Splitting an interval replaces nothing and adds two transfer terms
+    (strict model) or cannot reduce any term below the merged maximum
+    (overlap model), so one interval is always optimal.
+    """
+    _uniform_parameters(platform)
+    return _solution(
+        app, [OnePortInterval(start=1, end=app.n, processor=0)], platform, model
+    )
+
+
+def min_latency_given_period_comm(
+    app: PipelineApplication,
+    platform: Platform,
+    period_bound: float,
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> CommSolution:
+    """Bi-criteria: minimal total latency with every cycle time <= bound.
+
+    ``G[i][q]`` = min total latency covering stages ``1..i`` with ``q``
+    intervals of cycle time <= K.
+    """
+    s, b = _uniform_parameters(platform)
+    n, p = app.n, platform.p
+    cost = _interval_cost_table(app, s, b, model)
+    K = period_bound * (1 + FLOAT_TOL)
+    INF = float("inf")
+    q_max = min(n, p)
+    G = [[INF] * (q_max + 1) for _ in range(n + 1)]
+    back = [[0] * (q_max + 1) for _ in range(n + 1)]
+    G[0][0] = 0.0
+    for i in range(1, n + 1):
+        for q in range(1, q_max + 1):
+            best, arg = INF, 0
+            for k in range(q - 1, i):
+                if cost[k][i - 1] > K or G[k][q - 1] == INF:
+                    continue
+                cand = G[k][q - 1] + cost[k][i - 1]
+                if cand < best - FLOAT_TOL:
+                    best, arg = cand, k
+            G[i][q] = best
+            back[i][q] = arg
+    candidates = [(G[n][q], q) for q in range(1, q_max + 1) if G[n][q] < INF]
+    if not candidates:
+        raise InfeasibleProblemError(
+            f"no interval mapping achieves period <= {period_bound}"
+        )
+    _, best_q = min(candidates)
+    intervals: list[OnePortInterval] = []
+    i, q = n, best_q
+    while q > 0:
+        k = back[i][q]
+        intervals.append(OnePortInterval(start=k + 1, end=i, processor=q - 1))
+        i, q = k, q - 1
+    intervals.reverse()
+    return _solution(app, intervals, platform, model)
+
+
+def min_period_given_latency_comm(
+    app: PipelineApplication,
+    platform: Platform,
+    latency_bound: float,
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> CommSolution:
+    """Bi-criteria converse: exact candidate search over interval costs."""
+    s, b = _uniform_parameters(platform)
+    cost = _interval_cost_table(app, s, b, model)
+    candidates = unique_sorted(
+        cost[i][j] for i in range(app.n) for j in range(i, app.n)
+    )
+
+    def feasible(period: float) -> bool:
+        try:
+            sol = min_latency_given_period_comm(app, platform, period, model)
+        except InfeasibleProblemError:
+            return False
+        return sol.latency <= latency_bound * (1 + FLOAT_TOL)
+
+    period = smallest_feasible(candidates, feasible, what="period")
+    return min_latency_given_period_comm(app, platform, period, model)

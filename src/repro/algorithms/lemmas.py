@@ -1,0 +1,70 @@
+"""Mapping transformations backing the paper's preliminary lemmas.
+
+* **Lemma 1** — on homogeneous platforms there is an optimal mapping that
+  minimizes the *period* without data-parallelism: a data-parallel group of
+  work ``W`` on ``k`` identical processors has period ``W / (k s)``, exactly
+  the period of the same group replicated.  :func:`strip_data_parallelism_hom`
+  performs the transformation (it preserves the period; the latency may only
+  increase, which Lemma 1 does not need).
+
+* **Lemma 2** — there is an optimal mapping that minimizes the *latency*
+  without replication: the delay of a replicated group is the delay of its
+  slowest processor, so dropping all but the fastest processor of every
+  replicated group preserves the latency.
+  :func:`strip_replication_for_latency` performs it (the period may only
+  increase, which Lemma 2 does not need).
+
+Both transformations are exercised as property tests: they witness the
+exchange arguments on random mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.exceptions import ReproError
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+
+__all__ = ["strip_data_parallelism_hom", "strip_replication_for_latency"]
+
+
+def strip_data_parallelism_hom(mapping):
+    """Replace every data-parallel group by a replicated one (Lemma 1).
+
+    Only meaningful on homogeneous platforms, where the period is preserved;
+    raises :class:`ReproError` on heterogeneous platforms where the claim
+    does not hold.
+    """
+    if not mapping.platform.is_homogeneous:
+        raise ReproError("Lemma 1 only applies to homogeneous platforms")
+    groups = tuple(
+        replace(group, kind=AssignmentKind.REPLICATED) for group in mapping.groups
+    )
+    return replace(mapping, groups=groups)
+
+
+def strip_replication_for_latency(mapping):
+    """Drop all but the *slowest* processor of every replicated group
+    (Lemma 2).
+
+    The delay of a replicated group is the time of its slowest enrolled
+    processor, so keeping exactly that processor preserves the latency on
+    any platform while freeing the others (the period may increase, which
+    Lemma 2 does not need).  This mirrors the paper's transformation of an
+    optimal mapping into one without replication at the same latency.
+    """
+    speeds = mapping.platform.speeds
+    groups = []
+    for group in mapping.groups:
+        if group.kind is AssignmentKind.REPLICATED and group.k > 1:
+            slowest = min(group.processors, key=lambda u: (speeds[u], u))
+            groups.append(replace(group, processors=(slowest,)))
+        else:
+            groups.append(group)
+    return replace(mapping, groups=tuple(groups))

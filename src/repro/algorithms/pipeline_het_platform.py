@@ -1,0 +1,309 @@
+"""Pipeline on **heterogeneous platforms** without data-parallelism —
+Theorems 6, 7 and 8 (the ``Poly (*)`` entries of Table 1).
+
+* :func:`min_latency_no_dp` (Thm 6) — map the whole pipeline onto the
+  fastest processor; replication cannot reduce latency (Lemma 2).
+* :func:`min_period_homogeneous` (Thm 7) — *homogeneous pipeline* (all
+  stages of work ``w``): binary search on the period combined with a
+  dynamic program over processor blocks.
+* :func:`min_latency_given_period_homogeneous` /
+  :func:`min_period_given_latency_homogeneous` (Thm 8) — the bi-criteria
+  versions.
+
+Structure theorem (paper Lemma 3, implemented in block form): sort the
+processors by *non-decreasing* speed; there is an optimal solution whose
+replication groups are **consecutive blocks** of this order, unused
+processors being the slowest ones.  The cost of a block depends only on its
+size ``k`` and its minimum speed (its first processor), so a prefix DP over
+the sorted processors captures all such solutions.  We allow empty blocks
+(zero stages), which subsumes the paper's outer loop on the number ``q`` of
+enrolled processors.
+
+Instead of the paper's epsilon-terminated binary search (bounded through an
+lcm argument), we search over the *finite candidate set*
+``{m·w / (k·s_i)}`` of achievable group periods, which yields the exact
+optimum — see :mod:`repro.algorithms.search`.
+
+For **heterogeneous** pipelines the period problem is NP-hard (Theorem 9);
+these functions raise :class:`UnsupportedVariantError` and callers should
+use :mod:`repro.algorithms.exact` or :mod:`repro.heuristics`.
+"""
+
+from __future__ import annotations
+
+from ..core.application import PipelineApplication
+from ..core.costs import FLOAT_TOL
+from ..core.exceptions import (
+    InfeasibleProblemError,
+    UnsupportedVariantError,
+)
+from ..core.mapping import AssignmentKind, GroupAssignment, PipelineMapping
+from ..core.platform import Platform
+from .problem import Solution
+from .search import floor_div_tol, smallest_feasible, unique_sorted
+
+__all__ = [
+    "min_latency_no_dp",
+    "min_period_homogeneous",
+    "min_latency_given_period_homogeneous",
+    "min_period_given_latency_homogeneous",
+]
+
+
+def min_latency_no_dp(app: PipelineApplication, platform: Platform) -> Solution:
+    """Theorem 6: optimal latency is the whole pipeline on the fastest CPU.
+
+    Holds for heterogeneous and homogeneous pipelines alike.
+    """
+    fastest = platform.fastest
+    group = GroupAssignment(
+        stages=tuple(range(1, app.n + 1)),
+        processors=(fastest.index,),
+        kind=AssignmentKind.REPLICATED,
+    )
+    mapping = PipelineMapping(application=app, platform=platform, groups=(group,))
+    return Solution.from_mapping(mapping, algorithm="thm6-fastest-processor")
+
+
+# ----------------------------------------------------------------------
+# shared machinery for Theorems 7-8
+# ----------------------------------------------------------------------
+def _require_homogeneous_app(app: PipelineApplication) -> float:
+    if not app.is_homogeneous:
+        raise UnsupportedVariantError(
+            "Theorems 7-8 require a homogeneous pipeline (identical stage "
+            "works); the heterogeneous-pipeline period problem is NP-hard "
+            "(Theorem 9) — use repro.algorithms.exact or repro.heuristics"
+        )
+    return app.stages[0].work
+
+
+def _ascending(platform: Platform):
+    """Processors sorted by non-decreasing speed, with their speeds."""
+    order = platform.sorted_by_speed(descending=False)
+    return order, [proc.speed for proc in order]
+
+
+def _period_candidates(n: int, speeds_asc: list[float], w: float) -> list[float]:
+    """Achievable group periods ``m w / (k s_i)`` over blocks of the order."""
+    p = len(speeds_asc)
+    values = []
+    for i in range(p):
+        s = speeds_asc[i]
+        for k in range(1, p - i + 1):
+            for m in range(1, n + 1):
+                values.append(m * w / (k * s))
+    return unique_sorted(values)
+
+
+def _block_capacity(
+    period: float, speed: float, k: int, w: float, n: int
+) -> int:
+    """Max number of stages a block (min speed ``speed``, size ``k``) handles
+    within the period bound: ``floor(period * k * speed / w)`` capped at n."""
+    if period == float("inf"):
+        return n
+    return min(n, max(0, floor_div_tol(period * k * speed, w)))
+
+
+def _max_stages_prefix_dp(
+    period: float, speeds_asc: list[float], w: float, n: int
+) -> tuple[list[int], list[int]]:
+    """Prefix DP of Theorem 7.
+
+    ``F[j]`` = max stages processed by processors ``0..j-1`` (ascending
+    order) partitioned into consecutive replication blocks with every block
+    period at most ``period``.  Returns ``(F, split)`` where ``split[j]`` is
+    the start of the last block of an optimal prefix ``j``.
+    """
+    p = len(speeds_asc)
+    F = [0] * (p + 1)
+    split = [0] * (p + 1)
+    for j in range(1, p + 1):
+        best, best_i = -1, 0
+        for i in range(j):
+            cap = _block_capacity(period, speeds_asc[i], j - i, w, n)
+            value = F[i] + cap
+            if value > best:
+                best, best_i = value, i
+        F[j] = min(best, n * (p + 1))  # value never needs to exceed n anyway
+        split[j] = best_i
+    return F, split
+
+
+def _reconstruct_blocks(
+    period: float,
+    speeds_asc: list[float],
+    w: float,
+    n: int,
+    F: list[int],
+    split: list[int],
+) -> list[tuple[int, int, int]]:
+    """Turn the DP back into ``(block_start, block_end, stage_count)`` with
+    exactly ``n`` stages distributed (blocks listed fast-to-slow first)."""
+    p = len(speeds_asc)
+    blocks: list[tuple[int, int]] = []  # (start, end) proc positions
+    j = p
+    while j > 0:
+        i = split[j]
+        blocks.append((i, j - 1))
+        j = i
+    # distribute the n stages, giving priority to the blocks with the largest
+    # capacity so the remainder of capacity is left in small blocks
+    remaining = n
+    result: list[tuple[int, int, int]] = []
+    caps = [
+        _block_capacity(period, speeds_asc[i], j - i + 1, w, n)
+        for i, j in blocks
+    ]
+    for (i, j), cap in zip(blocks, caps):
+        take = min(remaining, cap)
+        result.append((i, j, take))
+        remaining -= take
+    if remaining > 0:
+        raise InfeasibleProblemError(
+            f"internal: reconstruction failed ({remaining} stages left)"
+        )
+    return result
+
+
+def _mapping_from_blocks(
+    app: PipelineApplication,
+    platform: Platform,
+    order,
+    blocks: list[tuple[int, int, int]],
+) -> PipelineMapping:
+    """Build the PipelineMapping from ``(start, end, stage_count)`` blocks."""
+    groups: list[GroupAssignment] = []
+    next_stage = 1
+    for i, j, count in blocks:
+        if count == 0:
+            continue
+        procs = tuple(sorted(order[t].index for t in range(i, j + 1)))
+        groups.append(
+            GroupAssignment(
+                stages=tuple(range(next_stage, next_stage + count)),
+                processors=procs,
+                kind=AssignmentKind.REPLICATED,
+            )
+        )
+        next_stage += count
+    return PipelineMapping(application=app, platform=platform, groups=tuple(groups))
+
+
+def min_period_homogeneous(
+    app: PipelineApplication, platform: Platform
+) -> Solution:
+    """Theorem 7: optimal period of a homogeneous pipeline, no data-par.
+
+    Exact candidate-set binary search; each feasibility test is the
+    ``O(p^2)`` prefix DP, for a total of ``O(p^2 log(n p^2))`` after the
+    ``O(n p^2)`` candidate enumeration.
+    """
+    w = _require_homogeneous_app(app)
+    order, speeds_asc = _ascending(platform)
+    n = app.n
+
+    def feasible(period: float) -> bool:
+        F, _ = _max_stages_prefix_dp(period, speeds_asc, w, n)
+        return F[len(speeds_asc)] >= n
+
+    period = smallest_feasible(
+        _period_candidates(n, speeds_asc, w), feasible, what="period"
+    )
+    bound = period * (1 + FLOAT_TOL)
+    F, split = _max_stages_prefix_dp(bound, speeds_asc, w, n)
+    blocks = _reconstruct_blocks(bound, speeds_asc, w, n, F, split)
+    mapping = _mapping_from_blocks(app, platform, order, blocks)
+    return Solution.from_mapping(mapping, algorithm="thm7-binary-search-dp")
+
+
+# ----------------------------------------------------------------------
+# Theorem 8: bi-criteria
+# ----------------------------------------------------------------------
+def _latency_prefix_dp(
+    period: float, speeds_asc: list[float], w: float, n: int
+) -> tuple[list[list[float]], list[list[tuple[int, int]]]]:
+    """``G[j][m]`` = min latency mapping ``m`` stages on processors
+    ``0..j-1`` in consecutive replication blocks of period <= ``period``.
+
+    A block ``[i..j-1]`` holding ``m'`` stages contributes latency
+    ``m' w / s_i`` (delay of the slowest processor) and must satisfy
+    ``m' w / ((j-i) s_i) <= period``.  ``m' = 0`` models idle processors.
+    Complexity ``O(n^2 p^2)``.
+    """
+    p = len(speeds_asc)
+    INF = float("inf")
+    G = [[INF] * (n + 1) for _ in range(p + 1)]
+    back: list[list[tuple[int, int]]] = [
+        [(-1, -1)] * (n + 1) for _ in range(p + 1)
+    ]
+    G[0][0] = 0.0
+    for j in range(1, p + 1):
+        for m in range(n + 1):
+            best, arg = INF, (-1, -1)
+            for i in range(j):
+                s_i = speeds_asc[i]
+                cap = _block_capacity(period, s_i, j - i, w, n)
+                top = min(m, cap)
+                for m2 in range(top + 1):
+                    prev = G[i][m - m2]
+                    if prev == INF:
+                        continue
+                    cand = prev + m2 * w / s_i
+                    if cand < best - FLOAT_TOL:
+                        best, arg = cand, (i, m2)
+            G[j][m] = best
+            back[j][m] = arg
+    return G, back
+
+
+def min_latency_given_period_homogeneous(
+    app: PipelineApplication, platform: Platform, period_bound: float
+) -> Solution:
+    """Theorem 8: minimize latency subject to a period bound (hom pipeline)."""
+    w = _require_homogeneous_app(app)
+    order, speeds_asc = _ascending(platform)
+    n, p = app.n, platform.p
+    bound = period_bound * (1 + FLOAT_TOL)
+    G, back = _latency_prefix_dp(bound, speeds_asc, w, n)
+    if G[p][n] == float("inf"):
+        raise InfeasibleProblemError(
+            f"no mapping achieves period <= {period_bound}"
+        )
+    blocks: list[tuple[int, int, int]] = []
+    j, m = p, n
+    while j > 0:
+        i, m2 = back[j][m]
+        blocks.append((i, j - 1, m2))
+        j, m = i, m - m2
+    mapping = _mapping_from_blocks(app, platform, order, blocks)
+    return Solution.from_mapping(mapping, algorithm="thm8-dp")
+
+
+def min_period_given_latency_homogeneous(
+    app: PipelineApplication, platform: Platform, latency_bound: float
+) -> Solution:
+    """Theorem 8 (converse): minimize period subject to a latency bound."""
+    w = _require_homogeneous_app(app)
+    _, speeds_asc = _ascending(platform)
+    n, p = app.n, platform.p
+
+    def feasible(period: float) -> bool:
+        G, _ = _latency_prefix_dp(period, speeds_asc, w, n)
+        return G[p][n] <= latency_bound * (1 + FLOAT_TOL)
+
+    period = smallest_feasible(
+        _period_candidates(n, speeds_asc, w), feasible, what="period"
+    )
+    solution = min_latency_given_period_homogeneous(app, platform, period)
+    if solution.latency > latency_bound * (1 + FLOAT_TOL):
+        raise InfeasibleProblemError(
+            f"no mapping achieves latency <= {latency_bound}"
+        )
+    return Solution(
+        mapping=solution.mapping,
+        period=solution.period,
+        latency=solution.latency,
+        meta={"algorithm": "thm8-binary-search"},
+    )

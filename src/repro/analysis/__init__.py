@@ -1,0 +1,14 @@
+"""Analysis tools: Table 1 regeneration, Pareto fronts, reporting."""
+
+from .pareto import pareto_front
+from .report import format_table
+from .table1 import CellValidation, regenerate_table1, render_table1, validate_cell
+
+__all__ = [
+    "pareto_front",
+    "format_table",
+    "CellValidation",
+    "regenerate_table1",
+    "render_table1",
+    "validate_cell",
+]

@@ -1,0 +1,60 @@
+"""Bi-criteria trade-off curves (period vs latency).
+
+The paper studies bi-criteria optimization as "minimize latency under a
+period threshold" (and the converse).  Sweeping the threshold over the
+achievable periods traces the Pareto front of a problem instance, which the
+examples plot as text.
+"""
+
+from __future__ import annotations
+
+from ..algorithms.problem import Objective, ProblemSpec, Solution
+from ..algorithms.registry import solve
+from ..core.costs import FLOAT_TOL
+from ..core.exceptions import InfeasibleProblemError
+
+__all__ = ["pareto_front"]
+
+
+def pareto_front(
+    spec: ProblemSpec,
+    num_points: int = 32,
+    exact_fallback: bool = False,
+) -> list[Solution]:
+    """Non-dominated (period, latency) solutions of an instance.
+
+    Strategy: find the two extreme solutions (min period; min latency),
+    then sweep period thresholds between them (geometric grid) and solve
+    "min latency s.t. period <= K" at each; dominated points are dropped.
+    Exact for the polynomial variants; uses the exponential exact solvers
+    when ``exact_fallback`` is set (tiny instances only).
+    """
+    lo = solve(spec, Objective.PERIOD, exact_fallback=exact_fallback)
+    hi = solve(spec, Objective.LATENCY, exact_fallback=exact_fallback)
+    front: list[Solution] = []
+
+    thresholds: list[float] = []
+    k_min, k_max = lo.period, max(hi.period, lo.period)
+    if k_max <= k_min * (1 + FLOAT_TOL):
+        thresholds = [k_min]
+    else:
+        ratio = (k_max / k_min) ** (1.0 / max(1, num_points - 1))
+        value = k_min
+        for _ in range(num_points):
+            thresholds.append(value)
+            value *= ratio
+
+    for bound in thresholds:
+        try:
+            sol = solve(
+                spec,
+                Objective.LATENCY,
+                period_bound=bound * (1 + FLOAT_TOL),
+                exact_fallback=exact_fallback,
+            )
+        except InfeasibleProblemError:
+            continue
+        if front and sol.latency >= front[-1].latency - FLOAT_TOL:
+            continue
+        front.append(sol)
+    return front

@@ -1,0 +1,29 @@
+"""The chains-to-chains substrate.
+
+The paper (Section 1) frames period minimization without replication as the
+classic *chains-to-chains* problem: partition an array of ``n`` positive
+numbers into at most ``p`` consecutive intervals minimizing the largest
+interval sum.  This subpackage implements the standard solutions — dynamic
+programming, probe-based search and greedy — plus the fixed-order
+heterogeneous variant, used both as baselines and inside the heuristics.
+"""
+
+from .partition import (
+    PartitionResult,
+    chains_to_chains_dp,
+    chains_to_chains_probe,
+    greedy_partition,
+    heterogeneous_chains_dp,
+    interval_sums,
+    probe_feasible,
+)
+
+__all__ = [
+    "PartitionResult",
+    "chains_to_chains_dp",
+    "chains_to_chains_probe",
+    "greedy_partition",
+    "heterogeneous_chains_dp",
+    "interval_sums",
+    "probe_feasible",
+]

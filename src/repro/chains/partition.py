@@ -1,0 +1,244 @@
+"""Chains-to-chains: contiguous partitioning minimizing the bottleneck.
+
+Given positive works :math:`a_1..a_n` and ``p`` processors, partition the
+array into at most ``p`` consecutive intervals so the largest interval sum
+(homogeneous case) or the largest ``sum/speed`` ratio (fixed processor
+order, heterogeneous case) is minimized.  References: Bokhari (1988),
+Hansen & Lih (1992), Olstad & Manne (1995), Pinar & Aykanat (2004) — the
+papers [9, 13, 21, 22] cited in Section 1 of the reproduced paper.
+
+Three interchangeable algorithms are provided for the homogeneous problem:
+
+* :func:`chains_to_chains_dp` — the classic ``O(n^2 p)`` dynamic program
+  (exact);
+* :func:`chains_to_chains_probe` — exact bottleneck search: binary search
+  over the ``O(n^2)`` candidate interval sums with an ``O(n)`` greedy
+  feasibility probe;
+* :func:`greedy_partition` — the linear-time load-threshold heuristic
+  (not exact; used as a baseline).
+
+The heterogeneous fixed-order variant :func:`heterogeneous_chains_dp`
+assigns interval ``j`` to the ``j``-th processor of a given speed order; it
+is the building block of the pipeline heuristics for the NP-hard
+Theorem 9 problem.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.costs import FLOAT_TOL
+from ..core.exceptions import ReproError
+
+__all__ = [
+    "PartitionResult",
+    "interval_sums",
+    "chains_to_chains_dp",
+    "probe_feasible",
+    "chains_to_chains_probe",
+    "greedy_partition",
+    "heterogeneous_chains_dp",
+]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """A contiguous partition and its bottleneck value.
+
+    ``boundaries`` holds the interval end indices (exclusive): interval
+    ``j`` covers ``works[boundaries[j-1]:boundaries[j]]`` with
+    ``boundaries[-1] == n``.
+    """
+
+    bottleneck: float
+    boundaries: tuple[int, ...]
+
+    @property
+    def intervals(self) -> list[tuple[int, int]]:
+        """(start, end) pairs, end exclusive."""
+        out, start = [], 0
+        for end in self.boundaries:
+            out.append((start, end))
+            start = end
+        return out
+
+
+def _prefix(works: Sequence[float]) -> list[float]:
+    prefix = [0.0]
+    for w in works:
+        if w <= 0:
+            raise ReproError("chains-to-chains requires positive works")
+        prefix.append(prefix[-1] + w)
+    return prefix
+
+
+def interval_sums(works: Sequence[float]) -> list[float]:
+    """All ``O(n^2)`` contiguous interval sums, sorted ascending (the
+    candidate bottleneck values of the probe algorithm)."""
+    prefix = _prefix(works)
+    n = len(works)
+    sums = sorted(
+        prefix[j] - prefix[i] for i in range(n) for j in range(i + 1, n + 1)
+    )
+    out: list[float] = []
+    for s in sums:
+        if not out or s - out[-1] > FLOAT_TOL * max(1.0, s):
+            out.append(s)
+    return out
+
+
+def chains_to_chains_dp(works: Sequence[float], p: int) -> PartitionResult:
+    """Exact ``O(n^2 p)`` dynamic program.
+
+    ``B[j][i]`` = minimal bottleneck partitioning the first ``i`` works into
+    at most ``j`` intervals.
+    """
+    n = len(works)
+    if p < 1:
+        raise ReproError("need at least one interval")
+    prefix = _prefix(works)
+    INF = float("inf")
+    p = min(p, n)
+    # B[i] for the current number of intervals; rolled over j
+    B = [INF] * (n + 1)
+    B[0] = 0.0
+    for i in range(1, n + 1):
+        B[i] = prefix[i]  # one interval
+    back = [[0] * (n + 1) for _ in range(p + 1)]
+    prev = B[:]
+    for j in range(2, p + 1):
+        cur = [INF] * (n + 1)
+        cur[0] = 0.0
+        for i in range(1, n + 1):
+            best, arg = prefix[i], 0  # single interval still allowed
+            for k in range(1, i):
+                cand = max(prev[k], prefix[i] - prefix[k])
+                if cand < best - FLOAT_TOL:
+                    best, arg = cand, k
+            cur[i] = best
+            back[j][i] = arg
+        prev = cur
+    # reconstruct
+    boundaries: list[int] = []
+    i, j = n, p
+    while i > 0:
+        k = back[j][i] if j >= 2 else 0
+        boundaries.append(i)
+        i, j = k, max(j - 1, 1)
+    boundaries.reverse()
+    value = prev[n] if p >= 2 else prefix[n]
+    return PartitionResult(bottleneck=value, boundaries=tuple(boundaries))
+
+
+def probe_feasible(
+    works: Sequence[float], p: int, bottleneck: float
+) -> tuple[int, ...] | None:
+    """Greedy probe: can the works be split into <= p intervals of sum <=
+    ``bottleneck``?  Returns the boundaries or ``None``.  ``O(n)``."""
+    boundaries: list[int] = []
+    current = 0.0
+    tol = bottleneck * (1 + FLOAT_TOL)
+    for i, w in enumerate(works):
+        if w > tol:
+            return None
+        if current + w > tol:
+            boundaries.append(i)
+            current = w
+            if len(boundaries) == p:
+                return None
+        else:
+            current += w
+    boundaries.append(len(works))
+    return tuple(boundaries) if len(boundaries) <= p else None
+
+
+def chains_to_chains_probe(works: Sequence[float], p: int) -> PartitionResult:
+    """Exact probe algorithm: binary search over candidate interval sums.
+
+    ``O(n^2 log n)`` for the candidate set (dominating) plus ``O(n log n)``
+    probes; asymptotically better probe schemes exist (Nicol's method), but
+    candidate search keeps the result exact on floats.
+    """
+    candidates = interval_sums(works)
+    lo, hi = 0, len(candidates) - 1
+    # the total sum is always feasible with one interval
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if probe_feasible(works, p, candidates[mid]) is not None:
+            hi = mid
+        else:
+            lo = mid + 1
+    boundaries = probe_feasible(works, p, candidates[lo])
+    assert boundaries is not None
+    return PartitionResult(bottleneck=candidates[lo], boundaries=boundaries)
+
+
+def greedy_partition(works: Sequence[float], p: int) -> PartitionResult:
+    """Linear heuristic: cut whenever the running sum exceeds ``total/p``.
+
+    Not optimal (baseline only); the bottleneck reported is the achieved
+    one.
+    """
+    n = len(works)
+    prefix = _prefix(works)
+    target = prefix[n] / p
+    boundaries: list[int] = []
+    current = 0.0
+    for i, w in enumerate(works):
+        current += w
+        if current >= target and len(boundaries) < p - 1:
+            boundaries.append(i + 1)
+            current = 0.0
+    if not boundaries or boundaries[-1] != n:
+        boundaries.append(n)
+    start = 0
+    bottleneck = 0.0
+    for end in boundaries:
+        bottleneck = max(bottleneck, prefix[end] - prefix[start])
+        start = end
+    return PartitionResult(bottleneck=bottleneck, boundaries=tuple(boundaries))
+
+
+def heterogeneous_chains_dp(
+    works: Sequence[float], speeds: Sequence[float]
+) -> PartitionResult:
+    """Fixed-order heterogeneous chains: interval ``j`` runs on processor
+    ``j`` of the given order; minimize :math:`\\max_j W_j / s_j`.
+
+    ``O(n^2 p)`` DP.  Empty intervals are allowed (a processor may be
+    skipped), which matters when ``p > n`` or when slow processors sit in
+    unfavourable positions of the order.
+    """
+    n, p = len(works), len(speeds)
+    prefix = _prefix(works)
+    INF = float("inf")
+    # C[j][i]: min bottleneck for first i works on first j processors
+    C = [[INF] * (n + 1) for _ in range(p + 1)]
+    back = [[0] * (n + 1) for _ in range(p + 1)]
+    C[0][0] = 0.0
+    for j in range(1, p + 1):
+        s = speeds[j - 1]
+        if s <= 0:
+            raise ReproError("speeds must be positive")
+        for i in range(n + 1):
+            best, arg = INF, 0
+            for k in range(i + 1):
+                if C[j - 1][k] == INF:
+                    continue
+                cand = max(C[j - 1][k], (prefix[i] - prefix[k]) / s)
+                if cand < best - FLOAT_TOL:
+                    best, arg = cand, k
+            C[j][i] = best
+            back[j][i] = arg
+    # reconstruct (drop empty trailing intervals)
+    boundaries: list[int] = []
+    i = n
+    for j in range(p, 0, -1):
+        k = back[j][i]
+        if i > k:
+            boundaries.append(i)
+        i = k
+    boundaries.reverse()
+    return PartitionResult(bottleneck=C[p][n], boundaries=tuple(boundaries))

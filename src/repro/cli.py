@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Print the paper's Table 1 from the executable registry; with
+    ``--validate``, empirically validate every cell first (slow).
+``solve``
+    Build an instance from flags and solve it (polynomial route when one
+    exists; ``--exact`` falls back to the exponential exact solvers,
+    ``--heuristic`` to the portfolio).
+``scenario``
+    Solve one of the named scenarios shipped with the library.
+``simulate``
+    Solve an instance, then stream data sets through the discrete-event
+    simulator and report measured period/latency.
+
+Examples
+--------
+::
+
+    python -m repro table1
+    python -m repro solve --graph pipeline --works 14,4,2,4 --speeds 1,1,1 \\
+        --data-parallel --objective latency
+    python -m repro solve --graph fork --root-work 2 --works 5,5,5,5 \\
+        --speeds 1,2,4 --objective period
+    python -m repro scenario master-slave-fork --objective period
+    python -m repro simulate --graph pipeline --works 6,2,8 --speeds 2,1 \\
+        --objective period --data-sets 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from . import (
+    ForkApplication,
+    ForkJoinApplication,
+    NPHardError,
+    Objective,
+    PipelineApplication,
+    Platform,
+    ProblemSpec,
+    ReproError,
+    classify,
+    solve,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _floats(text: str) -> list[float]:
+    try:
+        return [float(x) for x in text.split(",") if x.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad number list {text!r}") from exc
+
+
+def _add_instance_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--file", default=None,
+        help="JSON application file (see repro.serialization); overrides "
+             "--graph/--works/--root-work/--join-work",
+    )
+    parser.add_argument(
+        "--graph", choices=("pipeline", "fork", "forkjoin"), default="pipeline"
+    )
+    parser.add_argument(
+        "--works", type=_floats, default=None,
+        help="comma-separated stage works (fork: branch works)",
+    )
+    parser.add_argument("--root-work", type=float, default=1.0,
+                        help="fork/fork-join root work w0")
+    parser.add_argument("--join-work", type=float, default=1.0,
+                        help="fork-join join work")
+    parser.add_argument("--speeds", type=_floats, required=True,
+                        help="comma-separated processor speeds")
+    parser.add_argument("--data-parallel", action="store_true",
+                        help="allow data-parallel stages")
+    parser.add_argument(
+        "--objective", choices=("period", "latency"), default="period"
+    )
+    parser.add_argument("--period-bound", type=float, default=None)
+    parser.add_argument("--latency-bound", type=float, default=None)
+
+
+def _build_spec(args) -> ProblemSpec:
+    if args.file is not None:
+        import json
+
+        from .serialization import application_from_dict
+
+        with open(args.file) as fh:
+            app = application_from_dict(json.load(fh))
+    elif args.works is None:
+        raise ReproError("provide --works or --file")
+    elif args.graph == "pipeline":
+        app = PipelineApplication.from_works(args.works)
+    elif args.graph == "fork":
+        app = ForkApplication.from_works(args.root_work, args.works)
+    else:
+        app = ForkJoinApplication.from_works(
+            args.root_work, args.works, args.join_work
+        )
+    platform = Platform.heterogeneous(args.speeds)
+    return ProblemSpec(app, platform, allow_data_parallel=args.data_parallel)
+
+
+def _objective(args) -> Objective:
+    return Objective.PERIOD if args.objective == "period" else Objective.LATENCY
+
+
+def _solve_spec(spec, args, out) -> object | None:
+    objective = _objective(args)
+    entry = classify(
+        spec, objective,
+        bicriteria=(args.period_bound is not None
+                    or args.latency_bound is not None),
+    )
+    print(f"instance  : {spec.describe()}", file=out)
+    print(f"complexity: {entry.describe()}", file=out)
+    try:
+        solution = solve(
+            spec, objective,
+            period_bound=args.period_bound,
+            latency_bound=args.latency_bound,
+            exact_fallback=getattr(args, "exact", False),
+        )
+    except NPHardError as exc:
+        if getattr(args, "heuristic", False) and args.graph == "pipeline":
+            from .heuristics import pipeline_period_portfolio
+
+            solution = pipeline_period_portfolio(
+                spec.application, spec.platform, random.Random(0)
+            )
+            print("(NP-hard: portfolio heuristic used)", file=out)
+        else:
+            print(f"NP-hard: {exc}", file=out)
+            return None
+    print(f"solution  : {solution.describe()}", file=out)
+    return solution
+
+
+def _cmd_table1(args, out) -> int:
+    if args.validate:
+        from .analysis.table1 import regenerate_table1
+
+        text, validations = regenerate_table1(
+            random.Random(args.seed), trials=args.trials
+        )
+        print(text, file=out)
+        failed = [k for k, v in validations.items() if not v.ok]
+        print(f"\nvalidated cells: {len(validations) - len(failed)}/"
+              f"{len(validations)}", file=out)
+        return 1 if failed else 0
+    from .analysis.table1 import render_table1
+
+    print(render_table1(), file=out)
+    return 0
+
+
+def _cmd_solve(args, out) -> int:
+    solution = _solve_spec(_build_spec(args), args, out)
+    return 0 if solution is not None else 2
+
+
+def _cmd_scenario(args, out) -> int:
+    from .generators import get_scenario
+
+    scenario = get_scenario(args.name)
+    print(f"scenario  : {scenario.name} — {scenario.description}", file=out)
+    spec = ProblemSpec(
+        scenario.application, scenario.platform, scenario.allow_data_parallel
+    )
+    solution = _solve_spec(spec, args, out)
+    return 0 if solution is not None else 2
+
+
+def _cmd_simulate(args, out) -> int:
+    from .simulation import simulate
+
+    spec = _build_spec(args)
+    solution = _solve_spec(spec, args, out)
+    if solution is None:
+        return 2
+    result = simulate(solution.mapping, num_data_sets=args.data_sets)
+    print(f"simulated : {args.data_sets} data sets", file=out)
+    print(f"  measured period : {result.measured_period:.6g} "
+          f"(analytic {solution.period:.6g})", file=out)
+    print(f"  max latency     : {result.max_latency:.6g} "
+          f"(analytic {solution.latency:.6g})", file=out)
+    print(f"  order inversions: {result.order_inversions}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benoit & Robert (2007) workflow-mapping reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="print (and validate) Table 1")
+    p_table.add_argument("--validate", action="store_true")
+    p_table.add_argument("--trials", type=int, default=2)
+    p_table.add_argument("--seed", type=int, default=2007)
+
+    p_solve = sub.add_parser("solve", help="solve one instance")
+    _add_instance_flags(p_solve)
+    p_solve.add_argument("--exact", action="store_true",
+                         help="exponential exact fallback for NP-hard cells")
+    p_solve.add_argument("--heuristic", action="store_true",
+                         help="portfolio heuristic for NP-hard pipelines")
+
+    p_scen = sub.add_parser("scenario", help="solve a named scenario")
+    p_scen.add_argument("name")
+    p_scen.add_argument(
+        "--objective", choices=("period", "latency"), default="period"
+    )
+    p_scen.add_argument("--period-bound", type=float, default=None)
+    p_scen.add_argument("--latency-bound", type=float, default=None)
+    p_scen.add_argument("--exact", action="store_true")
+    p_scen.add_argument("--heuristic", action="store_true")
+
+    p_sim = sub.add_parser("simulate", help="solve then simulate")
+    _add_instance_flags(p_sim)
+    p_sim.add_argument("--exact", action="store_true")
+    p_sim.add_argument("--heuristic", action="store_true")
+    p_sim.add_argument("--data-sets", type=int, default=500)
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "solve": _cmd_solve,
+    "scenario": _cmd_scenario,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

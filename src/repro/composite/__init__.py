@@ -1,0 +1,27 @@
+"""Composite workflows: chains of pipeline / fork / fork-join kernels.
+
+The paper's conclusion proposes building "heuristics based on some of our
+polynomial algorithms to solve more complex instances of the problem, with
+general application graphs structured as combinations of pipeline and fork
+kernels".  This subpackage implements exactly that:
+
+* :class:`~repro.composite.workflow.CompositeWorkflow` — an ordered chain
+  of kernels traversed by every data set (kernel *k*'s output feeds kernel
+  *k+1*), priced like a macro-pipeline: the composite period is the max
+  kernel period, the composite latency the sum of kernel latencies;
+* :func:`~repro.composite.mapper.map_composite` — a two-phase heuristic:
+  processors are allocated to kernels (proportionally to kernel work, then
+  refined by moving processors toward the bottleneck kernel), and each
+  kernel is solved with the matching polynomial algorithm of the paper —
+  or the exact/heuristic fallback when its cell of Table 1 is NP-hard.
+"""
+
+from .mapper import CompositeSolution, KernelPlan, map_composite
+from .workflow import CompositeWorkflow
+
+__all__ = [
+    "CompositeWorkflow",
+    "CompositeSolution",
+    "KernelPlan",
+    "map_composite",
+]

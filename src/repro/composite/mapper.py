@@ -1,0 +1,227 @@
+"""Heuristic mapper for composite workflows.
+
+Two phases, as the paper's conclusion sketches:
+
+1. **allocation** — split the platform's processors among the kernels.
+   Initial split: sorted by speed (descending), kernels receive consecutive
+   blocks sized proportionally to their total work (largest remainder,
+   at least one processor each).  Refinement: steepest descent on the
+   composite period — repeatedly move one processor from the kernel with
+   the most slack to the bottleneck kernel while the period improves;
+2. **per-kernel solving** — each kernel + its processor subset forms one of
+   the paper's problem instances, solved by the matching polynomial
+   algorithm via :func:`repro.algorithms.solve`; NP-hard kernels fall back
+   to the exponential exact solver on tiny instances and to the heuristic
+   portfolio otherwise.
+
+The result carries the per-kernel solutions, so the composite metrics are
+exactly the macro-pipeline formulas of
+:class:`~repro.composite.workflow.CompositeWorkflow`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..algorithms.problem import Objective, ProblemSpec, Solution
+from ..algorithms.registry import NPHardError, classify, solve
+from ..core.application import ForkApplication, PipelineApplication
+from ..core.exceptions import ReproError
+from ..core.platform import Platform
+from ..heuristics.greedy import pipeline_period_portfolio
+from ..heuristics.local_search import improve_mapping
+from ..heuristics.random_baseline import random_fork_mapping
+from .workflow import CompositeWorkflow
+
+__all__ = ["KernelPlan", "CompositeSolution", "map_composite"]
+
+_TINY = 6  # brute-force fallback bound for NP-hard kernels
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """One kernel's sub-instance and its solution."""
+
+    kernel_index: int
+    processors: tuple[int, ...]  # original platform indices
+    solution: Solution
+    route: str  # "poly" | "exact" | "heuristic"
+
+
+@dataclass(frozen=True)
+class CompositeSolution:
+    """Per-kernel plans plus the composite metrics."""
+
+    workflow: CompositeWorkflow
+    platform: Platform
+    plans: tuple[KernelPlan, ...]
+
+    @property
+    def period(self) -> float:
+        return max(plan.solution.period for plan in self.plans)
+
+    @property
+    def latency(self) -> float:
+        return sum(plan.solution.latency for plan in self.plans)
+
+    @property
+    def bottleneck(self) -> KernelPlan:
+        return max(self.plans, key=lambda plan: plan.solution.period)
+
+    def describe(self) -> str:
+        lines = [
+            f"composite period={self.period:.6g} latency={self.latency:.6g}"
+        ]
+        for plan in self.plans:
+            procs = ",".join(f"P{u + 1}" for u in plan.processors)
+            lines.append(
+                f"  kernel {plan.kernel_index} on [{procs}] via {plan.route}: "
+                f"{plan.solution.describe()}"
+            )
+        return "\n".join(lines)
+
+
+def _proportional_sizes(works: tuple[float, ...], p: int) -> list[int]:
+    """Block sizes proportional to kernel works, each >= 1, summing to p."""
+    k = len(works)
+    if p < k:
+        raise ReproError(
+            f"need at least one processor per kernel ({k} kernels, {p} procs)"
+        )
+    total = sum(works)
+    raw = [w / total * p for w in works]
+    sizes = [max(1, int(r)) for r in raw]
+    while sum(sizes) > p:
+        candidates = [i for i in range(k) if sizes[i] > 1]
+        idx = max(candidates, key=lambda i: sizes[i] - raw[i])
+        sizes[idx] -= 1
+    while sum(sizes) < p:
+        idx = min(range(k), key=lambda i: sizes[i] - raw[i])
+        sizes[idx] += 1
+    return sizes
+
+
+def _solve_kernel(
+    kernel,
+    platform: Platform,
+    proc_indices: tuple[int, ...],
+    allow_data_parallel: bool,
+    rng: random.Random,
+) -> tuple[Solution, str]:
+    """Solve one kernel on a sub-platform, remapping processor indices."""
+    speeds = platform.subset_speeds(proc_indices)
+    sub_platform = Platform.heterogeneous(speeds)
+    spec = ProblemSpec(kernel, sub_platform, allow_data_parallel)
+    entry = classify(spec, Objective.PERIOD)
+    if entry.is_polynomial:
+        solution, route = solve(spec, Objective.PERIOD), "poly"
+    else:
+        stage_count = (
+            kernel.n if isinstance(kernel, PipelineApplication) else kernel.n + 1
+        )
+        if stage_count <= _TINY and len(proc_indices) <= _TINY:
+            solution, route = (
+                solve(spec, Objective.PERIOD, exact_fallback=True),
+                "exact",
+            )
+        elif isinstance(kernel, PipelineApplication):
+            solution, route = (
+                pipeline_period_portfolio(kernel, sub_platform, rng),
+                "heuristic",
+            )
+        else:
+            seed = random_fork_mapping(kernel, sub_platform, rng,
+                                       allow_data_parallel)
+            solution, route = (
+                improve_mapping(seed, Objective.PERIOD,
+                                allow_data_parallel=allow_data_parallel),
+                "heuristic",
+            )
+    # remap the sub-platform processor indices back to the original ones
+    from dataclasses import replace
+
+    index_map = dict(enumerate(proc_indices))
+    groups = tuple(
+        replace(
+            group,
+            processors=tuple(sorted(index_map[u] for u in group.processors)),
+        )
+        for group in solution.mapping.groups
+    )
+    remapped = replace(
+        solution.mapping, platform=platform, groups=groups
+    )
+    return (
+        Solution(
+            mapping=remapped, period=solution.period,
+            latency=solution.latency, meta=dict(solution.meta),
+        ),
+        route,
+    )
+
+
+def _allocate_blocks(platform: Platform, sizes: list[int]) -> list[tuple[int, ...]]:
+    """Consecutive speed-descending blocks of the given sizes."""
+    order = [proc.index for proc in platform.sorted_by_speed(descending=True)]
+    blocks, pos = [], 0
+    for size in sizes:
+        blocks.append(tuple(sorted(order[pos:pos + size])))
+        pos += size
+    return blocks
+
+
+def map_composite(
+    workflow: CompositeWorkflow,
+    platform: Platform,
+    allow_data_parallel: bool = False,
+    rng: random.Random | None = None,
+    max_refinements: int = 50,
+) -> CompositeSolution:
+    """Map a composite workflow: allocate, solve kernels, refine.
+
+    Refinement loop: while the composite period improves, take one
+    processor from the kernel whose period has the most slack (its block
+    stays non-empty) and give it to the bottleneck kernel.
+    """
+    rng = rng or random.Random(0)
+    works = workflow.kernel_works
+    sizes = _proportional_sizes(works, platform.p)
+
+    def build(sizes_vector: list[int]) -> CompositeSolution:
+        blocks = _allocate_blocks(platform, sizes_vector)
+        plans = []
+        for idx, (kernel, block) in enumerate(zip(workflow.kernels, blocks)):
+            solution, route = _solve_kernel(
+                kernel, platform, block, allow_data_parallel, rng
+            )
+            plans.append(
+                KernelPlan(
+                    kernel_index=idx, processors=block,
+                    solution=solution, route=route,
+                )
+            )
+        return CompositeSolution(
+            workflow=workflow, platform=platform, plans=tuple(plans)
+        )
+
+    current = build(sizes)
+    for _ in range(max_refinements):
+        bottleneck = max(
+            range(len(sizes)), key=lambda i: current.plans[i].solution.period
+        )
+        donors = [
+            i for i in range(len(sizes)) if sizes[i] > 1 and i != bottleneck
+        ]
+        if not donors:
+            break
+        donor = min(donors, key=lambda i: current.plans[i].solution.period)
+        candidate_sizes = list(sizes)
+        candidate_sizes[donor] -= 1
+        candidate_sizes[bottleneck] += 1
+        candidate = build(candidate_sizes)
+        if candidate.period < current.period - 1e-12:
+            current, sizes = candidate, candidate_sizes
+        else:
+            break
+    return current

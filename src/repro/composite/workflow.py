@@ -1,0 +1,81 @@
+"""Composite workflow model: an ordered chain of workflow kernels.
+
+Each kernel is one of the paper's application graphs (pipeline, fork,
+fork-join).  Consecutive data sets traverse the kernels in order, so the
+chain behaves like a macro-pipeline whose "stages" are whole kernels:
+
+* composite period  = max over kernels of the kernel period (the slowest
+  kernel throttles the stream);
+* composite latency = sum over kernels of the kernel latency (a data set
+  crosses them in sequence; communication between kernels is free, as in
+  the simplified model).
+
+Kernels are mapped on *disjoint* processor subsets — the same discipline
+the paper uses for intervals — which is what makes the per-kernel theorems
+composable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.application import (
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+)
+from ..core.exceptions import InvalidApplicationError
+
+__all__ = ["CompositeWorkflow"]
+
+Kernel = PipelineApplication | ForkApplication | ForkJoinApplication
+
+
+@dataclass(frozen=True)
+class CompositeWorkflow:
+    """An ordered chain of kernels traversed by every data set."""
+
+    kernels: tuple[Kernel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise InvalidApplicationError(
+                "a composite workflow needs at least one kernel"
+            )
+        for kernel in self.kernels:
+            if not isinstance(
+                kernel,
+                (PipelineApplication, ForkApplication, ForkJoinApplication),
+            ):
+                raise InvalidApplicationError(
+                    f"unsupported kernel type {type(kernel).__name__}"
+                )
+
+    @classmethod
+    def of(cls, *kernels: Kernel) -> "CompositeWorkflow":
+        return cls(kernels=tuple(kernels))
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def kernel_works(self) -> tuple[float, ...]:
+        """Total work of each kernel (drives processor allocation)."""
+        return tuple(kernel.total_work for kernel in self.kernels)
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.kernel_works)
+
+    def describe(self) -> str:
+        parts = []
+        for kernel in self.kernels:
+            if isinstance(kernel, ForkJoinApplication):
+                parts.append(f"fork-join({kernel.n})")
+            elif isinstance(kernel, ForkApplication):
+                parts.append(f"fork({kernel.n})")
+            else:
+                parts.append(f"pipeline({kernel.n})")
+        return " >> ".join(parts)

@@ -1,0 +1,314 @@
+"""Application graphs: pipeline, fork and fork-join workflows.
+
+The paper restricts attention to two archetype workflow graphs (Section 3.1):
+
+* an *n*-stage **pipeline** :math:`S_1 \\to S_2 \\to \\dots \\to S_n`
+  (Figure 1), and
+* an *(n+1)*-stage **fork**: a root :math:`S_0` feeding *n* independent
+  stages :math:`S_1 .. S_n` (Figure 2),
+
+plus the **fork-join** extension of Section 6.3 where a final stage
+:math:`S_{n+1}` gathers all branch results.
+
+An application is *homogeneous* when all its (branch) stages have equal work;
+several polynomial results of the paper only hold for homogeneous
+applications, so the classes expose :attr:`is_homogeneous`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from .exceptions import InvalidApplicationError
+from .stage import Stage
+
+__all__ = [
+    "PipelineApplication",
+    "ForkApplication",
+    "ForkJoinApplication",
+]
+
+_REL_TOL = 1e-12
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def _build_stages(
+    works: Sequence[float],
+    data_sizes: Sequence[float] | None,
+    first_index: int,
+    dp_overheads: Sequence[float] | None = None,
+) -> tuple[Stage, ...]:
+    """Build consecutive stages from works and the chain of data sizes.
+
+    ``data_sizes`` is the paper's :math:`\\delta` vector: ``data_sizes[k]`` is
+    the size of the data flowing *into* stage ``k`` (0-based within
+    ``works``), and ``data_sizes[len(works)]`` is the final output size.  If
+    ``None``, all sizes default to zero (the simplified model).
+    ``dp_overheads`` are the per-stage Amdahl overheads :math:`f_k`
+    (Section 3.3 extension; default zero).
+    """
+    n = len(works)
+    if data_sizes is None:
+        data_sizes = [0.0] * (n + 1)
+    if len(data_sizes) != n + 1:
+        raise InvalidApplicationError(
+            f"need {n + 1} data sizes for {n} stages, got {len(data_sizes)}"
+        )
+    if dp_overheads is None:
+        dp_overheads = [0.0] * n
+    if len(dp_overheads) != n:
+        raise InvalidApplicationError(
+            f"need {n} dp_overheads for {n} stages, got {len(dp_overheads)}"
+        )
+    return tuple(
+        Stage(
+            index=first_index + k,
+            work=float(works[k]),
+            input_size=float(data_sizes[k]),
+            output_size=float(data_sizes[k + 1]),
+            dp_overhead=float(dp_overheads[k]),
+        )
+        for k in range(n)
+    )
+
+
+@dataclass(frozen=True)
+class PipelineApplication:
+    """A linear pipeline :math:`S_1 \\to \\dots \\to S_n` (paper Figure 1).
+
+    Stages are stored 0-based internally (``stages[0]`` is the paper's
+    :math:`S_1`) but keep their 1-based paper index in :attr:`Stage.index`.
+    """
+
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise InvalidApplicationError("a pipeline needs at least one stage")
+        for k, stage in enumerate(self.stages):
+            if stage.index != k + 1:
+                raise InvalidApplicationError(
+                    f"pipeline stages must be numbered 1..n, got {stage.index} "
+                    f"at position {k}"
+                )
+        for left, right in zip(self.stages, self.stages[1:]):
+            if not _close(left.output_size, right.input_size):
+                raise InvalidApplicationError(
+                    f"data size mismatch between {left.label} (out "
+                    f"{left.output_size}) and {right.label} (in {right.input_size})"
+                )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_works(
+        cls,
+        works: Sequence[float],
+        data_sizes: Sequence[float] | None = None,
+        dp_overheads: Sequence[float] | None = None,
+    ) -> "PipelineApplication":
+        """Build a pipeline from per-stage works (plus optional data sizes
+        and Amdahl data-parallelization overheads)."""
+        return cls(
+            stages=_build_stages(
+                works, data_sizes, first_index=1, dp_overheads=dp_overheads
+            )
+        )
+
+    @classmethod
+    def homogeneous(cls, n: int, work: float = 1.0) -> "PipelineApplication":
+        """A *homogeneous pipeline*: ``n`` identical stages of given work."""
+        if n < 1:
+            raise InvalidApplicationError("n must be >= 1")
+        return cls.from_works([work] * n)
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of stages."""
+        return len(self.stages)
+
+    @property
+    def works(self) -> tuple[float, ...]:
+        """Per-stage works :math:`(w_1, ..., w_n)`."""
+        return tuple(stage.work for stage in self.stages)
+
+    @property
+    def total_work(self) -> float:
+        """Total work :math:`\\sum_k w_k` of one data set."""
+        return sum(self.works)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every stage has the same work (paper: *hom. pipeline*)."""
+        first = self.stages[0].work
+        return all(_close(stage.work, first) for stage in self.stages)
+
+    def interval_work(self, start: int, end: int) -> float:
+        """Work of the interval of 0-based stages ``start..end`` inclusive."""
+        if not 0 <= start <= end < self.n:
+            raise IndexError(f"bad interval [{start}, {end}] for n={self.n}")
+        return sum(stage.work for stage in self.stages[start : end + 1])
+
+    def __iter__(self) -> Iterable[Stage]:
+        return iter(self.stages)
+
+
+@dataclass(frozen=True)
+class ForkApplication:
+    """A fork graph: root :math:`S_0` plus independent :math:`S_1..S_n`.
+
+    Consecutive data sets traverse :math:`S_0` first; its output feeds all
+    branch stages, which may run simultaneously (paper Figure 2).
+    """
+
+    root: Stage
+    branches: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        if self.root.index != 0:
+            raise InvalidApplicationError("fork root must have index 0")
+        if not self.branches:
+            raise InvalidApplicationError("a fork needs at least one branch stage")
+        for k, stage in enumerate(self.branches):
+            if stage.index != k + 1:
+                raise InvalidApplicationError(
+                    f"fork branches must be numbered 1..n, got {stage.index}"
+                )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_works(
+        cls,
+        root_work: float,
+        branch_works: Sequence[float],
+        root_output_size: float = 0.0,
+    ) -> "ForkApplication":
+        """Build a fork from the root work and the branch works."""
+        root = Stage(index=0, work=float(root_work), output_size=root_output_size)
+        branches = tuple(
+            Stage(index=k + 1, work=float(w), input_size=root_output_size)
+            for k, w in enumerate(branch_works)
+        )
+        return cls(root=root, branches=branches)
+
+    @classmethod
+    def homogeneous(
+        cls, n: int, root_work: float = 1.0, branch_work: float = 1.0
+    ) -> "ForkApplication":
+        """A *homogeneous fork*: root work :math:`w_0`, n equal branches."""
+        if n < 1:
+            raise InvalidApplicationError("n must be >= 1")
+        return cls.from_works(root_work, [branch_work] * n)
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of branch stages (the graph has ``n + 1`` stages total)."""
+        return len(self.branches)
+
+    @property
+    def all_stages(self) -> tuple[Stage, ...]:
+        """All stages, root first: :math:`(S_0, S_1, ..., S_n)`."""
+        return (self.root, *self.branches)
+
+    @property
+    def branch_works(self) -> tuple[float, ...]:
+        return tuple(stage.work for stage in self.branches)
+
+    @property
+    def total_work(self) -> float:
+        """Total work of one data set: :math:`w_0 + \\sum_{k \\geq 1} w_k`."""
+        return self.root.work + sum(self.branch_works)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every *branch* has the same work (paper: *hom. fork*).
+
+        The paper's homogeneous fork allows the root weight :math:`w_0` to
+        differ from the common branch weight :math:`w`.
+        """
+        first = self.branches[0].work
+        return all(_close(stage.work, first) for stage in self.branches)
+
+    def stage(self, index: int) -> Stage:
+        """Return stage by paper index (0 = root, 1..n = branches)."""
+        if index == 0:
+            return self.root
+        if 1 <= index <= self.n:
+            return self.branches[index - 1]
+        raise IndexError(f"no stage {index} in fork with n={self.n}")
+
+
+@dataclass(frozen=True)
+class ForkJoinApplication(ForkApplication):
+    """Fork-join graph of Section 6.3: a final :math:`S_{n+1}` joins results.
+
+    Every complexity result of the fork carries over; the polynomial
+    algorithms are extended with extra loops over the join group (see
+    :mod:`repro.algorithms.forkjoin`).
+    """
+
+    join: Stage = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.join is None:
+            raise InvalidApplicationError("fork-join needs a join stage")
+        if self.join.index != self.n + 1:
+            raise InvalidApplicationError(
+                f"join stage must have index n+1 = {self.n + 1}, "
+                f"got {self.join.index}"
+            )
+
+    @classmethod
+    def from_works(  # type: ignore[override]
+        cls,
+        root_work: float,
+        branch_works: Sequence[float],
+        join_work: float,
+        root_output_size: float = 0.0,
+    ) -> "ForkJoinApplication":
+        root = Stage(index=0, work=float(root_work), output_size=root_output_size)
+        branches = tuple(
+            Stage(index=k + 1, work=float(w), input_size=root_output_size)
+            for k, w in enumerate(branch_works)
+        )
+        join = Stage(index=len(branches) + 1, work=float(join_work))
+        return cls(root=root, branches=branches, join=join)
+
+    @classmethod
+    def homogeneous(  # type: ignore[override]
+        cls,
+        n: int,
+        root_work: float = 1.0,
+        branch_work: float = 1.0,
+        join_work: float = 1.0,
+    ) -> "ForkJoinApplication":
+        if n < 1:
+            raise InvalidApplicationError("n must be >= 1")
+        return cls.from_works(root_work, [branch_work] * n, join_work)
+
+    @property
+    def all_stages(self) -> tuple[Stage, ...]:
+        return (self.root, *self.branches, self.join)
+
+    @property
+    def total_work(self) -> float:
+        return self.root.work + sum(self.branch_works) + self.join.work
+
+    def stage(self, index: int) -> Stage:
+        if index == self.n + 1:
+            return self.join
+        return super().stage(index)

@@ -1,0 +1,141 @@
+"""General cost model with communication (Section 3.3, Equations 1-2).
+
+The paper *defines* — but deliberately does not solve — a model where
+interval ``I_j = [d_j, e_j]`` of a pipeline is mapped on a single processor
+``alloc(j)`` and pays linear communication costs on its input and output:
+
+.. math::
+   T_{period} = \\max_{1 \\leq j \\leq m} \\Big\\{
+       \\frac{\\delta_{d_j - 1}}{b_{alloc(j-1), alloc(j)}}
+       + \\frac{\\sum_{i=d_j}^{e_j} w_i}{s_{alloc(j)}}
+       + \\frac{\\delta_{e_j}}{b_{alloc(j), alloc(j+1)}} \\Big\\}   \\tag{1}
+
+.. math::
+   T_{latency} = \\sum_{1 \\leq j \\leq m} \\Big\\{ \\dots \\Big\\}   \\tag{2}
+
+with ``alloc(0) = in`` and ``alloc(m+1) = out``.  Summing the three terms per
+processor corresponds to the *strict one-port* model (receive, compute and
+send serialized); we also provide a fully-overlapped variant (max of the
+three terms) which models the *bounded multi-port* model with overlap, the
+other extreme discussed in Section 3.2.
+
+Communication between intervals mapped (unusually) on the same processor is
+free, as is communication of zero-size data.
+
+This module exists because the paper argues the simplified model is the
+tractable core of these formulas; providing both lets the examples quantify
+what the simplification ignores.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .application import PipelineApplication
+from .exceptions import InvalidMappingError, InvalidPlatformError
+from .platform import IN, OUT, Platform
+
+__all__ = [
+    "CommunicationModel",
+    "OnePortInterval",
+    "interval_costs",
+    "pipeline_period_with_comm",
+    "pipeline_latency_with_comm",
+]
+
+
+class CommunicationModel(enum.Enum):
+    """How a processor's receive / compute / send phases combine."""
+
+    #: strict one-port: the three phases are serialized (sum).
+    ONE_PORT_STRICT = "one-port-strict"
+    #: fully overlapped multi-port: phases overlap (max).
+    MULTI_PORT_OVERLAP = "multi-port-overlap"
+
+
+@dataclass(frozen=True)
+class OnePortInterval:
+    """One interval of a communication-aware pipeline mapping.
+
+    ``start``/``end`` are 1-based paper stage indices (inclusive);
+    ``processor`` is a 0-based platform index.
+    """
+
+    start: int
+    end: int
+    processor: int
+
+
+def _transfer_time(
+    platform: Platform, size: float, src: int, dst: int
+) -> float:
+    if size == 0.0 or src == dst:
+        return 0.0
+    if platform.interconnect is None:
+        raise InvalidPlatformError(
+            "this platform has no interconnect description; build it with a "
+            "bandwidth (e.g. Platform.homogeneous(p, bandwidth=...)) to use "
+            "the communication-aware model"
+        )
+    return size / platform.interconnect.link(src, dst)
+
+
+def interval_costs(
+    application: PipelineApplication,
+    platform: Platform,
+    intervals: Sequence[OnePortInterval],
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> list[float]:
+    """Per-interval cycle times (the braces of Eq. 1-2), in interval order."""
+    if not intervals:
+        raise InvalidMappingError("need at least one interval")
+    expected = 1
+    for itv in intervals:
+        if itv.start != expected or itv.end < itv.start:
+            raise InvalidMappingError(
+                f"intervals must partition 1..n; got [{itv.start},{itv.end}] "
+                f"expected start {expected}"
+            )
+        expected = itv.end + 1
+    if expected != application.n + 1:
+        raise InvalidMappingError("intervals do not cover all stages")
+
+    costs: list[float] = []
+    for j, itv in enumerate(intervals):
+        prev_proc = IN if j == 0 else intervals[j - 1].processor
+        next_proc = OUT if j == len(intervals) - 1 else intervals[j + 1].processor
+        in_size = application.stages[itv.start - 1].input_size
+        out_size = application.stages[itv.end - 1].output_size
+        recv = _transfer_time(platform, in_size, prev_proc, itv.processor)
+        send = _transfer_time(platform, out_size, itv.processor, next_proc)
+        compute = (
+            application.interval_work(itv.start - 1, itv.end - 1)
+            / platform.processors[itv.processor].speed
+        )
+        if model is CommunicationModel.ONE_PORT_STRICT:
+            costs.append(recv + compute + send)
+        else:
+            costs.append(max(recv, compute, send))
+    return costs
+
+
+def pipeline_period_with_comm(
+    application: PipelineApplication,
+    platform: Platform,
+    intervals: Sequence[OnePortInterval],
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> float:
+    """Equation (1): max per-interval cycle time."""
+    return max(interval_costs(application, platform, intervals, model))
+
+
+def pipeline_latency_with_comm(
+    application: PipelineApplication,
+    platform: Platform,
+    intervals: Sequence[OnePortInterval],
+    model: CommunicationModel = CommunicationModel.ONE_PORT_STRICT,
+) -> float:
+    """Equation (2): sum of per-interval cycle times."""
+    return sum(interval_costs(application, platform, intervals, model))

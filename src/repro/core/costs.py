@@ -1,0 +1,256 @@
+"""Simplified-model cost evaluation (Section 3.4 of the paper).
+
+All communication costs are neglected.  For a group of total work :math:`W`
+mapped on processors of speeds :math:`s_1..s_k`:
+
+* **replicated**: period :math:`W / (k \\cdot \\min_u s_u)`, delay
+  :math:`t_{max} = W / \\min_u s_u` (round-robin over data sets, bounded by
+  the slowest processor);
+* **data-parallel**: period = delay = :math:`F + W / \\sum_u s_u`, where
+  :math:`F` is the group's fixed sequential overhead — the Amdahl's-law
+  term of Section 3.3 (:attr:`repro.core.stage.Stage.dp_overhead`, summed
+  over member stages).  The paper's simplified model, and therefore every
+  theorem, takes :math:`F = 0`; non-zero overheads are a documented
+  extension supported by the evaluator, the brute-force solvers and the
+  simulator (the per-theorem polynomial solvers require :math:`F = 0`).
+
+Graph-level metrics:
+
+* **pipeline**: :math:`T_{period} = \\max_j \\mathrm{period}_j`,
+  :math:`T_{latency} = \\sum_j \\mathrm{delay}_j`;
+* **fork** (flexible model): non-root groups start as soon as :math:`S_0`
+  completes, i.e.
+
+  .. math::
+     T_{latency} = \\max\\Big(t_{max}(1),\\;
+         t_0 + \\max_{r \\geq 2} t_{max}(r)\\Big)
+
+  where :math:`t_0` is the root-stage completion time — :math:`w_0 / \\min_u
+  s_u` for a replicated root group, :math:`f_0 + w_0 / \\sum_u s_u` for a
+  data-parallel one (which then holds :math:`S_0` alone);
+* **fork-join** (Section 6.3, our flexible model documented in DESIGN.md):
+  the join group first runs its own branch stages, the join work starts once
+  *every* group finished its branch stages, and the period simply adds the
+  join work to its group's load.
+
+These functions are the single source of truth: every solver, the brute
+force reference and the discrete-event simulator are validated against them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .application import ForkApplication, ForkJoinApplication
+from .mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+
+__all__ = [
+    "FLOAT_TOL",
+    "group_period",
+    "group_delay",
+    "pipeline_period",
+    "pipeline_latency",
+    "fork_period",
+    "fork_latency",
+    "forkjoin_period",
+    "forkjoin_latency",
+    "evaluate",
+]
+
+#: Comparison tolerance used throughout the solvers (floating-point costs).
+FLOAT_TOL = 1e-9
+
+
+def group_period(
+    work: float,
+    speeds: Sequence[float],
+    kind: AssignmentKind,
+    dp_overhead: float = 0.0,
+) -> float:
+    """Period of one group: minimum interval between consecutive data sets."""
+    if kind is AssignmentKind.DATA_PARALLEL:
+        return dp_overhead + work / sum(speeds)
+    return work / (len(speeds) * min(speeds))
+
+
+def group_delay(
+    work: float,
+    speeds: Sequence[float],
+    kind: AssignmentKind,
+    dp_overhead: float = 0.0,
+) -> float:
+    """Traversal delay of one group for a single data set.
+
+    For a replicated group this is the time of the slowest processor
+    (:math:`t_{max}` in the paper); for a data-parallel group it equals the
+    period.
+    """
+    if kind is AssignmentKind.DATA_PARALLEL:
+        return dp_overhead + work / sum(speeds)
+    return work / min(speeds)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _stages_of(app):
+    return app.all_stages if isinstance(app, ForkApplication) else app.stages
+
+
+def _works_table(mapping: PipelineMapping | ForkMapping) -> dict[int, float]:
+    return {stage.index: stage.work for stage in _stages_of(mapping.application)}
+
+
+def _overheads_table(mapping) -> dict[int, float]:
+    return {
+        stage.index: stage.dp_overhead
+        for stage in _stages_of(mapping.application)
+    }
+
+
+def _group_overhead(mapping, group: GroupAssignment) -> float:
+    """Fixed sequential overhead paid by a data-parallel group (the f_i of
+    its member stages, each paid once per data set)."""
+    if group.kind is not AssignmentKind.DATA_PARALLEL:
+        return 0.0
+    table = _overheads_table(mapping)
+    return sum(table[i] for i in group.stages)
+
+
+def _group_speeds(mapping, group: GroupAssignment) -> tuple[float, ...]:
+    return mapping.platform.subset_speeds(group.processors)
+
+
+def _group_metrics(mapping, group: GroupAssignment) -> tuple[float, float]:
+    """(period, delay) of a group within a mapping."""
+    work = group.work(_works_table(mapping))
+    speeds = _group_speeds(mapping, group)
+    overhead = _group_overhead(mapping, group)
+    return (
+        group_period(work, speeds, group.kind, overhead),
+        group_delay(work, speeds, group.kind, overhead),
+    )
+
+
+# ----------------------------------------------------------------------
+# pipeline
+# ----------------------------------------------------------------------
+def pipeline_period(mapping: PipelineMapping) -> float:
+    """:math:`T_{period}` of a pipeline mapping (max group period)."""
+    return max(_group_metrics(mapping, g)[0] for g in mapping.groups)
+
+
+def pipeline_latency(mapping: PipelineMapping) -> float:
+    """:math:`T_{latency}` of a pipeline mapping (sum of group delays)."""
+    return sum(_group_metrics(mapping, g)[1] for g in mapping.groups)
+
+
+# ----------------------------------------------------------------------
+# fork
+# ----------------------------------------------------------------------
+def fork_period(mapping: ForkMapping) -> float:
+    """:math:`T_{period}` of a fork mapping (max group period)."""
+    return max(_group_metrics(mapping, g)[0] for g in mapping.groups)
+
+
+def _root_completion_time(mapping: ForkMapping) -> float:
+    """Time :math:`t_0` at which the root stage completes."""
+    root = mapping.root_group
+    speeds = _group_speeds(mapping, root)
+    w0 = mapping.application.root.work
+    if root.kind is AssignmentKind.DATA_PARALLEL:
+        # a data-parallel root group holds S0 alone (validation rule)
+        return mapping.application.root.dp_overhead + w0 / sum(speeds)
+    return w0 / min(speeds)
+
+
+def fork_latency(mapping: ForkMapping) -> float:
+    """:math:`T_{latency}` of a fork mapping under the flexible model."""
+    root = mapping.root_group
+    t_root_group = _group_metrics(mapping, root)[1]
+    others = mapping.non_root_groups
+    if not others:
+        return t_root_group
+    t0 = _root_completion_time(mapping)
+    t_rest = max(_group_metrics(mapping, g)[1] for g in others)
+    return max(t_root_group, t0 + t_rest)
+
+
+# ----------------------------------------------------------------------
+# fork-join (Section 6.3)
+# ----------------------------------------------------------------------
+def forkjoin_period(mapping: ForkJoinMapping) -> float:
+    """:math:`T_{period}` of a fork-join mapping (max group period).
+
+    The join work counts toward its group's load exactly like any stage.
+    """
+    return max(_group_metrics(mapping, g)[0] for g in mapping.groups)
+
+
+def _phase_time(
+    work: float,
+    speeds: Sequence[float],
+    kind: AssignmentKind,
+    dp_overhead: float,
+) -> float:
+    """Time for a group to process ``work`` of one data set (one phase)."""
+    if kind is AssignmentKind.DATA_PARALLEL:
+        return (dp_overhead + work / sum(speeds)) if work > 0 else 0.0
+    return work / min(speeds)
+
+
+def forkjoin_latency(mapping: ForkJoinMapping) -> float:
+    """:math:`T_{latency}` of a fork-join mapping (flexible model).
+
+    Timeline for one data set:
+
+    1. the root group processes :math:`S_0`, finishing at :math:`t_0`;
+    2. every group processes its branch stages: the root group right after
+       :math:`S_0` (no restart), the others starting at :math:`t_0`;
+    3. once **all** branch stages are complete, the join group processes
+       :math:`S_{n+1}` at its effective speed.
+    """
+    app: ForkJoinApplication = mapping.application
+    works = {stage.index: stage.work for stage in app.all_stages}
+    overheads = {stage.index: stage.dp_overhead for stage in app.all_stages}
+    join_index = app.n + 1
+
+    root = mapping.root_group
+    join = mapping.join_group
+    t0 = _root_completion_time(mapping)
+
+    branches_done = 0.0
+    for group in mapping.groups:
+        speeds = _group_speeds(mapping, group)
+        branch_stages = [i for i in group.stages if i != 0 and i != join_index]
+        branch_work = sum(works[i] for i in branch_stages)
+        overhead = sum(overheads[i] for i in branch_stages)
+        phase = _phase_time(branch_work, speeds, group.kind, overhead)
+        done = t0 + phase if (group is root or branch_work > 0) else t0
+        branches_done = max(branches_done, done)
+
+    join_speeds = _group_speeds(mapping, join)
+    join_time = _phase_time(
+        works[join_index], join_speeds, join.kind, overheads[join_index]
+    )
+    return branches_done + join_time
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def evaluate(mapping) -> tuple[float, float]:
+    """Return ``(period, latency)`` of any mapping type."""
+    if isinstance(mapping, ForkJoinMapping):
+        return forkjoin_period(mapping), forkjoin_latency(mapping)
+    if isinstance(mapping, ForkMapping):
+        return fork_period(mapping), fork_latency(mapping)
+    if isinstance(mapping, PipelineMapping):
+        return pipeline_period(mapping), pipeline_latency(mapping)
+    raise TypeError(f"cannot evaluate {type(mapping).__name__}")

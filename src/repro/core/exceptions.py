@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+distinguishing model errors (bad instances) from mapping errors (invalid
+assignments) and solver errors (infeasible thresholds, unsupported variants).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidApplicationError",
+    "InvalidPlatformError",
+    "InvalidMappingError",
+    "InfeasibleProblemError",
+    "UnsupportedVariantError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class InvalidApplicationError(ReproError):
+    """An application graph violates the model (e.g. non-positive work)."""
+
+
+class InvalidPlatformError(ReproError):
+    """A platform description violates the model (e.g. non-positive speed)."""
+
+
+class InvalidMappingError(ReproError):
+    """A mapping violates the rules of Section 3.4 of the paper.
+
+    Examples: overlapping processor sets, a data-parallelized interval of
+    length >= 2 in a pipeline, or a fork root stage data-parallelized together
+    with independent stages.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """No mapping satisfies the requested threshold(s)."""
+
+
+class UnsupportedVariantError(ReproError):
+    """The requested solver does not handle this problem variant.
+
+    Raised e.g. when a polynomial algorithm that requires a homogeneous
+    application is invoked on a heterogeneous one.  The caller should fall
+    back to an exact solver or a heuristic (the variant is NP-hard).
+    """

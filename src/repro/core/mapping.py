@@ -1,0 +1,235 @@
+"""Mapping representation: assigning stage groups to processor sets.
+
+A mapping partitions the stages of an application into *groups* and assigns
+each group a non-empty set of processors with an execution *kind*:
+
+* :attr:`AssignmentKind.REPLICATED` — the group's interval of stages is
+  replicated over its processors, which execute consecutive data sets in
+  round-robin fashion (a single processor is the ``k = 1`` special case);
+* :attr:`AssignmentKind.DATA_PARALLEL` — every data set's computation is
+  shared among the processors proportionally to their speeds.
+
+For pipelines, groups must be intervals of consecutive stages and only
+length-1 intervals may be data-parallel.  For forks, groups are arbitrary
+subsets of stages, exactly one contains the root, and a data-parallel group
+may not mix the root with branch stages (Section 3.4).  These rules are
+checked by :mod:`repro.core.validation`, not here, so that solvers can build
+partial structures freely.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .application import ForkApplication, ForkJoinApplication, PipelineApplication
+from .exceptions import InvalidMappingError
+from .platform import Platform
+
+__all__ = [
+    "AssignmentKind",
+    "GroupAssignment",
+    "PipelineMapping",
+    "ForkMapping",
+    "ForkJoinMapping",
+]
+
+
+class AssignmentKind(enum.Enum):
+    """Execution regime of a processor group (Section 3.4)."""
+
+    REPLICATED = "replicated"
+    DATA_PARALLEL = "data-parallel"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GroupAssignment:
+    """One group: a set of stages executed by a set of processors.
+
+    ``stages`` holds *paper* stage indices (pipeline: 1-based; fork: 0 is the
+    root) sorted increasingly.  ``processors`` holds 0-based platform indices
+    sorted increasingly.  Both are tuples so the assignment is hashable.
+    """
+
+    stages: tuple[int, ...]
+    processors: tuple[int, ...]
+    kind: AssignmentKind = AssignmentKind.REPLICATED
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise InvalidMappingError("a group must contain at least one stage")
+        if not self.processors:
+            raise InvalidMappingError("a group must use at least one processor")
+        if tuple(sorted(self.stages)) != self.stages:
+            object.__setattr__(self, "stages", tuple(sorted(self.stages)))
+        if tuple(sorted(self.processors)) != self.processors:
+            object.__setattr__(self, "processors", tuple(sorted(self.processors)))
+        if len(set(self.stages)) != len(self.stages):
+            raise InvalidMappingError(f"duplicate stages in group: {self.stages}")
+        if len(set(self.processors)) != len(self.processors):
+            raise InvalidMappingError(
+                f"duplicate processors in group: {self.processors}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of processors in the group."""
+        return len(self.processors)
+
+    @property
+    def is_interval(self) -> bool:
+        """True when the stages form a contiguous index interval."""
+        return self.stages[-1] - self.stages[0] + 1 == len(self.stages)
+
+    def work(self, works_by_index: dict[int, float]) -> float:
+        """Total work of the group given a stage-index -> work table."""
+        return sum(works_by_index[i] for i in self.stages)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        stages = ",".join(f"S{i}" for i in self.stages)
+        procs = ",".join(f"P{u + 1}" for u in self.processors)
+        return f"[{stages}] -> [{procs}] ({self.kind.value})"
+
+
+def _check_disjoint_processors(groups: Sequence[GroupAssignment]) -> None:
+    seen: set[int] = set()
+    for group in groups:
+        overlap = seen.intersection(group.processors)
+        if overlap:
+            raise InvalidMappingError(
+                f"processors {sorted(overlap)} assigned to several groups"
+            )
+        seen.update(group.processors)
+
+
+@dataclass(frozen=True)
+class PipelineMapping:
+    """An interval mapping of a pipeline (Sections 3.3-3.4).
+
+    ``groups`` are ordered by stage interval; together they must partition
+    ``1..n``.  Structural coherence is checked here; the *model* rules (which
+    kinds are allowed where) live in :mod:`repro.core.validation` so invalid
+    hypothetical mappings can still be constructed and priced by tests.
+    """
+
+    application: PipelineApplication
+    platform: Platform
+    groups: tuple[GroupAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise InvalidMappingError("mapping needs at least one group")
+        expected = 1
+        for group in self.groups:
+            if not group.is_interval or group.stages[0] != expected:
+                raise InvalidMappingError(
+                    "pipeline groups must form consecutive intervals covering "
+                    f"1..n; got group starting at {group.stages[0]}, expected "
+                    f"{expected}"
+                )
+            expected = group.stages[-1] + 1
+        if expected != self.application.n + 1:
+            raise InvalidMappingError(
+                f"groups cover 1..{expected - 1} but the pipeline has "
+                f"{self.application.n} stages"
+            )
+        _check_disjoint_processors(self.groups)
+        for group in self.groups:
+            for u in group.processors:
+                if not 0 <= u < self.platform.p:
+                    raise InvalidMappingError(f"no processor {u} on this platform")
+
+    @property
+    def used_processors(self) -> tuple[int, ...]:
+        return tuple(sorted(u for g in self.groups for u in g.processors))
+
+    def describe(self) -> str:
+        return " | ".join(group.describe() for group in self.groups)
+
+
+@dataclass(frozen=True)
+class ForkMapping:
+    """A mapping of a fork graph: a partition of ``{0..n}`` into groups.
+
+    The paper keeps the word *interval* for these subsets; they need not be
+    contiguous.  Exactly one group contains the root stage 0.
+    """
+
+    application: ForkApplication
+    platform: Platform
+    groups: tuple[GroupAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise InvalidMappingError("mapping needs at least one group")
+        n = self.application.n
+        covered: set[int] = set()
+        for group in self.groups:
+            for i in group.stages:
+                if not 0 <= i <= self._max_stage_index():
+                    raise InvalidMappingError(f"no stage {i} in this application")
+                if i in covered:
+                    raise InvalidMappingError(f"stage {i} mapped twice")
+                covered.add(i)
+        expected = set(range(self._max_stage_index() + 1))
+        if covered != expected:
+            raise InvalidMappingError(
+                f"groups must partition all stages; missing {sorted(expected - covered)}"
+            )
+        _check_disjoint_processors(self.groups)
+        for group in self.groups:
+            for u in group.processors:
+                if not 0 <= u < self.platform.p:
+                    raise InvalidMappingError(f"no processor {u} on this platform")
+        del n
+
+    def _max_stage_index(self) -> int:
+        return self.application.n
+
+    @property
+    def root_group(self) -> GroupAssignment:
+        """The group holding :math:`S_0`."""
+        for group in self.groups:
+            if 0 in group.stages:
+                return group
+        raise InvalidMappingError("no group contains the root stage")
+
+    @property
+    def non_root_groups(self) -> tuple[GroupAssignment, ...]:
+        return tuple(g for g in self.groups if 0 not in g.stages)
+
+    @property
+    def used_processors(self) -> tuple[int, ...]:
+        return tuple(sorted(u for g in self.groups for u in g.processors))
+
+    def describe(self) -> str:
+        return " | ".join(group.describe() for group in self.groups)
+
+
+@dataclass(frozen=True)
+class ForkJoinMapping(ForkMapping):
+    """A mapping of a fork-join graph (Section 6.3).
+
+    Stage ``n + 1`` is the join; it may share a group with the root, with
+    branch stages, or sit alone.
+    """
+
+    application: ForkJoinApplication
+
+    def _max_stage_index(self) -> int:
+        return self.application.n + 1
+
+    @property
+    def join_group(self) -> GroupAssignment:
+        """The group holding :math:`S_{n+1}`."""
+        join_index = self.application.n + 1
+        for group in self.groups:
+            if join_index in group.stages:
+                return group
+        raise InvalidMappingError("no group contains the join stage")

@@ -1,0 +1,79 @@
+"""Workflow stages.
+
+A stage is the atomic unit of the application graphs of the paper: it
+performs ``work`` floating-point operations per data set, receives an input
+of size ``input_size`` and emits an output of size ``output_size`` (the
+:math:`\\delta` values of Section 3.1).  Data sizes are only used by the
+communication-aware cost model (:mod:`repro.core.comm_costs`); the simplified
+model of Section 3.4 ignores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exceptions import InvalidApplicationError
+
+__all__ = ["Stage"]
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One stage :math:`S_k` of a workflow graph.
+
+    Parameters
+    ----------
+    index:
+        Position of the stage in its graph.  For pipelines stages are
+        numbered ``1..n`` as in the paper; for forks the root is ``0``.
+    work:
+        Number of computations :math:`w_k` (flops) required per data set.
+        Must be positive: the paper's stages always perform work, and a
+        zero-work stage would make replication groups degenerate.
+    input_size:
+        Size :math:`\\delta_{k-1}` of the input received from the previous
+        stage (or the outside world).  Ignored by the simplified model.
+    output_size:
+        Size :math:`\\delta_k` of the output.  Ignored by the simplified
+        model.
+    dp_overhead:
+        Fixed sequential overhead :math:`f_k` paid *only* when the stage is
+        data-parallelized (Section 3.3: "we may assume that a fraction of
+        the computations is inherently sequential ... introduce a fixed
+        overhead f_i"; the Amdahl's-law term).  The paper's simplified
+        model and all its theorems assume ``dp_overhead == 0``; the cost
+        evaluator, brute-force solvers and simulator support non-zero
+        overheads as a documented extension.
+    name:
+        Optional human-readable label used in reports and traces.
+    """
+
+    index: int
+    work: float
+    input_size: float = 0.0
+    output_size: float = 0.0
+    dp_overhead: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise InvalidApplicationError(
+                f"stage {self.index}: work must be positive, got {self.work!r}"
+            )
+        if self.input_size < 0 or self.output_size < 0:
+            raise InvalidApplicationError(
+                f"stage {self.index}: data sizes must be non-negative"
+            )
+        if self.dp_overhead < 0:
+            raise InvalidApplicationError(
+                f"stage {self.index}: dp_overhead must be non-negative"
+            )
+
+    @property
+    def label(self) -> str:
+        """Display name: the explicit ``name`` if given, else ``S<index>``."""
+        return self.name or f"S{self.index}"
+
+    def time_on(self, speed: float) -> float:
+        """Time for a processor of the given speed to execute this stage."""
+        return self.work / speed

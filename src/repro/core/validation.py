@@ -1,0 +1,118 @@
+"""Model-rule validation for mappings (Section 3.4 constraints).
+
+The :mod:`repro.core.mapping` classes check *structural* coherence (groups
+partition the stages, processors are disjoint).  This module checks the
+*model* rules that define which mappings the paper's optimization problems
+admit:
+
+* pipeline: only intervals of length 1 may be data-parallelized ("we do not
+  allow stage intervals of length at least 2 to be data-parallelized");
+* fork: the root :math:`S_0` may not be data-parallelized together with
+  other stages (but ``{S_0}`` alone may be); any set of independent branch
+  stages may share a data-parallel group;
+* fork-join: the join :math:`S_{n+1}` obeys the same rule as the root —
+  it may only be data-parallelized alone;
+* when the problem forbids data-parallelism altogether, no group may be
+  data-parallel.
+
+Each check raises :class:`~repro.core.exceptions.InvalidMappingError` with a
+message naming the violated rule, or returns silently.
+"""
+
+from __future__ import annotations
+
+from .exceptions import InvalidMappingError
+from .mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    PipelineMapping,
+)
+
+__all__ = [
+    "validate_pipeline_mapping",
+    "validate_fork_mapping",
+    "validate_forkjoin_mapping",
+    "validate",
+    "is_valid",
+]
+
+
+def _check_data_parallel_allowed(groups, allow_data_parallel: bool) -> None:
+    if allow_data_parallel:
+        return
+    for group in groups:
+        if group.kind is AssignmentKind.DATA_PARALLEL:
+            raise InvalidMappingError(
+                f"data-parallelism is not allowed in this problem variant, "
+                f"but group {group.describe()} uses it"
+            )
+
+
+def validate_pipeline_mapping(
+    mapping: PipelineMapping, allow_data_parallel: bool = True
+) -> None:
+    """Check the pipeline rules of Section 3.4."""
+    _check_data_parallel_allowed(mapping.groups, allow_data_parallel)
+    for group in mapping.groups:
+        if group.kind is AssignmentKind.DATA_PARALLEL and len(group.stages) > 1:
+            raise InvalidMappingError(
+                "pipeline intervals of length >= 2 cannot be data-parallelized "
+                f"(group {group.describe()})"
+            )
+
+
+def validate_fork_mapping(
+    mapping: ForkMapping, allow_data_parallel: bool = True
+) -> None:
+    """Check the fork rules of Section 3.4."""
+    _check_data_parallel_allowed(mapping.groups, allow_data_parallel)
+    for group in mapping.groups:
+        if (
+            group.kind is AssignmentKind.DATA_PARALLEL
+            and 0 in group.stages
+            and len(group.stages) > 1
+        ):
+            raise InvalidMappingError(
+                "the fork root cannot be data-parallelized together with "
+                f"independent stages (group {group.describe()})"
+            )
+
+
+def validate_forkjoin_mapping(
+    mapping: ForkJoinMapping, allow_data_parallel: bool = True
+) -> None:
+    """Check the fork-join rules (Section 6.3 + Section 3.4)."""
+    validate_fork_mapping(mapping, allow_data_parallel)
+    join_index = mapping.application.n + 1
+    for group in mapping.groups:
+        if (
+            group.kind is AssignmentKind.DATA_PARALLEL
+            and join_index in group.stages
+            and len(group.stages) > 1
+        ):
+            raise InvalidMappingError(
+                "the join stage cannot be data-parallelized together with "
+                f"other stages (group {group.describe()})"
+            )
+
+
+def validate(mapping, allow_data_parallel: bool = True) -> None:
+    """Dispatch to the right validator for the mapping type."""
+    if isinstance(mapping, ForkJoinMapping):
+        validate_forkjoin_mapping(mapping, allow_data_parallel)
+    elif isinstance(mapping, ForkMapping):
+        validate_fork_mapping(mapping, allow_data_parallel)
+    elif isinstance(mapping, PipelineMapping):
+        validate_pipeline_mapping(mapping, allow_data_parallel)
+    else:
+        raise TypeError(f"cannot validate {type(mapping).__name__}")
+
+
+def is_valid(mapping, allow_data_parallel: bool = True) -> bool:
+    """Boolean twin of :func:`validate`."""
+    try:
+        validate(mapping, allow_data_parallel)
+    except InvalidMappingError:
+        return False
+    return True

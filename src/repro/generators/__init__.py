@@ -1,0 +1,19 @@
+"""Instance generators: random and scenario-based applications/platforms."""
+
+from .instances import (
+    random_fork,
+    random_forkjoin,
+    random_pipeline,
+    random_platform,
+)
+from .scenarios import SCENARIOS, Scenario, get_scenario
+
+__all__ = [
+    "random_pipeline",
+    "random_fork",
+    "random_forkjoin",
+    "random_platform",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+]

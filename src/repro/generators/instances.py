@@ -1,0 +1,85 @@
+"""Random instance generators for tests and benchmarks.
+
+All generators take an explicit :class:`random.Random` so experiments are
+reproducible from a seed, and accept a ``homogeneous`` flag to produce the
+paper's *hom.* application / platform variants.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.application import (
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+)
+from ..core.platform import Platform
+
+__all__ = [
+    "random_pipeline",
+    "random_fork",
+    "random_forkjoin",
+    "random_platform",
+]
+
+
+def _works(rng: random.Random, n: int, low: int, high: int,
+           homogeneous: bool) -> list[float]:
+    if homogeneous:
+        return [float(rng.randint(low, high))] * n
+    return [float(rng.randint(low, high)) for _ in range(n)]
+
+
+def random_pipeline(
+    rng: random.Random,
+    n: int,
+    low: int = 1,
+    high: int = 20,
+    homogeneous: bool = False,
+) -> PipelineApplication:
+    """A random ``n``-stage pipeline with integer works in ``[low, high]``."""
+    return PipelineApplication.from_works(_works(rng, n, low, high, homogeneous))
+
+
+def random_fork(
+    rng: random.Random,
+    n: int,
+    low: int = 1,
+    high: int = 20,
+    homogeneous: bool = False,
+) -> ForkApplication:
+    """A random fork: root work sampled like the branches."""
+    return ForkApplication.from_works(
+        float(rng.randint(low, high)), _works(rng, n, low, high, homogeneous)
+    )
+
+
+def random_forkjoin(
+    rng: random.Random,
+    n: int,
+    low: int = 1,
+    high: int = 20,
+    homogeneous: bool = False,
+) -> ForkJoinApplication:
+    """A random fork-join."""
+    return ForkJoinApplication.from_works(
+        float(rng.randint(low, high)),
+        _works(rng, n, low, high, homogeneous),
+        float(rng.randint(low, high)),
+    )
+
+
+def random_platform(
+    rng: random.Random,
+    p: int,
+    low: int = 1,
+    high: int = 10,
+    homogeneous: bool = False,
+) -> Platform:
+    """A random platform with integer speeds in ``[low, high]``."""
+    if homogeneous:
+        return Platform.homogeneous(p, float(rng.randint(low, high)))
+    return Platform.heterogeneous(
+        [float(rng.randint(low, high)) for _ in range(p)]
+    )

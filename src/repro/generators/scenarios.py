@@ -1,0 +1,107 @@
+"""Named realistic scenarios used by the examples and benchmarks.
+
+The paper motivates pipelines with image processing / computer vision /
+query processing workloads and forks with master-slave file or database
+distribution (Sections 1 and 3.1).  These scenarios instantiate those
+motivations with concrete numbers so the examples exercise the public API
+on something recognizable rather than random noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.application import (
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+)
+from ..core.exceptions import ReproError
+from ..core.platform import Platform
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named application + platform pair with a short story."""
+
+    name: str
+    description: str
+    application: PipelineApplication | ForkApplication | ForkJoinApplication
+    platform: Platform
+    allow_data_parallel: bool
+
+
+def _image_pipeline() -> Scenario:
+    # A video-analytics chain: decode -> denoise -> segment -> extract ->
+    # classify -> encode.  Works in Mflop per frame; the segmentation stage
+    # dominates and is data-parallel (per-tile), matching the paper's
+    # low-level-filter / high-level-extraction discussion in Section 2.
+    app = PipelineApplication.from_works(
+        [40.0, 110.0, 560.0, 220.0, 90.0, 35.0],
+        data_sizes=[25.0, 25.0, 25.0, 6.0, 2.0, 0.5, 0.1],
+    )
+    platform = Platform.heterogeneous(
+        [3.0, 3.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0], interconnect=None
+    )
+    return Scenario(
+        name="image-pipeline",
+        description=(
+            "six-stage video analytics pipeline on a 2-generation cluster "
+            "(three processor speeds); segmentation dominates"
+        ),
+        application=app,
+        platform=platform,
+        allow_data_parallel=True,
+    )
+
+
+def _master_slave_fork() -> Scenario:
+    # Master-slave database scatter (Section 6.3 motivation): the master
+    # parses a request (root), sixteen shard scans run independently.
+    app = ForkApplication.homogeneous(16, root_work=30.0, branch_work=100.0)
+    platform = Platform.heterogeneous([4.0, 4.0, 2.0, 2.0, 2.0, 2.0, 1.0, 1.0])
+    return Scenario(
+        name="master-slave-fork",
+        description=(
+            "master-slave shard scan: one root request parse, sixteen "
+            "identical shard scans on a heterogeneous eight-node cluster"
+        ),
+        application=app,
+        platform=platform,
+        allow_data_parallel=False,
+    )
+
+
+def _scatter_gather() -> Scenario:
+    # Scatter-compute-gather (fork-join): map-reduce style aggregation.
+    app = ForkJoinApplication.homogeneous(
+        12, root_work=24.0, branch_work=96.0, join_work=48.0
+    )
+    platform = Platform.homogeneous(8, 2.0)
+    return Scenario(
+        name="scatter-gather",
+        description=(
+            "map-reduce round: scatter a batch, twelve identical map tasks, "
+            "gather/reduce, on eight identical nodes"
+        ),
+        application=app,
+        platform=platform,
+        allow_data_parallel=True,
+    )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s for s in (_image_pipeline(), _master_slave_fork(), _scatter_gather())
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (raises with the list of known names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None

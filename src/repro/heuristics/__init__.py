@@ -1,0 +1,37 @@
+"""Heuristics for the NP-hard entries of Table 1.
+
+The paper's conclusion calls for heuristics for the combinatorial problem
+instances; this subpackage provides a portfolio:
+
+* :mod:`repro.heuristics.greedy` — constructive heuristics: chains-to-chains
+  based interval splitting with proportional processor allocation for the
+  heterogeneous-pipeline period problem (Thm 9), LPT list scheduling for the
+  heterogeneous-fork latency problem (Thm 12);
+* :mod:`repro.heuristics.local_search` — steepest-descent improvement over
+  any mapping (boundary shifts, processor moves, kind flips);
+* :mod:`repro.heuristics.random_baseline` — random valid mappings, the
+  honesty baseline every heuristic must beat.
+
+All heuristics return a :class:`~repro.algorithms.problem.Solution`, so
+their quality can be compared directly with the exact solvers (see
+``benchmarks/bench_nphard_heuristics.py``).
+"""
+
+from .greedy import (
+    fork_latency_lpt,
+    pipeline_period_greedy,
+    pipeline_period_portfolio,
+    pipeline_period_sweep,
+)
+from .local_search import improve_mapping
+from .random_baseline import random_fork_mapping, random_pipeline_mapping
+
+__all__ = [
+    "pipeline_period_greedy",
+    "pipeline_period_sweep",
+    "pipeline_period_portfolio",
+    "fork_latency_lpt",
+    "improve_mapping",
+    "random_pipeline_mapping",
+    "random_fork_mapping",
+]

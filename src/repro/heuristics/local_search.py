@@ -1,0 +1,220 @@
+"""Steepest-descent local search over mappings.
+
+Improvement moves (all validity-preserving):
+
+* **boundary shift** (pipeline): move one stage across an adjacent interval
+  boundary;
+* **processor move**: move one processor from a group with ``k >= 2`` to
+  another group;
+* **processor swap**: exchange two processors between groups (useful on
+  heterogeneous platforms where *which* processor matters, not only how
+  many);
+* **kind flip**: toggle a group between replicated and data-parallel when
+  the variant and the group shape allow it;
+* **stage move** (fork): move a branch stage to another group (or to a new
+  group on an unused processor).
+
+Each round evaluates every move and applies the best strictly-improving
+one; terminates at a local optimum.  Used on top of the greedy seeds in the
+benchmarks, and standalone as ``improve_mapping``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..algorithms.problem import Objective, Solution
+from ..core.costs import FLOAT_TOL, evaluate
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from ..core.validation import is_valid
+
+__all__ = ["improve_mapping", "neighbourhood"]
+
+
+def _with_groups(mapping, groups):
+    return replace(mapping, groups=tuple(groups))
+
+
+def _boundary_shifts(mapping: PipelineMapping):
+    groups = mapping.groups
+    for g in range(len(groups) - 1):
+        left, right = groups[g], groups[g + 1]
+        if len(left.stages) > 1:  # move last stage of left to right
+            yield _with_groups(
+                mapping,
+                (
+                    *groups[:g],
+                    replace(left, stages=left.stages[:-1]),
+                    replace(right, stages=(left.stages[-1], *right.stages)),
+                    *groups[g + 2:],
+                ),
+            )
+        if len(right.stages) > 1:  # move first stage of right to left
+            yield _with_groups(
+                mapping,
+                (
+                    *groups[:g],
+                    replace(left, stages=(*left.stages, right.stages[0])),
+                    replace(right, stages=right.stages[1:]),
+                    *groups[g + 2:],
+                ),
+            )
+
+
+def _stage_moves(mapping: ForkMapping):
+    groups = mapping.groups
+    used = {u for g in groups for u in g.processors}
+    free = [u for u in range(mapping.platform.p) if u not in used]
+    join_index = (
+        mapping.application.n + 1
+        if isinstance(mapping, ForkJoinMapping)
+        else None
+    )
+    for g, group in enumerate(groups):
+        movable = [
+            i for i in group.stages if i != 0 and i != join_index
+        ]
+        if len(movable) == len(group.stages) and len(group.stages) == 1:
+            movable = []  # would empty the group; handled by regrouping
+        for stage in movable:
+            rest = tuple(i for i in group.stages if i != stage)
+            for h, target in enumerate(groups):
+                if h == g:
+                    continue
+                new_groups = list(groups)
+                new_groups[h] = replace(target, stages=(*target.stages, stage))
+                if rest:
+                    new_groups[g] = replace(group, stages=rest)
+                else:
+                    del new_groups[g]
+                yield _with_groups(mapping, new_groups)
+            if free:  # open a fresh singleton group on an unused processor
+                new_groups = list(groups)
+                if rest:
+                    new_groups[g] = replace(group, stages=rest)
+                else:
+                    del new_groups[g]
+                new_groups.append(
+                    GroupAssignment(
+                        stages=(stage,), processors=(free[0],),
+                        kind=AssignmentKind.REPLICATED,
+                    )
+                )
+                yield _with_groups(mapping, new_groups)
+
+
+def _processor_moves(mapping):
+    groups = mapping.groups
+    used = {u for g in groups for u in g.processors}
+    free = [u for u in range(mapping.platform.p) if u not in used]
+    for g, src in enumerate(groups):
+        for u in src.processors:
+            # move u to another group
+            if len(src.processors) >= 2:
+                for h, dst in enumerate(groups):
+                    if h == g:
+                        continue
+                    new_groups = list(groups)
+                    new_groups[g] = replace(
+                        src, processors=tuple(x for x in src.processors if x != u)
+                    )
+                    new_groups[h] = replace(
+                        dst, processors=(*dst.processors, u)
+                    )
+                    yield _with_groups(mapping, new_groups)
+            # swap u with a free processor
+            for v in free:
+                new_groups = list(groups)
+                new_groups[g] = replace(
+                    src,
+                    processors=tuple(
+                        v if x == u else x for x in src.processors
+                    ),
+                )
+                yield _with_groups(mapping, new_groups)
+    # pairwise swaps between groups
+    for g in range(len(groups)):
+        for h in range(g + 1, len(groups)):
+            for u in groups[g].processors:
+                for v in groups[h].processors:
+                    new_groups = list(groups)
+                    new_groups[g] = replace(
+                        groups[g],
+                        processors=tuple(
+                            v if x == u else x for x in groups[g].processors
+                        ),
+                    )
+                    new_groups[h] = replace(
+                        groups[h],
+                        processors=tuple(
+                            u if x == v else x for x in groups[h].processors
+                        ),
+                    )
+                    yield _with_groups(mapping, new_groups)
+
+
+def _kind_flips(mapping, allow_data_parallel: bool):
+    if not allow_data_parallel:
+        return
+    for g, group in enumerate(mapping.groups):
+        flipped = (
+            AssignmentKind.DATA_PARALLEL
+            if group.kind is AssignmentKind.REPLICATED
+            else AssignmentKind.REPLICATED
+        )
+        new_groups = list(mapping.groups)
+        new_groups[g] = replace(group, kind=flipped)
+        yield _with_groups(mapping, new_groups)
+
+
+def neighbourhood(mapping, allow_data_parallel: bool):
+    """All candidate neighbours of a mapping (may include invalid ones —
+    the caller filters with :func:`repro.core.validation.is_valid`)."""
+    if isinstance(mapping, PipelineMapping):
+        yield from _boundary_shifts(mapping)
+    if isinstance(mapping, ForkMapping):
+        yield from _stage_moves(mapping)
+    yield from _processor_moves(mapping)
+    yield from _kind_flips(mapping, allow_data_parallel)
+
+
+def improve_mapping(
+    solution: Solution,
+    objective: Objective,
+    allow_data_parallel: bool = False,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+    max_rounds: int = 200,
+) -> Solution:
+    """Steepest descent from a seed solution; returns a local optimum."""
+    current = solution
+    for _ in range(max_rounds):
+        best_neighbour = None
+        best_value = current.objective_value(objective)
+        for neighbour in neighbourhood(current.mapping, allow_data_parallel):
+            if not is_valid(neighbour, allow_data_parallel):
+                continue
+            period, latency = evaluate(neighbour)
+            if period_bound is not None and period > period_bound * (1 + FLOAT_TOL):
+                continue
+            if latency_bound is not None and latency > latency_bound * (
+                1 + FLOAT_TOL
+            ):
+                continue
+            value = period if objective is Objective.PERIOD else latency
+            if value < best_value - FLOAT_TOL:
+                best_value = value
+                best_neighbour = Solution(
+                    mapping=neighbour, period=period, latency=latency,
+                    meta={"algorithm": "local-search"},
+                )
+        if best_neighbour is None:
+            return current
+        current = best_neighbour
+    return current

@@ -1,0 +1,120 @@
+"""Random valid mappings: the baseline every heuristic must beat.
+
+Also used by the property tests and the simulator-validation benchmark as a
+source of arbitrary (but valid) mappings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algorithms.problem import Solution
+from ..core.application import (
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+)
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from ..core.platform import Platform
+from ..core.validation import is_valid
+
+__all__ = ["random_pipeline_mapping", "random_fork_mapping"]
+
+
+def _random_processor_split(
+    rng: random.Random, p: int, groups: int
+) -> list[list[int]]:
+    """Split a random non-empty subset of processors into ``groups`` parts."""
+    procs = list(range(p))
+    rng.shuffle(procs)
+    used = rng.randint(groups, p)
+    procs = procs[:used]
+    # one processor per group first, then spread the rest randomly
+    parts: list[list[int]] = [[procs[i]] for i in range(groups)]
+    for u in procs[groups:]:
+        parts[rng.randrange(groups)].append(u)
+    return parts
+
+
+def random_pipeline_mapping(
+    app: PipelineApplication,
+    platform: Platform,
+    rng: random.Random,
+    allow_data_parallel: bool = False,
+) -> Solution:
+    """A uniformly-structured random valid pipeline mapping."""
+    n, p = app.n, platform.p
+    q = rng.randint(1, min(n, p))
+    cuts = sorted(rng.sample(range(1, n), q - 1)) if q > 1 else []
+    boundaries = [*cuts, n]
+    parts = _random_processor_split(rng, p, q)
+    groups = []
+    start = 1
+    for end, procs in zip(boundaries, parts):
+        stages = tuple(range(start, end + 1))
+        kind = AssignmentKind.REPLICATED
+        if (
+            allow_data_parallel
+            and len(stages) == 1
+            and len(procs) >= 2
+            and rng.random() < 0.5
+        ):
+            kind = AssignmentKind.DATA_PARALLEL
+        groups.append(
+            GroupAssignment(stages=stages, processors=tuple(sorted(procs)),
+                            kind=kind)
+        )
+        start = end + 1
+    mapping = PipelineMapping(application=app, platform=platform,
+                              groups=tuple(groups))
+    assert is_valid(mapping, allow_data_parallel)
+    return Solution.from_mapping(mapping, algorithm="random")
+
+
+def random_fork_mapping(
+    app: ForkApplication,
+    platform: Platform,
+    rng: random.Random,
+    allow_data_parallel: bool = False,
+) -> Solution:
+    """A random valid fork (or fork-join) mapping."""
+    is_forkjoin = isinstance(app, ForkJoinApplication)
+    n, p = app.n, platform.p
+    stage_count = n + (2 if is_forkjoin else 1)
+    q = rng.randint(1, min(stage_count, p))
+    # random assignment of stages to q groups, every group non-empty
+    stages = list(range(stage_count))
+    rng.shuffle(stages)
+    buckets: list[list[int]] = [[stages[i]] for i in range(q)]
+    for stage in stages[q:]:
+        buckets[rng.randrange(q)].append(stage)
+    parts = _random_processor_split(rng, p, q)
+    groups = []
+    join_index = n + 1 if is_forkjoin else None
+    for bucket, procs in zip(buckets, parts):
+        kind = AssignmentKind.REPLICATED
+        special = 0 in bucket or (join_index is not None and join_index in bucket)
+        if (
+            allow_data_parallel
+            and len(procs) >= 2
+            and (not special or len(bucket) == 1)
+            and rng.random() < 0.5
+        ):
+            kind = AssignmentKind.DATA_PARALLEL
+        groups.append(
+            GroupAssignment(
+                stages=tuple(sorted(bucket)),
+                processors=tuple(sorted(procs)),
+                kind=kind,
+            )
+        )
+    cls = ForkJoinMapping if is_forkjoin else ForkMapping
+    mapping = cls(application=app, platform=platform, groups=tuple(groups))
+    assert is_valid(mapping, allow_data_parallel)
+    return Solution.from_mapping(mapping, algorithm="random")

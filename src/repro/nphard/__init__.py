@@ -1,0 +1,46 @@
+"""NP-hardness toolkit: source problems and the paper's reductions.
+
+The paper's NP-completeness proofs reduce from **2-PARTITION** (Theorems 5,
+12, 13, 15) and from **NUMERICAL 3-DIMENSIONAL MATCHING** (Theorem 9, the
+involved ``(**)`` entry).  This subpackage makes those proofs *executable*:
+
+* :mod:`repro.nphard.two_partition` / :mod:`repro.nphard.n3dm` — instances,
+  exact solvers (pseudo-polynomial subset-sum DP, backtracking matcher) and
+  YES/NO instance generators;
+* :mod:`repro.nphard.reductions` — one builder per theorem producing the
+  scheduling gadget, the decision threshold, and the *back-mapping* that
+  recovers a partition/matching from an optimal mapping, so the reductions
+  can be verified end-to-end in the benchmarks.
+"""
+
+from .n3dm import N3DMInstance, random_n3dm_yes, solve_n3dm
+from .reductions import (
+    Thm5Reduction,
+    Thm9Reduction,
+    Thm12Reduction,
+    Thm13Reduction,
+    Thm15Reduction,
+)
+from .two_partition import (
+    TwoPartitionInstance,
+    best_balanced_split,
+    random_two_partition,
+    random_two_partition_yes,
+    solve_two_partition,
+)
+
+__all__ = [
+    "TwoPartitionInstance",
+    "solve_two_partition",
+    "best_balanced_split",
+    "random_two_partition",
+    "random_two_partition_yes",
+    "N3DMInstance",
+    "solve_n3dm",
+    "random_n3dm_yes",
+    "Thm5Reduction",
+    "Thm9Reduction",
+    "Thm12Reduction",
+    "Thm13Reduction",
+    "Thm15Reduction",
+]

@@ -1,0 +1,125 @@
+"""NUMERICAL 3-DIMENSIONAL MATCHING (N3DM).
+
+N3DM (Garey & Johnson [12], problem SP16) is the source problem of the
+paper's most involved reduction (Theorem 9): given ``3m`` numbers
+:math:`x_1..x_m`, :math:`y_1..y_m`, :math:`z_1..z_m` and a bound ``M``, do
+two permutations :math:`\\sigma_1, \\sigma_2` of ``{1..m}`` exist with
+:math:`x_i + y_{\\sigma_1(i)} + z_{\\sigma_2(i)} = M` for all ``i``?
+
+The problem is NP-complete *in the strong sense*, which the reduction
+exploits by encoding ``M`` in unary (the gadget has ``(M+3)m`` stages).
+The exact solver below is a backtracking matcher with fail-first ordering —
+exponential in the worst case, but instant for the ``m <= 8`` gadget sizes
+we can afford to schedule anyway.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.exceptions import ReproError
+
+__all__ = ["N3DMInstance", "solve_n3dm", "random_n3dm_yes"]
+
+
+@dataclass(frozen=True)
+class N3DMInstance:
+    """An N3DM instance; values use 0-based indexing internally."""
+
+    xs: tuple[int, ...]
+    ys: tuple[int, ...]
+    zs: tuple[int, ...]
+    M: int
+
+    def __post_init__(self) -> None:
+        m = len(self.xs)
+        if not (len(self.ys) == len(self.zs) == m) or m == 0:
+            raise ReproError("xs, ys, zs must have equal positive length")
+        for v in (*self.xs, *self.ys, *self.zs):
+            if not isinstance(v, int) or v <= 0:
+                raise ReproError("N3DM values must be positive integers")
+
+    @property
+    def m(self) -> int:
+        return len(self.xs)
+
+    def satisfies_side_conditions(self) -> bool:
+        """The pre-conditions the paper assumes WLOG: every value below
+        ``M`` and the three sums totalling ``m M``."""
+        if any(v >= self.M for v in (*self.xs, *self.ys, *self.zs)):
+            return False
+        return sum(self.xs) + sum(self.ys) + sum(self.zs) == self.m * self.M
+
+    def is_yes(self) -> bool:
+        return solve_n3dm(self) is not None
+
+
+def solve_n3dm(
+    instance: N3DMInstance,
+) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+    """Exact solver: permutations ``(sigma1, sigma2)`` (0-based: triple ``i``
+    uses ``ys[sigma1[i]]`` and ``zs[sigma2[i]]``), or ``None``.
+
+    Backtracking over the x's in order of fewest compatible (y, z) pairs.
+    """
+    m, M = instance.m, instance.M
+    pairs: list[list[tuple[int, int]]] = []
+    for x in instance.xs:
+        options = [
+            (j, k)
+            for j in range(m)
+            for k in range(m)
+            if instance.ys[j] + instance.zs[k] == M - x
+        ]
+        pairs.append(options)
+    order = sorted(range(m), key=lambda i: len(pairs[i]))
+    used_y = [False] * m
+    used_z = [False] * m
+    sigma1 = [-1] * m
+    sigma2 = [-1] * m
+
+    def recurse(pos: int) -> bool:
+        if pos == m:
+            return True
+        i = order[pos]
+        for j, k in pairs[i]:
+            if used_y[j] or used_z[k]:
+                continue
+            used_y[j] = used_z[k] = True
+            sigma1[i], sigma2[i] = j, k
+            if recurse(pos + 1):
+                return True
+            used_y[j] = used_z[k] = False
+        return False
+
+    if not recurse(0):
+        return None
+    return tuple(sigma1), tuple(sigma2)
+
+
+def random_n3dm_yes(
+    rng: random.Random, m: int, M: int | None = None
+) -> N3DMInstance:
+    """A YES instance by construction, satisfying the paper's side
+    conditions (all values < M, sums equal to mM).
+
+    Draw ``y_i, z_i`` in ``[1, M/3)`` and set ``x_i = M - y_a - z_b`` along
+    random permutations; positivity holds because ``y + z < 2M/3 < M``.
+    """
+    if m < 1:
+        raise ReproError("need m >= 1")
+    if M is None:
+        M = max(9, 3 * m)
+    third = max(2, M // 3)
+    ys = [rng.randint(1, third - 1) for _ in range(m)]
+    zs = [rng.randint(1, third - 1) for _ in range(m)]
+    perm1 = list(range(m))
+    perm2 = list(range(m))
+    rng.shuffle(perm1)
+    rng.shuffle(perm2)
+    xs = [M - ys[perm1[i]] - zs[perm2[i]] for i in range(m)]
+    instance = N3DMInstance(xs=tuple(xs), ys=tuple(ys), zs=tuple(zs), M=M)
+    if not instance.satisfies_side_conditions():  # pragma: no cover
+        raise ReproError("internal: generated instance violates conditions")
+    return instance

@@ -1,0 +1,546 @@
+"""The paper's five NP-hardness reductions, as executable gadget builders.
+
+Each class turns a source instance (2-PARTITION or N3DM) into the exact
+scheduling instance of the corresponding proof, exposes the decision
+threshold, can *construct* the witness mapping for YES instances, and can
+*extract* a partition/matching back out of any mapping meeting the bound —
+so the equivalences claimed in the proofs are checked end-to-end by the
+test-suite and benchmarks:
+
+=========  =============================================================
+Thm 5      2-stage homogeneous pipeline, het. platform, data-par allowed
+           (period <= 1 / latency <= 2  <=>  2-PARTITION)
+Thm 9      heterogeneous pipeline, het. platform, no data-par
+           (period <= 1  <=>  N3DM)  — the involved ``(**)`` reduction
+Thm 12     heterogeneous fork, hom. platform (latency  <=>  2-PARTITION)
+Thm 13     2-stage fork, het. platform, data-par (same gadget as Thm 5)
+Thm 15     heterogeneous fork, het. platform, no data-par
+           (period <= 1  <=>  2-PARTITION)
+=========  =============================================================
+
+Gadget side conditions (the "WLOG" hypotheses of the proofs — e.g. Thm 5
+needs all ``a_j`` distinct and ``< S/2``) are enforced by the builders;
+violating instances raise :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..algorithms.problem import Objective, ProblemSpec
+from ..core.application import ForkApplication, PipelineApplication
+from ..core.costs import FLOAT_TOL, evaluate
+from ..core.exceptions import ReproError
+from ..core.mapping import (
+    AssignmentKind,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from ..core.platform import Platform
+from .n3dm import N3DMInstance, solve_n3dm
+from .two_partition import TwoPartitionInstance, best_balanced_split
+
+__all__ = [
+    "Thm5Reduction",
+    "Thm9Reduction",
+    "Thm12Reduction",
+    "Thm13Reduction",
+    "Thm15Reduction",
+]
+
+
+def _subset_sum(values, subset) -> int:
+    return sum(values[i] for i in subset)
+
+
+# ======================================================================
+# Theorem 5
+# ======================================================================
+@dataclass(frozen=True)
+class Thm5Reduction:
+    """2-PARTITION -> {2-stage homogeneous pipeline, het. platform, DP}.
+
+    Pipeline ``S1 -> S2`` with ``w1 = w2 = S/2``; processor ``P_j`` has
+    speed ``a_j``.  The instance admits latency ``<= 2`` (resp. period
+    ``<= 1``) iff the source is a YES instance; the witness data-parallelizes
+    ``S1`` on ``I`` and ``S2`` on its complement.
+    """
+
+    source: TwoPartitionInstance
+
+    def __post_init__(self) -> None:
+        values = self.source.values
+        S = self.source.total
+        if len(set(values)) != len(values):
+            raise ReproError("Thm 5 gadget requires pairwise distinct a_j")
+        if any(2 * a >= S for a in values):
+            raise ReproError("Thm 5 gadget requires a_j < S/2 for all j")
+
+    @property
+    def application(self) -> PipelineApplication:
+        half = self.source.total / 2
+        return PipelineApplication.from_works([half, half])
+
+    @property
+    def platform(self) -> Platform:
+        return Platform.heterogeneous([float(a) for a in self.source.values])
+
+    @property
+    def spec(self) -> ProblemSpec:
+        return ProblemSpec(self.application, self.platform, allow_data_parallel=True)
+
+    @property
+    def period_threshold(self) -> float:
+        return 1.0
+
+    @property
+    def latency_threshold(self) -> float:
+        return 2.0
+
+    def yes_mapping(self, subset: frozenset[int]) -> PipelineMapping:
+        """The witness mapping built from a solution subset ``I``."""
+        rest = tuple(sorted(set(range(self.source.m)) - set(subset)))
+        groups = (
+            GroupAssignment(
+                stages=(1,),
+                processors=tuple(sorted(subset)),
+                kind=AssignmentKind.DATA_PARALLEL,
+            ),
+            GroupAssignment(
+                stages=(2,), processors=rest, kind=AssignmentKind.DATA_PARALLEL
+            ),
+        )
+        return PipelineMapping(
+            application=self.application, platform=self.platform, groups=groups
+        )
+
+    def extract_partition(self, mapping: PipelineMapping) -> frozenset[int] | None:
+        """Recover ``I`` from a mapping meeting the bound; None if the
+        mapping does not have the forced two-data-parallel-stage shape or
+        its processor split is not a solution."""
+        if len(mapping.groups) != 2:
+            return None
+        first = mapping.groups[0]
+        subset = frozenset(first.processors)
+        if _subset_sum(self.source.values, subset) * 2 == self.source.total:
+            return subset
+        return None
+
+    def schedule_meets_bound(self, objective: Objective) -> bool:
+        """Decide the scheduling bound exactly (brute force; small m only)."""
+        from ..algorithms import brute_force
+
+        threshold = (
+            self.period_threshold
+            if objective is Objective.PERIOD
+            else self.latency_threshold
+        )
+        best = brute_force.optimal(self.spec, objective)
+        return best.objective_value(objective) <= threshold * (1 + FLOAT_TOL)
+
+
+# ======================================================================
+# Theorem 9
+# ======================================================================
+@dataclass(frozen=True)
+class Thm9Reduction:
+    """N3DM -> {heterogeneous pipeline, het. platform, no DP, period}.
+
+    The gadget of the paper: ``R = max(20, m+1)``, ``B = 2M``,
+    ``C = 5RM``, ``D = 10 R^2 M^2``; stage pattern per triple ``i``::
+
+        A_i  1 1 ... 1  C  D        with  A_i = B + x_i  and M ones
+​
+    and processor speeds ``B + M - y_j`` (slow), ``C + M - z_j`` (medium),
+    ``D`` (fast), asking for period ``<= 1``.
+    """
+
+    source: N3DMInstance
+
+    def __post_init__(self) -> None:
+        if not self.source.satisfies_side_conditions():
+            raise ReproError(
+                "Thm 9 gadget requires the N3DM side conditions "
+                "(values < M, sums equal to mM)"
+            )
+
+    # gadget constants ----------------------------------------------------
+    @property
+    def R(self) -> int:
+        return max(20, self.source.m + 1)
+
+    @property
+    def B(self) -> int:
+        return 2 * self.source.M
+
+    @property
+    def C(self) -> int:
+        return 5 * self.R * self.source.M
+
+    @property
+    def D(self) -> int:
+        return 10 * self.R * self.R * self.source.M * self.source.M
+
+    @property
+    def application(self) -> PipelineApplication:
+        works: list[float] = []
+        for x in self.source.xs:
+            works.append(float(self.B + x))
+            works.extend([1.0] * self.source.M)
+            works.append(float(self.C))
+            works.append(float(self.D))
+        return PipelineApplication.from_works(works)
+
+    @property
+    def platform(self) -> Platform:
+        M = self.source.M
+        speeds = [float(self.B + M - y) for y in self.source.ys]
+        speeds += [float(self.C + M - z) for z in self.source.zs]
+        speeds += [float(self.D)] * self.source.m
+        return Platform.heterogeneous(speeds)
+
+    @property
+    def spec(self) -> ProblemSpec:
+        return ProblemSpec(self.application, self.platform, allow_data_parallel=False)
+
+    @property
+    def period_threshold(self) -> float:
+        return 1.0
+
+    def yes_mapping(
+        self, sigma1: tuple[int, ...], sigma2: tuple[int, ...]
+    ) -> PipelineMapping:
+        """The witness mapping from permutations solving the N3DM instance."""
+        m, M = self.source.m, self.source.M
+        N = M + 3
+        groups = []
+        for i in range(m):
+            base = i * N + 1  # 1-based index of stage A_i
+            z = self.source.zs[sigma2[i]]
+            groups.append(
+                GroupAssignment(
+                    stages=tuple(range(base, base + 1 + z)),
+                    processors=(sigma1[i],),
+                    kind=AssignmentKind.REPLICATED,
+                )
+            )
+            groups.append(
+                GroupAssignment(
+                    stages=tuple(range(base + 1 + z, base + M + 2)),
+                    processors=(m + sigma2[i],),
+                    kind=AssignmentKind.REPLICATED,
+                )
+            )
+            groups.append(
+                GroupAssignment(
+                    stages=(base + M + 2,),
+                    processors=(2 * m + i,),
+                    kind=AssignmentKind.REPLICATED,
+                )
+            )
+        return PipelineMapping(
+            application=self.application, platform=self.platform,
+            groups=tuple(groups),
+        )
+
+    def extract_matching(
+        self, mapping: PipelineMapping
+    ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+        """Recover ``(sigma1, sigma2)`` from a period-1 mapping.
+
+        Follows the structure forced by the proof: in block ``i``, the
+        group holding ``A_i`` sits on a slow processor (its index gives
+        ``sigma1``) and the group holding the following ``C`` stage sits on
+        a medium processor (giving ``sigma2``).
+        """
+        m, M = self.source.m, self.source.M
+        N = M + 3
+        stage_to_proc: dict[int, tuple[int, ...]] = {}
+        for group in mapping.groups:
+            for stage in group.stages:
+                stage_to_proc[stage] = group.processors
+        sigma1, sigma2 = [], []
+        for i in range(m):
+            a_procs = stage_to_proc.get(i * N + 1)
+            c_procs = stage_to_proc.get(i * N + M + 2)
+            if (
+                a_procs is None or c_procs is None
+                or len(a_procs) != 1 or len(c_procs) != 1
+            ):
+                return None
+            j, k = a_procs[0], c_procs[0] - m
+            if not (0 <= j < m and 0 <= k < m):
+                return None
+            sigma1.append(j)
+            sigma2.append(k)
+        if sorted(sigma1) != list(range(m)) or sorted(sigma2) != list(range(m)):
+            return None
+        return tuple(sigma1), tuple(sigma2)
+
+    def schedule_meets_bound(self) -> bool:
+        """Decide period <= 1 for the gadget.
+
+        Uses the structure forced by the proof (each ``D`` stage alone on a
+        fast processor; each block served by exactly one slow + one medium
+        processor; the split point ``h_i`` of block ``i`` must satisfy
+        ``z_{sigma2(i)} <= h_i`` and ``x_i + h_i <= M - y_{sigma1(i)}``), so
+        the bound is met iff a perfect matching with
+        ``x_i + y_j + z_k <= M`` exists — which the backtracking below
+        decides.  Cross-checked against exhaustive search for tiny m in the
+        test-suite.
+        """
+        m, M = self.source.m, self.source.M
+        options = [
+            [
+                (j, k)
+                for j in range(m)
+                for k in range(m)
+                if self.source.xs[i] + self.source.ys[j] + self.source.zs[k] <= M
+            ]
+            for i in range(m)
+        ]
+        order = sorted(range(m), key=lambda i: len(options[i]))
+        used_y = [False] * m
+        used_z = [False] * m
+
+        def recurse(pos: int) -> bool:
+            if pos == m:
+                return True
+            i = order[pos]
+            for j, k in options[i]:
+                if used_y[j] or used_z[k]:
+                    continue
+                used_y[j] = used_z[k] = True
+                if recurse(pos + 1):
+                    return True
+                used_y[j] = used_z[k] = False
+            return False
+
+        return recurse(0)
+
+
+# ======================================================================
+# Theorem 12
+# ======================================================================
+@dataclass(frozen=True)
+class Thm12Reduction:
+    """2-PARTITION -> {heterogeneous fork, hom. platform (p=2), latency}.
+
+    Fork with ``w0 = 1`` and branches ``a_1..a_m`` on two unit-speed
+    processors; latency ``<= 1 + S/2`` iff YES.  Works identically with or
+    without data-parallelism (the proof shows DP cannot be used).
+    """
+
+    source: TwoPartitionInstance
+
+    @property
+    def application(self) -> ForkApplication:
+        return ForkApplication.from_works(
+            1.0, [float(a) for a in self.source.values]
+        )
+
+    @property
+    def platform(self) -> Platform:
+        return Platform.homogeneous(2, 1.0)
+
+    def spec(self, allow_data_parallel: bool = False) -> ProblemSpec:
+        return ProblemSpec(self.application, self.platform, allow_data_parallel)
+
+    @property
+    def latency_threshold(self) -> float:
+        return 1.0 + self.source.total / 2
+
+    def yes_mapping(self, subset: frozenset[int]) -> ForkMapping:
+        root_stages = (0, *sorted(i + 1 for i in subset))
+        rest = tuple(
+            sorted(i + 1 for i in range(self.source.m) if i not in subset)
+        )
+        groups = [
+            GroupAssignment(
+                stages=root_stages, processors=(0,),
+                kind=AssignmentKind.REPLICATED,
+            )
+        ]
+        if rest:
+            groups.append(
+                GroupAssignment(
+                    stages=rest, processors=(1,), kind=AssignmentKind.REPLICATED
+                )
+            )
+        return ForkMapping(
+            application=self.application, platform=self.platform,
+            groups=tuple(groups),
+        )
+
+    def extract_partition(self, mapping: ForkMapping) -> frozenset[int] | None:
+        root = mapping.root_group
+        subset = frozenset(i - 1 for i in root.stages if i != 0)
+        if _subset_sum(self.source.values, subset) * 2 == self.source.total:
+            return subset
+        return None
+
+    def schedule_meets_bound(self) -> bool:
+        """Decide latency <= 1 + S/2 via exact two-machine scheduling
+        (pseudo-polynomial, scales to large m)."""
+        _, makespan = best_balanced_split(self.source)
+        return 1.0 + makespan <= self.latency_threshold * (1 + FLOAT_TOL)
+
+
+# ======================================================================
+# Theorem 13
+# ======================================================================
+@dataclass(frozen=True)
+class Thm13Reduction:
+    """2-PARTITION -> {2-stage homogeneous fork, het. platform, DP}.
+
+    Fork ``S0 -> S1`` with ``w0 = w1 = S/2`` on processors of speeds
+    ``a_j`` — "this instance is indeed a pipeline" (paper), so the math is
+    that of Theorem 5: latency ``<= 2`` / period ``<= 1`` iff YES.
+    """
+
+    source: TwoPartitionInstance
+
+    def __post_init__(self) -> None:
+        values = self.source.values
+        S = self.source.total
+        if len(set(values)) != len(values):
+            raise ReproError("Thm 13 gadget requires pairwise distinct a_j")
+        if any(2 * a >= S for a in values):
+            raise ReproError("Thm 13 gadget requires a_j < S/2 for all j")
+
+    @property
+    def application(self) -> ForkApplication:
+        half = self.source.total / 2
+        return ForkApplication.from_works(half, [half])
+
+    @property
+    def platform(self) -> Platform:
+        return Platform.heterogeneous([float(a) for a in self.source.values])
+
+    @property
+    def spec(self) -> ProblemSpec:
+        return ProblemSpec(self.application, self.platform, allow_data_parallel=True)
+
+    @property
+    def period_threshold(self) -> float:
+        return 1.0
+
+    @property
+    def latency_threshold(self) -> float:
+        return 2.0
+
+    def yes_mapping(self, subset: frozenset[int]) -> ForkMapping:
+        rest = tuple(sorted(set(range(self.source.m)) - set(subset)))
+        groups = (
+            GroupAssignment(
+                stages=(0,), processors=tuple(sorted(subset)),
+                kind=AssignmentKind.DATA_PARALLEL,
+            ),
+            GroupAssignment(
+                stages=(1,), processors=rest,
+                kind=AssignmentKind.DATA_PARALLEL,
+            ),
+        )
+        return ForkMapping(
+            application=self.application, platform=self.platform, groups=groups
+        )
+
+    def extract_partition(self, mapping: ForkMapping) -> frozenset[int] | None:
+        subset = frozenset(mapping.root_group.processors)
+        if _subset_sum(self.source.values, subset) * 2 == self.source.total:
+            return subset
+        return None
+
+    def schedule_meets_bound(self, objective: Objective) -> bool:
+        from ..algorithms import brute_force
+
+        threshold = (
+            self.period_threshold
+            if objective is Objective.PERIOD
+            else self.latency_threshold
+        )
+        best = brute_force.optimal(self.spec, objective)
+        return best.objective_value(objective) <= threshold * (1 + FLOAT_TOL)
+
+
+# ======================================================================
+# Theorem 15
+# ======================================================================
+@dataclass(frozen=True)
+class Thm15Reduction:
+    """2-PARTITION -> {heterogeneous fork, het. platform, no DP, period}.
+
+    Fork with ``w0 = S``, branches ``a_1..a_m`` and ``w_{m+1} = S``, on two
+    processors of speeds ``5S/2`` and ``S/2``; period ``<= 1`` iff YES.
+    """
+
+    source: TwoPartitionInstance
+
+    @property
+    def application(self) -> ForkApplication:
+        S = float(self.source.total)
+        return ForkApplication.from_works(
+            S, [*(float(a) for a in self.source.values), S]
+        )
+
+    @property
+    def platform(self) -> Platform:
+        S = self.source.total
+        return Platform.heterogeneous([5 * S / 2, S / 2])
+
+    @property
+    def spec(self) -> ProblemSpec:
+        return ProblemSpec(self.application, self.platform, allow_data_parallel=False)
+
+    @property
+    def period_threshold(self) -> float:
+        return 1.0
+
+    def yes_mapping(self, subset: frozenset[int]) -> ForkMapping:
+        m = self.source.m
+        p1_stages = (0, *sorted(i + 1 for i in subset), m + 1)
+        p2_stages = tuple(sorted(i + 1 for i in range(m) if i not in subset))
+        groups = [
+            GroupAssignment(
+                stages=p1_stages, processors=(0,), kind=AssignmentKind.REPLICATED
+            )
+        ]
+        if p2_stages:
+            groups.append(
+                GroupAssignment(
+                    stages=p2_stages, processors=(1,),
+                    kind=AssignmentKind.REPLICATED,
+                )
+            )
+        return ForkMapping(
+            application=self.application, platform=self.platform,
+            groups=tuple(groups),
+        )
+
+    def extract_partition(self, mapping: ForkMapping) -> frozenset[int] | None:
+        m = self.source.m
+        for group in mapping.groups:
+            if 0 not in group.stages and (m + 1) not in group.stages:
+                subset_other = frozenset(i - 1 for i in group.stages)
+                subset = frozenset(range(m)) - subset_other
+                if _subset_sum(self.source.values, subset_other) * 2 == (
+                    self.source.total
+                ):
+                    return subset
+        return None
+
+    def schedule_meets_bound(self) -> bool:
+        """Decide period <= 1 exactly.
+
+        The proof forces: no replication (whole-fork replication yields
+        period 3), both processors used, ``S_0`` and ``S_{m+1}`` on the fast
+        processor, loads exactly (5S/2, S/2) — i.e. a subset of branches
+        summing to ``S/2`` on the slow processor.  That is 2-PARTITION
+        again, decided pseudo-polynomially; cross-checked by brute force on
+        small instances in the test-suite.
+        """
+        subset, makespan = best_balanced_split(self.source)
+        del subset
+        return makespan * 2 == self.source.total

@@ -1,0 +1,138 @@
+"""2-PARTITION: instances, exact solvers and generators.
+
+2-PARTITION (Garey & Johnson [12], problem SP12): given positive integers
+:math:`a_1..a_m`, is there :math:`I \\subset \\{1..m\\}` with
+:math:`\\sum_{i \\in I} a_i = \\sum_{i \\notin I} a_i`?  It is NP-complete
+but solvable in pseudo-polynomial time by subset-sum dynamic programming —
+which is what makes the paper's reductions *checkable*: we can decide the
+source instance exactly and compare with what the scheduling solvers decide
+on the reduced instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.exceptions import ReproError
+
+__all__ = [
+    "TwoPartitionInstance",
+    "solve_two_partition",
+    "best_balanced_split",
+    "random_two_partition",
+    "random_two_partition_yes",
+]
+
+
+@dataclass(frozen=True)
+class TwoPartitionInstance:
+    """An instance ``a_1..a_m`` (positive integers)."""
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ReproError("2-PARTITION needs at least one value")
+        for v in self.values:
+            if not isinstance(v, int) or v <= 0:
+                raise ReproError(f"values must be positive integers, got {v!r}")
+
+    @property
+    def m(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+    @property
+    def half(self) -> int:
+        return self.total // 2
+
+    def is_yes(self) -> bool:
+        return solve_two_partition(self) is not None
+
+
+def _subset_reaching(values: tuple[int, ...], target: int) -> frozenset[int] | None:
+    """Subset-sum DP with parent pointers: a subset of (0-based) indices
+    whose values sum to exactly ``target``, or ``None``.  ``O(m * target)``."""
+    if target == 0:
+        return frozenset()
+    parent: dict[int, tuple[int, int]] = {}  # sum -> (previous sum, index)
+    reachable = {0}
+    for idx, v in enumerate(values):
+        additions = []
+        for s in reachable:
+            t = s + v
+            if t <= target and t not in reachable and t not in parent:
+                parent[t] = (s, idx)
+                additions.append(t)
+        reachable.update(additions)
+        if target in reachable:
+            break
+    if target not in reachable:
+        return None
+    subset: set[int] = set()
+    s = target
+    while s > 0:
+        prev, idx = parent[s]
+        subset.add(idx)
+        s = prev
+    return frozenset(subset)
+
+
+def solve_two_partition(
+    instance: TwoPartitionInstance,
+) -> frozenset[int] | None:
+    """Exact pseudo-polynomial solver: a subset ``I`` (0-based indices)
+    with ``sum(I) = S/2``, or ``None`` for NO instances.  ``O(m S)``."""
+    if instance.total % 2 == 1:
+        return None
+    return _subset_reaching(instance.values, instance.half)
+
+
+def best_balanced_split(
+    instance: TwoPartitionInstance,
+) -> tuple[frozenset[int], int]:
+    """The most balanced split of any instance: a subset ``I`` with the
+    largest ``sum(I) <= S/2``; returns ``(I, max(side sums))``.
+
+    For YES instances the second component is exactly ``S/2``; for NO
+    instances it is the optimal two-machine makespan — ground truth for the
+    Theorem 12/15 gadgets.
+    """
+    for t in range(instance.half, -1, -1):
+        subset = _subset_reaching(instance.values, t)
+        if subset is not None:
+            return subset, instance.total - t
+    raise ReproError("unreachable: the empty subset reaches 0")
+
+
+def random_two_partition(
+    rng: random.Random, m: int, max_value: int = 50
+) -> TwoPartitionInstance:
+    """Uniform random instance (may be YES or NO)."""
+    return TwoPartitionInstance(
+        values=tuple(rng.randint(1, max_value) for _ in range(m))
+    )
+
+
+def random_two_partition_yes(
+    rng: random.Random, m: int, max_value: int = 50
+) -> TwoPartitionInstance:
+    """A YES instance by construction: sample ``m - 1`` values, then append
+    the value balancing a random split (resampled until positive)."""
+    if m < 2:
+        raise ReproError("need m >= 2")
+    for _ in range(10_000):
+        values = [rng.randint(1, max_value) for _ in range(m - 1)]
+        rng.shuffle(values)
+        subset_size = rng.randint(1, m - 2) if m > 2 else 1
+        balance = sum(values[:subset_size]) - sum(values[subset_size:])
+        if balance > 0:
+            values.append(balance)
+            inst = TwoPartitionInstance(values=tuple(values))
+            if inst.is_yes():
+                return inst
+    raise ReproError("failed to build a YES instance")

@@ -1,0 +1,189 @@
+"""JSON-friendly serialization of instances, mappings and solutions.
+
+Round-trippable dictionaries for every model object, so instances can be
+stored in files, shipped to the CLI (``python -m repro solve --file
+instance.json``) and solutions archived next to benchmark reports.
+
+Format (versioned, one top-level ``kind`` discriminator)::
+
+    {"kind": "pipeline", "works": [...], "data_sizes": [...],
+     "dp_overheads": [...]}
+    {"kind": "fork", "root_work": w0, "branch_works": [...]}
+    {"kind": "fork-join", "root_work": w0, "branch_works": [...],
+     "join_work": wj}
+    {"kind": "platform", "speeds": [...], "bandwidth": b | null}
+    {"kind": "mapping", "application": {...}, "platform": {...},
+     "groups": [{"stages": [...], "processors": [...],
+                 "assignment": "replicated" | "data-parallel"}]}
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core.application import (
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+)
+from .core.exceptions import ReproError
+from .core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from .core.platform import Platform
+
+__all__ = [
+    "application_to_dict",
+    "application_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "dumps",
+    "loads",
+]
+
+
+# ---------------------------------------------------------------- applications
+def application_to_dict(app) -> dict:
+    if isinstance(app, ForkJoinApplication):
+        return {
+            "kind": "fork-join",
+            "root_work": app.root.work,
+            "branch_works": list(app.branch_works),
+            "join_work": app.join.work,
+        }
+    if isinstance(app, ForkApplication):
+        return {
+            "kind": "fork",
+            "root_work": app.root.work,
+            "branch_works": list(app.branch_works),
+        }
+    if isinstance(app, PipelineApplication):
+        out = {"kind": "pipeline", "works": list(app.works)}
+        sizes = [app.stages[0].input_size] + [
+            stage.output_size for stage in app.stages
+        ]
+        if any(sizes):
+            out["data_sizes"] = sizes
+        overheads = [stage.dp_overhead for stage in app.stages]
+        if any(overheads):
+            out["dp_overheads"] = overheads
+        return out
+    raise ReproError(f"cannot serialize {type(app).__name__}")
+
+
+def application_from_dict(data: dict):
+    kind = data.get("kind")
+    if kind == "pipeline":
+        return PipelineApplication.from_works(
+            data["works"],
+            data_sizes=data.get("data_sizes"),
+            dp_overheads=data.get("dp_overheads"),
+        )
+    if kind == "fork":
+        return ForkApplication.from_works(
+            data["root_work"], data["branch_works"]
+        )
+    if kind == "fork-join":
+        return ForkJoinApplication.from_works(
+            data["root_work"], data["branch_works"], data["join_work"]
+        )
+    raise ReproError(f"unknown application kind {kind!r}")
+
+
+# ---------------------------------------------------------------- platforms
+def platform_to_dict(platform: Platform) -> dict:
+    out: dict = {"kind": "platform", "speeds": list(platform.speeds)}
+    if platform.interconnect is not None:
+        bandwidths = {
+            *(b for row in platform.interconnect.bandwidth for b in row),
+            *platform.interconnect.in_bandwidths,
+            *platform.interconnect.out_bandwidths,
+        }
+        if len(bandwidths) != 1:
+            raise ReproError(
+                "only uniform interconnects are serializable"
+            )
+        out["bandwidth"] = next(iter(bandwidths))
+    return out
+
+
+def platform_from_dict(data: dict) -> Platform:
+    if data.get("kind") != "platform":
+        raise ReproError(f"not a platform document: {data.get('kind')!r}")
+    bandwidth = data.get("bandwidth")
+    if bandwidth is None:
+        return Platform.heterogeneous(data["speeds"])
+    from .core.platform import Interconnect
+
+    speeds = data["speeds"]
+    return Platform.heterogeneous(
+        speeds, interconnect=Interconnect.uniform(len(speeds), bandwidth)
+    )
+
+
+# ---------------------------------------------------------------- mappings
+def mapping_to_dict(mapping) -> dict:
+    return {
+        "kind": "mapping",
+        "application": application_to_dict(mapping.application),
+        "platform": platform_to_dict(mapping.platform),
+        "groups": [
+            {
+                "stages": list(group.stages),
+                "processors": list(group.processors),
+                "assignment": group.kind.value,
+            }
+            for group in mapping.groups
+        ],
+    }
+
+
+def mapping_from_dict(data: dict):
+    if data.get("kind") != "mapping":
+        raise ReproError(f"not a mapping document: {data.get('kind')!r}")
+    app = application_from_dict(data["application"])
+    platform = platform_from_dict(data["platform"])
+    groups = tuple(
+        GroupAssignment(
+            stages=tuple(entry["stages"]),
+            processors=tuple(entry["processors"]),
+            kind=AssignmentKind(entry["assignment"]),
+        )
+        for entry in data["groups"]
+    )
+    if isinstance(app, ForkJoinApplication):
+        cls = ForkJoinMapping
+    elif isinstance(app, ForkApplication):
+        cls = ForkMapping
+    else:
+        cls = PipelineMapping
+    return cls(application=app, platform=platform, groups=groups)
+
+
+# ---------------------------------------------------------------- json text
+def dumps(obj) -> str:
+    """Serialize an application, platform or mapping to JSON text."""
+    if isinstance(obj, Platform):
+        return json.dumps(platform_to_dict(obj), indent=2)
+    if isinstance(
+        obj, (PipelineMapping, ForkMapping, ForkJoinMapping)
+    ):
+        return json.dumps(mapping_to_dict(obj), indent=2)
+    return json.dumps(application_to_dict(obj), indent=2)
+
+
+def loads(text: str):
+    """Deserialize JSON text produced by :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "platform":
+        return platform_from_dict(data)
+    if kind == "mapping":
+        return mapping_from_dict(data)
+    return application_from_dict(data)

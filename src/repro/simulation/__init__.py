@@ -1,0 +1,35 @@
+"""Discrete-event simulation of mapped workflows.
+
+The paper's cost model is analytic; this subpackage *executes* a mapping on
+a stream of data sets and measures what actually happens, so the formulas
+of Section 3.4 can be validated dynamically:
+
+* round-robin replication (the paper's rule) with in-order delivery between
+  groups — steady-state inter-departure times converge to the analytic
+  period, and observed worst-case latency never exceeds (and approaches)
+  the analytic latency;
+* the *demand-driven* policy the paper discusses and rejects in Section 3.3
+  — higher throughput on heterogeneous replica sets, but out-of-order
+  completions, which the simulator counts.
+
+See :func:`repro.simulation.simulate` for the entry point and
+``benchmarks/bench_simulator_validation.py`` for the validation experiment.
+"""
+
+from .simulator import (
+    DispatchPolicy,
+    SimulationResult,
+    simulate,
+    simulate_fork,
+    simulate_forkjoin,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "DispatchPolicy",
+    "SimulationResult",
+    "simulate",
+    "simulate_pipeline",
+    "simulate_fork",
+    "simulate_forkjoin",
+]

@@ -1,0 +1,405 @@
+"""Execution simulator for mapped pipeline / fork / fork-join workflows.
+
+The model is deterministic, so rather than a generic event heap the
+simulator computes event times directly, data set by data set, which is both
+exact and fast (numpy arrays over the data-set dimension).
+
+Service disciplines
+-------------------
+* A **replicated** group has one server per processor.  Under
+  :attr:`DispatchPolicy.ROUND_ROBIN` (the paper's rule) data set ``d`` goes
+  to server ``d mod k``; under :attr:`DispatchPolicy.DEMAND_DRIVEN` it goes
+  to the earliest-available server (the higher-throughput, order-breaking
+  alternative of Section 3.3).
+* A **data-parallel** group is a single logical server of speed
+  :math:`\\sum_u s_u` (all processors cooperate on every data set).
+* Between groups, completions are released **in order** by default (a
+  reorder buffer), because the next stage may be sequential — exactly the
+  argument the paper uses to enforce round-robin.  Raw (pre-buffer)
+  completion order is inspected to count **order inversions**.
+
+Fork semantics follow the paper's flexible model: non-root groups start a
+data set as soon as :math:`S_0` completes for it.  For fork-join, the join
+group serves each of its data sets to completion in data-set order (branch
+phase, then join phase once every group has delivered that data set).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.application import ForkJoinApplication
+from ..core.costs import FLOAT_TOL
+from ..core.exceptions import ReproError
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+
+__all__ = [
+    "DispatchPolicy",
+    "SimulationResult",
+    "simulate_pipeline",
+    "simulate_fork",
+    "simulate_forkjoin",
+    "simulate",
+]
+
+
+class DispatchPolicy(enum.Enum):
+    """How a replicated group assigns data sets to its processors."""
+
+    ROUND_ROBIN = "round-robin"
+    DEMAND_DRIVEN = "demand-driven"
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured behaviour of a simulated workflow.
+
+    ``measured_period`` is the steady-state inter-departure time (slope of
+    the completion times over the second half of the stream);
+    ``max_latency`` the worst observed response time;
+    ``order_inversions`` the number of data sets overtaken by a later one
+    *before* re-ordering buffers.
+    """
+
+    entry_times: np.ndarray
+    completion_times: np.ndarray
+    latencies: np.ndarray
+    measured_period: float
+    max_latency: float
+    mean_latency: float
+    order_inversions: int
+
+    @property
+    def num_data_sets(self) -> int:
+        return len(self.entry_times)
+
+
+def _serve_group(
+    arrivals: np.ndarray,
+    work: float,
+    speeds: list[float],
+    kind: AssignmentKind,
+    policy: DispatchPolicy,
+    dp_overhead: float = 0.0,
+) -> np.ndarray:
+    """Raw completion times of one group for every data set.
+
+    ``dp_overhead`` is the Amdahl fixed sequential cost paid per data set by
+    a data-parallel group (Section 3.3 extension); zero in the paper's
+    simplified model.
+    """
+    D = len(arrivals)
+    out = np.empty(D)
+    if kind is AssignmentKind.DATA_PARALLEL:
+        duration = dp_overhead + work / sum(speeds)
+        free = 0.0
+        for d in range(D):
+            start = max(arrivals[d], free)
+            free = start + duration
+            out[d] = free
+        return out
+    k = len(speeds)
+    free = [0.0] * k
+    for d in range(D):
+        if policy is DispatchPolicy.ROUND_ROBIN:
+            r = d % k
+        else:
+            r = min(range(k), key=lambda i: (free[i], i))
+        start = max(arrivals[d], free[r])
+        free[r] = start + work / speeds[r]
+        out[d] = free[r]
+    return out
+
+
+def _count_inversions(raw: np.ndarray) -> int:
+    """Data sets completed before some earlier data set (order breaks)."""
+    running = np.maximum.accumulate(raw)
+    return int(np.sum(raw[1:] < running[:-1] - FLOAT_TOL))
+
+
+def _deliver(raw: np.ndarray, enforce_order: bool) -> np.ndarray:
+    return np.maximum.accumulate(raw) if enforce_order else raw
+
+
+def _result(entry: np.ndarray, completion: np.ndarray, inversions: int
+            ) -> SimulationResult:
+    D = len(entry)
+    latencies = completion - entry
+    half = max(1, D // 2)
+    if D > half:
+        period = float(
+            (completion[-1] - completion[half - 1]) / (D - half)
+        )
+    else:
+        period = float(completion[-1] - entry[0])
+    return SimulationResult(
+        entry_times=entry,
+        completion_times=completion,
+        latencies=latencies,
+        measured_period=period,
+        max_latency=float(latencies.max()),
+        mean_latency=float(latencies.mean()),
+        order_inversions=inversions,
+    )
+
+
+def _works_table(mapping) -> dict[int, float]:
+    app = mapping.application
+    stages = app.all_stages if hasattr(app, "all_stages") else app.stages
+    return {stage.index: stage.work for stage in stages}
+
+
+def _overheads_table(mapping) -> dict[int, float]:
+    app = mapping.application
+    stages = app.all_stages if hasattr(app, "all_stages") else app.stages
+    return {stage.index: stage.dp_overhead for stage in stages}
+
+
+def _group_overhead(mapping, group: GroupAssignment, stages=None) -> float:
+    """Amdahl overhead of a group's (sub)set of stages when data-parallel."""
+    if group.kind is not AssignmentKind.DATA_PARALLEL:
+        return 0.0
+    table = _overheads_table(mapping)
+    members = group.stages if stages is None else stages
+    return sum(table[i] for i in members)
+
+
+def simulate_pipeline(
+    mapping: PipelineMapping,
+    num_data_sets: int = 200,
+    input_period: float | None = None,
+    policy: DispatchPolicy = DispatchPolicy.ROUND_ROBIN,
+    enforce_order: bool = True,
+) -> SimulationResult:
+    """Stream ``num_data_sets`` data sets through a mapped pipeline.
+
+    ``input_period`` defaults to the analytic period of the mapping (the
+    fastest sustainable input rate); smaller values make queues grow and
+    latency diverge, which the examples demonstrate.
+    """
+    from ..core.costs import pipeline_period
+
+    if num_data_sets < 1:
+        raise ReproError("need at least one data set")
+    if input_period is None:
+        input_period = pipeline_period(mapping)
+    works = _works_table(mapping)
+    entry = np.arange(num_data_sets) * input_period
+    current = entry.copy()
+    inversions = 0
+    for group in mapping.groups:
+        work = group.work(works)
+        speeds = list(mapping.platform.subset_speeds(group.processors))
+        raw = _serve_group(
+            current, work, speeds, group.kind, policy,
+            _group_overhead(mapping, group),
+        )
+        inversions += _count_inversions(raw)
+        current = _deliver(raw, enforce_order)
+    return _result(entry, current, inversions)
+
+
+def _fork_phase(
+    mapping: ForkMapping,
+    entry: np.ndarray,
+    policy: DispatchPolicy,
+    enforce_order: bool,
+    branch_works: dict[int, float],
+    root_branch_work: float,
+    skip_groups: tuple[GroupAssignment, ...] = (),
+) -> tuple[np.ndarray, dict[GroupAssignment, np.ndarray], int]:
+    """Common part of fork and fork-join: root + branch processing.
+
+    ``skip_groups`` excludes groups served elsewhere (the fork-join join
+    group runs its two-phase service in :func:`simulate_forkjoin`).
+
+    Returns ``(s0_done, branch_done per group, inversions)`` where
+    ``branch_done[g][d]`` is when group ``g`` finished its branch stages for
+    data set ``d`` (the root group's entry includes the root work).
+    """
+    app = mapping.application
+    root_group = mapping.root_group
+    root_speeds = list(mapping.platform.subset_speeds(root_group.processors))
+    inversions = 0
+    D = len(entry)
+
+    # Root group: each server handles w0 + its branch stages per data set;
+    # S0 completes after the w0 fraction of the server's busy time.
+    w0 = app.root.work
+    total_root_work = w0 + root_branch_work
+    s0_done = np.empty(D)
+    root_done = np.empty(D)
+    if root_group.kind is AssignmentKind.DATA_PARALLEL:
+        # a data-parallel root group holds S0 alone (validation rule)
+        f0 = app.root.dp_overhead
+        speed = sum(root_speeds)
+        free = 0.0
+        for d in range(D):
+            start = max(entry[d], free)
+            s0_done[d] = start + f0 + w0 / speed
+            free = start + total_root_work / speed
+            root_done[d] = free
+    else:
+        k = len(root_speeds)
+        free = [0.0] * k
+        for d in range(D):
+            if policy is DispatchPolicy.ROUND_ROBIN:
+                r = d % k
+            else:
+                r = min(range(k), key=lambda i: (free[i], i))
+            start = max(entry[d], free[r])
+            s0_done[d] = start + w0 / root_speeds[r]
+            free[r] = start + total_root_work / root_speeds[r]
+            root_done[d] = free[r]
+    inversions += _count_inversions(root_done)
+    s0_done = _deliver(s0_done, enforce_order)
+    root_done = _deliver(root_done, enforce_order)
+
+    branch_done: dict[GroupAssignment, np.ndarray] = {root_group: root_done}
+    for group in mapping.non_root_groups:
+        if skip_groups and group in skip_groups:
+            continue
+        members = [i for i in group.stages if i in branch_works]
+        work = sum(branch_works[i] for i in members)
+        speeds = list(mapping.platform.subset_speeds(group.processors))
+        raw = _serve_group(
+            s0_done, work, speeds, group.kind, policy,
+            _group_overhead(mapping, group, members),
+        )
+        inversions += _count_inversions(raw)
+        branch_done[group] = _deliver(raw, enforce_order)
+    return s0_done, branch_done, inversions
+
+
+def simulate_fork(
+    mapping: ForkMapping,
+    num_data_sets: int = 200,
+    input_period: float | None = None,
+    policy: DispatchPolicy = DispatchPolicy.ROUND_ROBIN,
+    enforce_order: bool = True,
+) -> SimulationResult:
+    """Stream data sets through a mapped fork (flexible model)."""
+    from ..core.costs import fork_period
+
+    if input_period is None:
+        input_period = fork_period(mapping)
+    app = mapping.application
+    works = {s.index: s.work for s in app.branches}
+    root_branch = sum(
+        works[i] for i in mapping.root_group.stages if i != 0
+    )
+    entry = np.arange(num_data_sets) * input_period
+    _, branch_done, inversions = _fork_phase(
+        mapping, entry, policy, enforce_order, works, root_branch
+    )
+    completion = np.maximum.reduce(list(branch_done.values()))
+    return _result(entry, completion, inversions)
+
+
+def simulate_forkjoin(
+    mapping: ForkJoinMapping,
+    num_data_sets: int = 200,
+    input_period: float | None = None,
+    policy: DispatchPolicy = DispatchPolicy.ROUND_ROBIN,
+    enforce_order: bool = True,
+) -> SimulationResult:
+    """Stream data sets through a mapped fork-join.
+
+    The join group serves each of its data sets to completion in data-set
+    order: branch phase first, then — once every group has delivered the
+    data set — the join phase on the same server.
+    """
+    from ..core.costs import forkjoin_period
+
+    if input_period is None:
+        input_period = forkjoin_period(mapping)
+    app: ForkJoinApplication = mapping.application
+    join_index = app.n + 1
+    works = {s.index: s.work for s in app.branches}
+    root_branch = sum(
+        works.get(i, 0.0)
+        for i in mapping.root_group.stages
+        if i not in (0, join_index)
+    )
+    entry = np.arange(num_data_sets) * input_period
+    D = num_data_sets
+
+    join_group = mapping.join_group
+    root_group = mapping.root_group
+
+    skip = (join_group,) if join_group is not root_group else ()
+    s0_done, branch_done, inversions = _fork_phase(
+        mapping, entry, policy, enforce_order, works, root_branch,
+        skip_groups=skip,
+    )
+
+    # ready time for the join phase: all groups delivered the data set
+    others = [
+        done for group, done in branch_done.items() if group is not join_group
+    ]
+    ready_other = (
+        np.maximum.reduce(others) if others else np.zeros(D)
+    )
+
+    wj = app.join.work
+    speeds = list(mapping.platform.subset_speeds(join_group.processors))
+    join_done = np.empty(D)
+    join_members = [i for i in join_group.stages if i in works]
+    if join_group is root_group:
+        # branch phase of the join group already includes w0; redo the
+        # two-phase service on the root servers
+        wb = app.root.work + root_branch
+    else:
+        wb = sum(works[i] for i in join_members)
+    fb_over = _group_overhead(mapping, join_group, join_members)
+    fj_over = (
+        app.join.dp_overhead
+        if join_group.kind is AssignmentKind.DATA_PARALLEL
+        else 0.0
+    )
+    arrivals = entry if join_group is root_group else s0_done
+    if join_group.kind is AssignmentKind.DATA_PARALLEL:
+        speed = sum(speeds)
+        free = 0.0
+        for d in range(D):
+            start = max(arrivals[d], free)
+            fb = start + (fb_over + wb / speed if wb > 0 else 0.0)
+            tj = max(fb, ready_other[d])
+            free = tj + fj_over + wj / speed
+            join_done[d] = free
+    else:
+        k = len(speeds)
+        free = [0.0] * k
+        for d in range(D):
+            if policy is DispatchPolicy.ROUND_ROBIN:
+                r = d % k
+            else:
+                r = min(range(k), key=lambda i: (free[i], i))
+            start = max(arrivals[d], free[r])
+            fb = start + wb / speeds[r]
+            tj = max(fb, ready_other[d])
+            free[r] = tj + wj / speeds[r]
+            join_done[d] = free[r]
+    inversions += _count_inversions(join_done)
+    completion = _deliver(join_done, enforce_order)
+    return _result(entry, completion, inversions)
+
+
+def simulate(mapping, **kwargs) -> SimulationResult:
+    """Dispatch on mapping type."""
+    if isinstance(mapping, ForkJoinMapping):
+        return simulate_forkjoin(mapping, **kwargs)
+    if isinstance(mapping, ForkMapping):
+        return simulate_fork(mapping, **kwargs)
+    if isinstance(mapping, PipelineMapping):
+        return simulate_pipeline(mapping, **kwargs)
+    raise TypeError(f"cannot simulate {type(mapping).__name__}")

@@ -1,0 +1,153 @@
+"""Tests for the communication-aware interval-mapping algorithms."""
+
+import itertools
+import random
+
+import pytest
+
+import repro
+from repro.algorithms.comm_aware import (
+    min_latency_comm,
+    min_latency_given_period_comm,
+    min_period_comm,
+    min_period_given_latency_comm,
+)
+from repro.core import (
+    CommunicationModel,
+    InfeasibleProblemError,
+    InvalidPlatformError,
+    OnePortInterval,
+    UnsupportedVariantError,
+    pipeline_latency_with_comm,
+    pipeline_period_with_comm,
+)
+
+STRICT = CommunicationModel.ONE_PORT_STRICT
+OVERLAP = CommunicationModel.MULTI_PORT_OVERLAP
+
+
+def random_comm_app(rng, n):
+    works = [rng.randint(1, 9) for _ in range(n)]
+    sizes = [rng.randint(0, 6) for _ in range(n + 1)]
+    return repro.PipelineApplication.from_works(works, data_sizes=sizes)
+
+
+def brute_force_comm(app, platform, model, objective, period_bound=None):
+    """Reference: enumerate all interval partitions (procs identical)."""
+    n, p = app.n, platform.p
+    best = float("inf")
+    for q in range(1, min(n, p) + 1):
+        for cuts in itertools.combinations(range(1, n), q - 1):
+            bounds = [0, *cuts, n]
+            intervals = [
+                OnePortInterval(start=bounds[t] + 1, end=bounds[t + 1],
+                                processor=t)
+                for t in range(q)
+            ]
+            period = pipeline_period_with_comm(app, platform, intervals, model)
+            latency = pipeline_latency_with_comm(app, platform, intervals, model)
+            if period_bound is not None and period > period_bound * (1 + 1e-9):
+                continue
+            value = period if objective == "period" else latency
+            best = min(best, value)
+    return best
+
+
+class TestMinPeriod:
+    @pytest.mark.parametrize("model", [STRICT, OVERLAP])
+    def test_matches_brute_force(self, model):
+        rng = random.Random(46)
+        for _ in range(12):
+            n, p = rng.randint(1, 7), rng.randint(1, 5)
+            app = random_comm_app(rng, n)
+            plat = repro.Platform.homogeneous(
+                p, speed=rng.choice([1.0, 2.0]),
+                bandwidth=rng.choice([1.0, 4.0]),
+            )
+            want = brute_force_comm(app, plat, model, "period")
+            got = min_period_comm(app, plat, model)
+            assert got.period == pytest.approx(want)
+
+    def test_zero_sizes_reduce_to_chains_to_chains(self):
+        from repro.chains import chains_to_chains_dp
+
+        rng = random.Random(47)
+        for _ in range(8):
+            n, p = rng.randint(1, 8), rng.randint(1, 5)
+            works = [float(rng.randint(1, 9)) for _ in range(n)]
+            app = repro.PipelineApplication.from_works(works)
+            plat = repro.Platform.homogeneous(p, 1.0, bandwidth=1.0)
+            got = min_period_comm(app, plat).period
+            want = chains_to_chains_dp(works, p).bottleneck
+            assert got == pytest.approx(want)
+
+    def test_communication_shifts_the_optimum(self):
+        # heavy transfer between S1 and S2: splitting there is bad
+        app = repro.PipelineApplication.from_works(
+            [4.0, 4.0], data_sizes=[0.0, 100.0, 0.0]
+        )
+        slow_net = repro.Platform.homogeneous(2, 1.0, bandwidth=1.0)
+        fast_net = repro.Platform.homogeneous(2, 1.0, bandwidth=1000.0)
+        assert len(min_period_comm(app, slow_net).intervals) == 1
+        assert len(min_period_comm(app, fast_net).intervals) == 2
+
+
+class TestMinLatency:
+    def test_single_interval_is_optimal(self):
+        rng = random.Random(48)
+        for _ in range(8):
+            app = random_comm_app(rng, rng.randint(1, 6))
+            plat = repro.Platform.homogeneous(3, 1.0, bandwidth=2.0)
+            got = min_latency_comm(app, plat)
+            want = brute_force_comm(app, plat, STRICT, "latency")
+            assert got.latency == pytest.approx(want)
+            assert len(got.intervals) == 1
+
+
+class TestBicriteria:
+    @pytest.mark.parametrize("model", [STRICT, OVERLAP])
+    def test_latency_under_period_matches_brute_force(self, model):
+        rng = random.Random(49)
+        for _ in range(10):
+            n, p = rng.randint(1, 7), rng.randint(1, 4)
+            app = random_comm_app(rng, n)
+            plat = repro.Platform.homogeneous(p, 1.0, bandwidth=2.0)
+            base = min_period_comm(app, plat, model).period
+            bound = base * (1 + rng.random())
+            want = brute_force_comm(app, plat, model, "latency", bound)
+            got = min_latency_given_period_comm(app, plat, bound, model)
+            assert got.latency == pytest.approx(want)
+            assert got.period <= bound * (1 + 1e-9)
+
+    def test_infeasible_bound(self):
+        app = repro.PipelineApplication.from_works([10.0])
+        plat = repro.Platform.homogeneous(1, 1.0, bandwidth=1.0)
+        with pytest.raises(InfeasibleProblemError):
+            min_latency_given_period_comm(app, plat, 1.0)
+
+    def test_converse_direction(self):
+        rng = random.Random(50)
+        for _ in range(6):
+            n, p = rng.randint(1, 6), rng.randint(1, 4)
+            app = random_comm_app(rng, n)
+            plat = repro.Platform.homogeneous(p, 1.0, bandwidth=2.0)
+            loose_latency = min_latency_comm(app, plat).latency * 2.0
+            sol = min_period_given_latency_comm(app, plat, loose_latency)
+            assert sol.latency <= loose_latency * (1 + 1e-9)
+            # with a latency budget this loose, the unconstrained period
+            # optimum may or may not fit; the result must dominate nothing
+            assert sol.period >= min_period_comm(app, plat).period - 1e-9
+
+
+class TestGuards:
+    def test_requires_homogeneous_platform(self):
+        app = repro.PipelineApplication.from_works([1.0, 2.0])
+        plat = repro.Platform.heterogeneous([1.0, 2.0])
+        with pytest.raises(UnsupportedVariantError):
+            min_period_comm(app, plat)
+
+    def test_requires_interconnect(self):
+        app = repro.PipelineApplication.from_works([1.0, 2.0])
+        plat = repro.Platform.homogeneous(2, 1.0)
+        with pytest.raises(InvalidPlatformError):
+            min_period_comm(app, plat)

@@ -1,0 +1,158 @@
+"""Tests for the structured exact solvers and the Lemma 1/2 transforms."""
+
+import random
+
+import pytest
+
+from repro.algorithms import brute_force as bf
+from repro.algorithms import exact
+from repro.algorithms.lemmas import (
+    strip_data_parallelism_hom,
+    strip_replication_for_latency,
+)
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.core import (
+    ForkApplication,
+    PipelineApplication,
+    Platform,
+    ReproError,
+    evaluate,
+)
+from repro.heuristics import random_fork_mapping, random_pipeline_mapping
+
+
+class TestLemma1:
+    def test_period_preserved_on_hom_platform(self):
+        rng = random.Random(81)
+        plat = Platform.homogeneous(4, 2.0)
+        for _ in range(20):
+            app = PipelineApplication.from_works(
+                [rng.randint(1, 9) for _ in range(rng.randint(1, 5))]
+            )
+            sol = random_pipeline_mapping(app, plat, rng, allow_data_parallel=True)
+            stripped = strip_data_parallelism_hom(sol.mapping)
+            period, _ = evaluate(stripped)
+            assert period == pytest.approx(sol.period)
+
+    def test_rejects_het_platform(self):
+        rng = random.Random(1)
+        app = PipelineApplication.from_works([1, 2])
+        plat = Platform.heterogeneous([1.0, 2.0])
+        sol = random_pipeline_mapping(app, plat, rng)
+        with pytest.raises(ReproError):
+            strip_data_parallelism_hom(sol.mapping)
+
+
+class TestLemma2:
+    def test_latency_preserved_any_platform(self):
+        rng = random.Random(82)
+        for _ in range(20):
+            p = rng.randint(1, 5)
+            plat = Platform.heterogeneous([rng.randint(1, 5) for _ in range(p)])
+            app = ForkApplication.from_works(
+                rng.randint(1, 5),
+                [rng.randint(1, 9) for _ in range(rng.randint(1, 4))],
+            )
+            sol = random_fork_mapping(app, plat, rng, allow_data_parallel=False)
+            stripped = strip_replication_for_latency(sol.mapping)
+            _, latency = evaluate(stripped)
+            assert latency == pytest.approx(sol.latency)
+
+    def test_frees_processors(self):
+        rng = random.Random(83)
+        app = PipelineApplication.from_works([3, 3])
+        plat = Platform.homogeneous(4, 1.0)
+        sol = random_pipeline_mapping(app, plat, rng)
+        stripped = strip_replication_for_latency(sol.mapping)
+        for group in stripped.groups:
+            if group.kind.value == "replicated":
+                assert group.k == 1
+
+
+class TestPipelinePeriodExactBlocks:
+    def test_matches_brute_force(self):
+        rng = random.Random(91)
+        for _ in range(10):
+            n, p = rng.randint(1, 5), rng.randint(1, 5)
+            app = PipelineApplication.from_works(
+                [rng.randint(1, 9) for _ in range(n)]
+            )
+            plat = Platform.heterogeneous([rng.randint(1, 5) for _ in range(p)])
+            want = bf.optimal(
+                ProblemSpec(app, plat, False), Objective.PERIOD
+            ).period
+            got = exact.pipeline_period_exact_blocks(app, plat)
+            assert got.period == pytest.approx(want)
+
+    def test_handles_more_processors_than_stages(self):
+        app = PipelineApplication.from_works([10, 1])
+        plat = Platform.heterogeneous([1.0, 1.0, 1.0, 5.0])
+        sol = exact.pipeline_period_exact_blocks(app, plat)
+        want = bf.optimal(ProblemSpec(app, plat, False), Objective.PERIOD).period
+        assert sol.period == pytest.approx(want)
+
+
+class TestMakespanExact:
+    def test_trivial(self):
+        value, assign = exact.makespan_partition_exact([5.0], 3)
+        assert value == pytest.approx(5.0)
+        assert sorted(i for m in assign for i in m) == [0]
+
+    def test_perfect_split(self):
+        value, _ = exact.makespan_partition_exact([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+        assert value == pytest.approx(6.0)
+
+    def test_matches_enumeration(self):
+        rng = random.Random(92)
+        import itertools
+
+        for _ in range(10):
+            n, m = rng.randint(1, 7), rng.randint(1, 3)
+            works = [float(rng.randint(1, 9)) for _ in range(n)]
+            want = min(
+                max(
+                    sum(w for w, c in zip(works, coloring) if c == machine)
+                    for machine in range(m)
+                )
+                for coloring in itertools.product(range(m), repeat=n)
+            )
+            got, _ = exact.makespan_partition_exact(works, m)
+            assert got == pytest.approx(want)
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ReproError):
+            exact.makespan_partition_exact([1.0], 0)
+
+
+class TestForkLatencyExact:
+    def test_matches_brute_force(self):
+        rng = random.Random(93)
+        for _ in range(8):
+            n, p = rng.randint(1, 5), rng.randint(1, 4)
+            app = ForkApplication.from_works(
+                rng.randint(1, 9),
+                [rng.randint(1, 9) for _ in range(n)],
+            )
+            plat = Platform.homogeneous(p, 1.0)
+            want = bf.optimal(
+                ProblemSpec(app, plat, False), Objective.LATENCY
+            ).latency
+            got = exact.fork_latency_exact_hom_platform(app, plat)
+            assert got.latency == pytest.approx(want)
+
+    def test_rejects_het_platform(self):
+        app = ForkApplication.from_works(1.0, [1.0])
+        with pytest.raises(ReproError):
+            exact.fork_latency_exact_hom_platform(
+                app, Platform.heterogeneous([1, 2])
+            )
+
+
+class TestBruteGuards:
+    def test_size_guard(self):
+        app = PipelineApplication.homogeneous(10)
+        plat = Platform.homogeneous(10)
+        with pytest.raises(ReproError):
+            exact.pipeline_exact(
+                ProblemSpec(app, plat, False), Objective.PERIOD
+            )

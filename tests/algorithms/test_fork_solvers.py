@@ -1,0 +1,150 @@
+"""Tests for the fork solvers (Theorems 10, 11, 14)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import brute_force as bf
+from repro.algorithms import fork_het_platform as fhet
+from repro.algorithms import fork_hom_platform as fhom
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.core import (
+    ForkApplication,
+    InfeasibleProblemError,
+    Platform,
+    UnsupportedVariantError,
+    validate,
+)
+
+
+class TestTheorem10:
+    def test_capacity_bound(self):
+        app = ForkApplication.from_works(2.0, [3.0, 5.0, 2.0])
+        plat = Platform.homogeneous(4, 1.5)
+        sol = fhom.min_period(app, plat)
+        assert sol.period == pytest.approx(12.0 / 6.0)
+
+    def test_works_for_heterogeneous_forks(self):
+        app = ForkApplication.from_works(1.0, [9.0, 1.0])
+        plat = Platform.homogeneous(2, 1.0)
+        sol = fhom.min_period(app, plat)
+        want = bf.optimal(ProblemSpec(app, plat, False), Objective.PERIOD).period
+        assert sol.period == pytest.approx(want)
+
+    def test_rejects_het_platform(self):
+        app = ForkApplication.homogeneous(2)
+        with pytest.raises(UnsupportedVariantError):
+            fhom.min_period(app, Platform.heterogeneous([1, 2]))
+
+
+class TestTheorem11:
+    def test_latency_no_dp_balances_branches(self):
+        # w0=1, 4 branches of 2, p=3: root keeps n0, others balance
+        app = ForkApplication.homogeneous(4, 1.0, 2.0)
+        plat = Platform.homogeneous(3, 1.0)
+        sol = fhom.min_latency(app, plat, allow_data_parallel=False)
+        want = bf.optimal(ProblemSpec(app, plat, False), Objective.LATENCY).latency
+        assert sol.latency == pytest.approx(want)
+
+    def test_latency_with_dp_beats_no_dp(self):
+        app = ForkApplication.homogeneous(6, 2.0, 4.0)
+        plat = Platform.homogeneous(4, 1.0)
+        with_dp = fhom.min_latency(app, plat, allow_data_parallel=True)
+        without = fhom.min_latency(app, plat, allow_data_parallel=False)
+        assert with_dp.latency <= without.latency + 1e-9
+
+    def test_rejects_heterogeneous_fork_for_latency(self):
+        app = ForkApplication.from_works(1.0, [1.0, 5.0])
+        with pytest.raises(UnsupportedVariantError):
+            fhom.min_latency(app, Platform.homogeneous(2))
+
+    @pytest.mark.parametrize("dp", [False, True])
+    def test_random_cross_validation(self, dp):
+        rng = random.Random(41 + dp)
+        for _ in range(8):
+            n, p = rng.randint(1, 4), rng.randint(1, 4)
+            app = ForkApplication.homogeneous(
+                n, rng.randint(1, 8), rng.randint(1, 5)
+            )
+            plat = Platform.homogeneous(p, rng.choice([1.0, 2.0]))
+            spec = ProblemSpec(app, plat, dp)
+            assert fhom.min_latency(app, plat, dp).latency == pytest.approx(
+                bf.optimal(spec, Objective.LATENCY).latency
+            )
+            K = bf.optimal(spec, Objective.PERIOD).period * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=K).latency
+            sol = fhom.min_latency_given_period(app, plat, K, dp)
+            assert sol.latency == pytest.approx(want)
+            assert sol.period <= K * (1 + 1e-9)
+            L = bf.optimal(spec, Objective.LATENCY).latency * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.PERIOD, latency_bound=L).period
+            assert fhom.min_period_given_latency(
+                app, plat, L, dp
+            ).period == pytest.approx(want)
+
+    def test_infeasible_period_bound(self):
+        app = ForkApplication.homogeneous(2, 5.0, 5.0)
+        plat = Platform.homogeneous(2, 1.0)
+        with pytest.raises(InfeasibleProblemError):
+            fhom.min_latency_given_period(app, plat, 0.5, False)
+
+
+class TestTheorem14:
+    def test_period_uses_all_capacity_when_possible(self):
+        app = ForkApplication.homogeneous(4, 2.0, 3.0)
+        plat = Platform.heterogeneous([1.0, 2.0, 4.0])
+        sol = fhet.min_period_homogeneous(app, plat)
+        want = bf.optimal(ProblemSpec(app, plat, False), Objective.PERIOD).period
+        assert sol.period == pytest.approx(want)
+        validate(sol.mapping, allow_data_parallel=False)
+
+    def test_latency_known_case(self):
+        # root on the fastest processor is not always optimal: check vs bf
+        app = ForkApplication.homogeneous(3, 6.0, 2.0)
+        plat = Platform.heterogeneous([1.0, 3.0])
+        sol = fhet.min_latency_homogeneous(app, plat)
+        want = bf.optimal(ProblemSpec(app, plat, False), Objective.LATENCY).latency
+        assert sol.latency == pytest.approx(want)
+
+    def test_rejects_heterogeneous_fork(self):
+        app = ForkApplication.from_works(1.0, [1.0, 5.0])
+        with pytest.raises(UnsupportedVariantError):
+            fhet.min_period_homogeneous(app, Platform.heterogeneous([1, 2]))
+
+    def test_random_cross_validation_all_objectives(self):
+        rng = random.Random(53)
+        for _ in range(8):
+            n, p = rng.randint(1, 4), rng.randint(1, 4)
+            app = ForkApplication.homogeneous(
+                n, rng.randint(1, 8), rng.randint(1, 5)
+            )
+            plat = Platform.heterogeneous([rng.randint(1, 5) for _ in range(p)])
+            spec = ProblemSpec(app, plat, False)
+            assert fhet.min_period_homogeneous(app, plat).period == pytest.approx(
+                bf.optimal(spec, Objective.PERIOD).period
+            )
+            assert fhet.min_latency_homogeneous(app, plat).latency == pytest.approx(
+                bf.optimal(spec, Objective.LATENCY).latency
+            )
+            K = bf.optimal(spec, Objective.PERIOD).period * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=K).latency
+            got = fhet.min_latency_given_period_homogeneous(app, plat, K)
+            assert got.latency == pytest.approx(want)
+            assert got.period <= K * (1 + 1e-9)
+            L = bf.optimal(spec, Objective.LATENCY).latency * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.PERIOD, latency_bound=L).period
+            got = fhet.min_period_given_latency_homogeneous(app, plat, L)
+            assert got.period == pytest.approx(want)
+
+    def test_single_processor(self):
+        app = ForkApplication.homogeneous(3, 1.0, 2.0)
+        plat = Platform.heterogeneous([2.0])
+        sol = fhet.min_period_homogeneous(app, plat)
+        assert sol.period == pytest.approx(7.0 / 2.0)
+        assert sol.latency == pytest.approx(7.0 / 2.0)
+
+    def test_infeasible_latency_bound(self):
+        app = ForkApplication.homogeneous(2, 4.0, 4.0)
+        plat = Platform.heterogeneous([1.0, 1.0])
+        with pytest.raises(InfeasibleProblemError):
+            fhet.min_period_given_latency_homogeneous(app, plat, 1.0)

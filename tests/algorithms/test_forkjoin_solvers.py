@@ -1,0 +1,111 @@
+"""Tests for the fork-join extensions (Section 6.3)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import brute_force as bf
+from repro.algorithms import forkjoin as fj
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.core import (
+    ForkJoinApplication,
+    Platform,
+    UnsupportedVariantError,
+    validate,
+)
+
+
+class TestHomPlatform:
+    def test_min_period_replicate_all(self):
+        app = ForkJoinApplication.from_works(1.0, [2.0, 3.0], 4.0)
+        plat = Platform.homogeneous(3, 2.0)
+        sol = fj.min_period_hom_platform(app, plat)
+        assert sol.period == pytest.approx(10.0 / 6.0)
+
+    def test_latency_join_placement_matters(self):
+        # join heavy: placing branches with root frees a processor for join
+        app = ForkJoinApplication.homogeneous(2, 1.0, 1.0, 8.0)
+        plat = Platform.homogeneous(3, 1.0)
+        sol = fj.solve_hom_platform(
+            app, plat, Objective.LATENCY, allow_data_parallel=True
+        )
+        want = bf.optimal(ProblemSpec(app, plat, True), Objective.LATENCY).latency
+        assert sol.latency == pytest.approx(want)
+
+    @pytest.mark.parametrize("dp", [False, True])
+    def test_random_cross_validation(self, dp):
+        rng = random.Random(61 + dp)
+        for _ in range(6):
+            n, p = rng.randint(1, 3), rng.randint(1, 4)
+            app = ForkJoinApplication.homogeneous(
+                n, rng.randint(1, 6), rng.randint(1, 4), rng.randint(1, 6)
+            )
+            plat = Platform.homogeneous(p, 1.0)
+            spec = ProblemSpec(app, plat, dp)
+            got = fj.solve_hom_platform(
+                app, plat, Objective.LATENCY, allow_data_parallel=dp
+            )
+            want = bf.optimal(spec, Objective.LATENCY).latency
+            assert got.latency == pytest.approx(want)
+            validate(got.mapping, allow_data_parallel=dp)
+            K = bf.optimal(spec, Objective.PERIOD).period * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=K).latency
+            got = fj.solve_hom_platform(
+                app, plat, Objective.LATENCY, period_bound=K,
+                allow_data_parallel=dp,
+            )
+            assert got.latency == pytest.approx(want)
+            # converse bi-criteria
+            L = bf.optimal(spec, Objective.LATENCY).latency * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.PERIOD, latency_bound=L).period
+            got = fj.solve_hom_platform(
+                app, plat, Objective.PERIOD, latency_bound=L,
+                allow_data_parallel=dp,
+            )
+            assert got.period == pytest.approx(want)
+
+    def test_rejects_het_platform(self):
+        app = ForkJoinApplication.homogeneous(2)
+        with pytest.raises(UnsupportedVariantError):
+            fj.min_period_hom_platform(app, Platform.heterogeneous([1, 2]))
+
+
+class TestHetPlatform:
+    def test_period_known_case(self):
+        app = ForkJoinApplication.homogeneous(3, 2.0, 3.0, 2.0)
+        plat = Platform.heterogeneous([1.0, 2.0, 4.0])
+        sol = fj.solve_het_platform(app, plat, Objective.PERIOD)
+        want = bf.optimal(ProblemSpec(app, plat, False), Objective.PERIOD).period
+        assert sol.period == pytest.approx(want)
+        validate(sol.mapping, allow_data_parallel=False)
+
+    def test_random_cross_validation(self):
+        rng = random.Random(71)
+        for _ in range(6):
+            n, p = rng.randint(1, 3), rng.randint(1, 3)
+            app = ForkJoinApplication.homogeneous(
+                n, rng.randint(1, 5), rng.randint(1, 4), rng.randint(1, 5)
+            )
+            plat = Platform.heterogeneous([rng.randint(1, 4) for _ in range(p)])
+            spec = ProblemSpec(app, plat, False)
+            got = fj.solve_het_platform(app, plat, Objective.PERIOD)
+            assert got.period == pytest.approx(
+                bf.optimal(spec, Objective.PERIOD).period
+            )
+            got = fj.solve_het_platform(app, plat, Objective.LATENCY)
+            assert got.latency == pytest.approx(
+                bf.optimal(spec, Objective.LATENCY).latency
+            )
+            K = bf.optimal(spec, Objective.PERIOD).period * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=K).latency
+            got = fj.solve_het_platform(
+                app, plat, Objective.LATENCY, period_bound=K
+            )
+            assert got.latency == pytest.approx(want)
+
+    def test_rejects_heterogeneous_forkjoin(self):
+        app = ForkJoinApplication.from_works(1.0, [1.0, 7.0], 1.0)
+        with pytest.raises(UnsupportedVariantError):
+            fj.solve_het_platform(
+                app, Platform.heterogeneous([1, 2]), Objective.PERIOD
+            )

@@ -1,0 +1,206 @@
+"""Tests for the pipeline solvers (Theorems 1-4 and 6-8).
+
+Fixed known-answer cases (including the Section 2 example) plus randomized
+cross-validation against exhaustive search.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import brute_force as bf
+from repro.algorithms import pipeline_het_platform as het
+from repro.algorithms import pipeline_hom_platform as hom
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.core import (
+    InfeasibleProblemError,
+    PipelineApplication,
+    Platform,
+    UnsupportedVariantError,
+    validate,
+)
+
+S2 = PipelineApplication.from_works([14, 4, 2, 4])
+
+
+class TestTheorem1:
+    def test_matches_capacity_bound(self):
+        plat = Platform.homogeneous(3, 2.0)
+        sol = hom.min_period(S2, plat)
+        assert sol.period == pytest.approx(24.0 / 6.0)
+
+    def test_section2_value(self):
+        sol = hom.min_period(S2, Platform.homogeneous(3, 1.0))
+        assert sol.period == pytest.approx(8.0)
+
+    def test_rejects_het_platform(self):
+        with pytest.raises(UnsupportedVariantError):
+            hom.min_period(S2, Platform.heterogeneous([1, 2]))
+
+
+class TestTheorems2To4:
+    def test_latency_no_dp_is_total_over_speed(self):
+        sol = hom.min_latency_no_dp(S2, Platform.homogeneous(3, 2.0))
+        assert sol.latency == pytest.approx(12.0)
+
+    def test_bicriteria_no_dp_optimal_both(self):
+        sol = hom.min_bicriteria_no_dp(S2, Platform.homogeneous(3, 1.0))
+        assert sol.period == pytest.approx(8.0)
+        assert sol.latency == pytest.approx(24.0)
+
+    def test_thm3_section2_latency_17(self):
+        sol = hom.min_latency_with_dp(S2, Platform.homogeneous(3, 1.0))
+        assert sol.latency == pytest.approx(17.0)
+        validate(sol.mapping, allow_data_parallel=True)
+
+    def test_thm3_single_stage_uses_everyone(self):
+        app = PipelineApplication.from_works([12])
+        sol = hom.min_latency_with_dp(app, Platform.homogeneous(4, 1.0))
+        assert sol.latency == pytest.approx(3.0)
+
+    def test_thm4_latency_under_period_bound(self):
+        plat = Platform.homogeneous(3, 1.0)
+        # with period <= 10 the best latency (with dp) is 17 (section 2)
+        sol = hom.min_latency_given_period(S2, plat, 10.0)
+        assert sol.latency == pytest.approx(17.0)
+        assert sol.period <= 10.0 + 1e-9
+
+    def test_thm4_infeasible_bound(self):
+        with pytest.raises(InfeasibleProblemError):
+            hom.min_latency_given_period(S2, Platform.homogeneous(2, 1.0), 1.0)
+
+    def test_thm4_converse(self):
+        plat = Platform.homogeneous(3, 1.0)
+        sol = hom.min_period_given_latency(S2, plat, 24.0)
+        assert sol.period == pytest.approx(8.0)
+
+    def test_pareto_front_monotone(self):
+        plat = Platform.homogeneous(4, 1.0)
+        front = hom.pareto_front(S2, plat)
+        assert front
+        for a, b in zip(front, front[1:]):
+            assert a.period < b.period + 1e-12
+            assert a.latency > b.latency - 1e-12
+
+    @pytest.mark.parametrize("dp", [False, True])
+    def test_random_cross_validation(self, dp):
+        rng = random.Random(11 + dp)
+        for _ in range(8):
+            n, p = rng.randint(1, 5), rng.randint(1, 5)
+            app = PipelineApplication.from_works(
+                [rng.randint(1, 9) for _ in range(n)]
+            )
+            plat = Platform.homogeneous(p, rng.choice([1.0, 2.0]))
+            spec = ProblemSpec(app, plat, dp)
+            assert hom.min_period(app, plat, dp).period == pytest.approx(
+                bf.optimal(spec, Objective.PERIOD).period
+            )
+            want = bf.optimal(spec, Objective.LATENCY).latency
+            got = (
+                hom.min_latency_with_dp(app, plat).latency
+                if dp
+                else hom.min_latency_no_dp(app, plat).latency
+            )
+            assert got == pytest.approx(want)
+            bound = bf.optimal(spec, Objective.PERIOD).period * (
+                1.0 + rng.random()
+            )
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=bound).latency
+            got = hom.min_latency_given_period(app, plat, bound, dp).latency
+            assert got == pytest.approx(want)
+
+
+class TestTheorem6:
+    def test_fastest_processor(self):
+        plat = Platform.heterogeneous([1.0, 3.0, 2.0])
+        sol = het.min_latency_no_dp(S2, plat)
+        assert sol.latency == pytest.approx(8.0)
+        assert sol.mapping.groups[0].processors == (1,)
+
+
+class TestTheorem7:
+    def test_known_case(self):
+        # 4 identical stages of work 2; speeds (1, 1, 2):
+        app = PipelineApplication.homogeneous(4, 2.0)
+        plat = Platform.heterogeneous([1.0, 1.0, 2.0])
+        sol = het.min_period_homogeneous(app, plat)
+        want = bf.optimal(
+            ProblemSpec(app, plat, False), Objective.PERIOD
+        ).period
+        assert sol.period == pytest.approx(want)
+
+    def test_rejects_heterogeneous_app(self):
+        with pytest.raises(UnsupportedVariantError):
+            het.min_period_homogeneous(S2, Platform.heterogeneous([1, 2]))
+
+    def test_random_cross_validation(self):
+        rng = random.Random(23)
+        for _ in range(10):
+            n, p = rng.randint(1, 5), rng.randint(1, 5)
+            app = PipelineApplication.homogeneous(n, rng.randint(1, 5))
+            plat = Platform.heterogeneous(
+                [rng.randint(1, 5) for _ in range(p)]
+            )
+            spec = ProblemSpec(app, plat, False)
+            want = bf.optimal(spec, Objective.PERIOD).period
+            sol = het.min_period_homogeneous(app, plat)
+            assert sol.period == pytest.approx(want)
+            validate(sol.mapping, allow_data_parallel=False)
+
+
+class TestTheorem8:
+    def test_latency_under_loose_period_is_thm6(self):
+        app = PipelineApplication.homogeneous(4, 2.0)
+        plat = Platform.heterogeneous([1.0, 2.0, 4.0])
+        loose = het.min_latency_given_period_homogeneous(app, plat, 1e9)
+        assert loose.latency == pytest.approx(
+            het.min_latency_no_dp(app, plat).latency
+        )
+
+    def test_tradeoff_direction(self):
+        app = PipelineApplication.homogeneous(6, 3.0)
+        plat = Platform.heterogeneous([1.0, 1.0, 2.0, 3.0])
+        tight = het.min_period_homogeneous(app, plat)
+        sol_tight = het.min_latency_given_period_homogeneous(
+            app, plat, tight.period
+        )
+        sol_loose = het.min_latency_given_period_homogeneous(
+            app, plat, tight.period * 4
+        )
+        assert sol_loose.latency <= sol_tight.latency + 1e-9
+
+    def test_infeasible_bound(self):
+        app = PipelineApplication.homogeneous(3, 5.0)
+        plat = Platform.heterogeneous([1.0, 1.0])
+        with pytest.raises(InfeasibleProblemError):
+            het.min_latency_given_period_homogeneous(app, plat, 0.1)
+
+    def test_converse_random_cross_validation(self):
+        rng = random.Random(31)
+        for _ in range(8):
+            n, p = rng.randint(1, 4), rng.randint(1, 4)
+            app = PipelineApplication.homogeneous(n, rng.randint(1, 4))
+            plat = Platform.heterogeneous(
+                [rng.randint(1, 4) for _ in range(p)]
+            )
+            spec = ProblemSpec(app, plat, False)
+            L = bf.optimal(spec, Objective.LATENCY).latency * (
+                1.0 + rng.random()
+            )
+            want = bf.optimal(spec, Objective.PERIOD, latency_bound=L).period
+            got = het.min_period_given_latency_homogeneous(app, plat, L).period
+            assert got == pytest.approx(want)
+
+    def test_bicriteria_random_cross_validation(self):
+        rng = random.Random(37)
+        for _ in range(8):
+            n, p = rng.randint(1, 4), rng.randint(1, 4)
+            app = PipelineApplication.homogeneous(n, rng.randint(1, 4))
+            plat = Platform.heterogeneous(
+                [rng.randint(1, 4) for _ in range(p)]
+            )
+            spec = ProblemSpec(app, plat, False)
+            K = bf.optimal(spec, Objective.PERIOD).period * (1.0 + rng.random())
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=K).latency
+            got = het.min_latency_given_period_homogeneous(app, plat, K).latency
+            assert got == pytest.approx(want)

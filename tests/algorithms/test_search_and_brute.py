@@ -1,0 +1,130 @@
+"""Unit tests for the search helpers and brute-force enumerators."""
+
+import pytest
+
+from repro.algorithms import brute_force as bf
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.algorithms.search import (
+    ceil_div_tol,
+    floor_div_tol,
+    smallest_feasible,
+    unique_sorted,
+)
+from repro.core import (
+    ForkApplication,
+    InfeasibleProblemError,
+    PipelineApplication,
+    Platform,
+)
+
+
+class TestSearchHelpers:
+    def test_unique_sorted(self):
+        assert unique_sorted([3.0, 1.0, 1.0 + 1e-15, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_smallest_feasible(self):
+        candidates = [1.0, 2.0, 3.0, 4.0]
+        assert smallest_feasible(candidates, lambda v: v >= 2.5) == 3.0
+        assert smallest_feasible(candidates, lambda v: True) == 1.0
+
+    def test_smallest_feasible_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            smallest_feasible([1.0, 2.0], lambda v: False)
+        with pytest.raises(InfeasibleProblemError):
+            smallest_feasible([], lambda v: True)
+
+    def test_ceil_div_tol(self):
+        assert ceil_div_tol(10.0, 2.0) == 5
+        assert ceil_div_tol(10.000000001, 2.0) == 5  # tolerance above int
+        assert ceil_div_tol(10.1, 2.0) == 6
+        assert ceil_div_tol(0.0, 2.0) == 0
+
+    def test_floor_div_tol(self):
+        assert floor_div_tol(10.0, 2.0) == 5
+        assert floor_div_tol(9.999999999, 2.0) == 5  # tolerance below int
+        assert floor_div_tol(9.9, 2.0) == 4
+
+
+class TestCombinatorics:
+    def test_compositions_count(self):
+        # compositions of n into k parts: C(n-1, k-1)
+        assert len(list(bf.compositions(5, 2))) == 4
+        assert len(list(bf.compositions(6, 3))) == 10
+        assert list(bf.compositions(3, 1)) == [(3,)]
+
+    def test_compositions_are_positive_and_sum(self):
+        for comp in bf.compositions(6, 3):
+            assert sum(comp) == 6
+            assert all(part >= 1 for part in comp)
+
+    def test_set_partitions_count(self):
+        # Stirling numbers S(4, 2) = 7, S(4, 3) = 6
+        assert len(list(bf.set_partitions(range(4), 2))) == 7
+        assert len(list(bf.set_partitions(range(4), 3))) == 6
+        assert len(list(bf.set_partitions(range(3), 1))) == 1
+
+    def test_set_partitions_cover(self):
+        for partition in bf.set_partitions(range(4), 2):
+            items = sorted(x for block in partition for x in block)
+            assert items == [0, 1, 2, 3]
+
+    def test_processor_assignments(self):
+        assignments = list(bf.processor_assignments(3, 2))
+        # every assignment: two disjoint non-empty subsets of {0,1,2}
+        for sets in assignments:
+            assert len(sets) == 2
+            assert all(sets)
+            assert not (set(sets[0]) & set(sets[1]))
+        # 3^3 colorings minus those missing group 1 or 2: 27 - 2*8 + 1 = 12
+        assert len(assignments) == 12
+
+    def test_processor_assignments_too_many_groups(self):
+        assert list(bf.processor_assignments(2, 3)) == []
+
+
+class TestBruteForce:
+    def test_pipeline_enumeration_counts_single_stage(self):
+        app = PipelineApplication.from_works([5])
+        plat = Platform.homogeneous(2)
+        mappings = list(bf.enumerate_pipeline_mappings(app, plat, False))
+        # subsets of 2 processors, non-empty: {0}, {1}, {0,1}
+        assert len(mappings) == 3
+
+    def test_pipeline_enumeration_respects_dp_rules(self):
+        app = PipelineApplication.from_works([5, 5])
+        plat = Platform.homogeneous(3)
+        for mapping in bf.enumerate_pipeline_mappings(app, plat, True):
+            for group in mapping.groups:
+                if group.kind.value == "data-parallel":
+                    assert len(group.stages) == 1
+                    assert len(group.processors) >= 2
+
+    def test_fork_enumeration_root_rule(self):
+        app = ForkApplication.from_works(1.0, [1.0, 1.0])
+        plat = Platform.homogeneous(3)
+        for mapping in bf.enumerate_fork_mappings(app, plat, True):
+            for group in mapping.groups:
+                if group.kind.value == "data-parallel" and 0 in group.stages:
+                    assert group.stages == (0,)
+
+    def test_optimal_respects_bounds(self):
+        app = PipelineApplication.from_works([4, 4])
+        plat = Platform.homogeneous(2)
+        spec = ProblemSpec(app, plat, False)
+        sol = bf.optimal(spec, Objective.LATENCY, period_bound=4.0)
+        assert sol.period <= 4.0 + 1e-9
+
+    def test_optimal_infeasible_bound(self):
+        app = PipelineApplication.from_works([4, 4])
+        plat = Platform.homogeneous(2)
+        spec = ProblemSpec(app, plat, False)
+        with pytest.raises(InfeasibleProblemError):
+            bf.optimal(spec, Objective.LATENCY, period_bound=0.5)
+
+    def test_known_optimum_tiny(self):
+        # 2 stages (3, 1), 2 unit processors, no dp: best period = 2
+        # (replicate both stages on both processors: 4/(2*1) = 2)
+        app = PipelineApplication.from_works([3, 1])
+        plat = Platform.homogeneous(2)
+        spec = ProblemSpec(app, plat, False)
+        assert bf.optimal(spec, Objective.PERIOD).period == pytest.approx(2.0)

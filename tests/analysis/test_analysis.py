@@ -1,0 +1,77 @@
+"""Tests for reporting, Pareto fronts and Table 1 regeneration."""
+
+import random
+
+import pytest
+
+import repro
+from repro.analysis import format_table, pareto_front, render_table1
+from repro.analysis.table1 import regenerate_table1, validate_cell
+from repro.algorithms.registry import Criterion
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestPareto:
+    def test_front_monotone_hom_pipeline(self):
+        app = repro.PipelineApplication.from_works([14, 4, 2, 4])
+        plat = repro.Platform.homogeneous(4, 1.0)
+        spec = repro.ProblemSpec(app, plat, allow_data_parallel=True)
+        front = pareto_front(spec, num_points=16)
+        assert front
+        for a, b in zip(front, front[1:]):
+            assert a.period <= b.period + 1e-9
+            assert a.latency >= b.latency - 1e-9
+
+    def test_front_endpoints(self):
+        app = repro.ForkApplication.homogeneous(4, 2.0, 3.0)
+        plat = repro.Platform.heterogeneous([1.0, 2.0, 3.0])
+        spec = repro.ProblemSpec(app, plat, allow_data_parallel=False)
+        front = pareto_front(spec, num_points=12)
+        best_period = repro.solve(spec, repro.Objective.PERIOD).period
+        best_latency = repro.solve(spec, repro.Objective.LATENCY).latency
+        assert front[0].period == pytest.approx(best_period)
+        assert front[-1].latency == pytest.approx(best_latency)
+
+
+class TestTable1:
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for label in ("Hom. pipeline", "Het. pipeline", "Hom. fork", "Het. fork"):
+            assert text.count(label) == 2  # once per platform sub-table
+
+    def test_render_statuses(self):
+        text = render_table1()
+        assert "NP-hard (**)" in text  # Thm 9
+        assert "Poly (*)" in text      # Thm 7/8/14
+
+    def test_validate_poly_cell(self):
+        rng = random.Random(33)
+        outcome = validate_cell(
+            rng, "pipeline", True, True, False, Criterion.PERIOD, trials=2
+        )
+        assert outcome.ok
+
+    def test_validate_nphard_cell(self):
+        rng = random.Random(34)
+        outcome = validate_cell(
+            rng, "fork", False, True, False, Criterion.LATENCY, trials=2
+        )
+        assert outcome.ok
+
+    @pytest.mark.slow
+    def test_full_regeneration(self):
+        text, validations = regenerate_table1(random.Random(35), trials=1)
+        assert len(validations) == 48
+        assert all(v.ok for v in validations.values())
+        assert "Homogeneous platforms" in text

@@ -1,0 +1,132 @@
+"""Tests for the chains-to-chains substrate."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.chains import (
+    chains_to_chains_dp,
+    chains_to_chains_probe,
+    greedy_partition,
+    heterogeneous_chains_dp,
+    interval_sums,
+    probe_feasible,
+)
+from repro.core import ReproError
+
+
+def exhaustive_chains(works, p):
+    """Reference: try every boundary placement."""
+    n = len(works)
+    best = float("inf")
+    for q in range(1, min(n, p) + 1):
+        for cuts in itertools.combinations(range(1, n), q - 1):
+            bounds = [*cuts, n]
+            start, bottleneck = 0, 0.0
+            for end in bounds:
+                bottleneck = max(bottleneck, sum(works[start:end]))
+                start = end
+            best = min(best, bottleneck)
+    return best
+
+
+class TestIntervalSums:
+    def test_simple(self):
+        sums = interval_sums([1.0, 2.0, 3.0])
+        assert sums == [1.0, 2.0, 3.0, 5.0, 6.0]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            interval_sums([1.0, 0.0])
+
+
+class TestProbe:
+    def test_feasible_boundaries(self):
+        assert probe_feasible([2, 2, 2, 2], 2, 4.0) == (2, 4)
+        assert probe_feasible([2, 2, 2, 2], 2, 3.9) is None
+        assert probe_feasible([5, 1], 2, 4.0) is None  # single item too big
+
+    def test_respects_interval_count(self):
+        assert probe_feasible([3, 3, 3], 2, 3.0) is None
+        assert probe_feasible([3, 3, 3], 3, 3.0) == (1, 2, 3)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("algorithm", [chains_to_chains_dp, chains_to_chains_probe])
+    def test_matches_exhaustive(self, algorithm):
+        rng = random.Random(5)
+        for _ in range(25):
+            n = rng.randint(1, 8)
+            p = rng.randint(1, 5)
+            works = [float(rng.randint(1, 9)) for _ in range(n)]
+            want = exhaustive_chains(works, p)
+            result = algorithm(works, p)
+            assert result.bottleneck == pytest.approx(want), (works, p)
+            # boundaries must realize the claimed bottleneck
+            realized = max(
+                sum(works[a:b]) for a, b in result.intervals
+            )
+            assert realized == pytest.approx(result.bottleneck)
+
+    def test_dp_and_probe_agree(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            n = rng.randint(1, 12)
+            p = rng.randint(1, 6)
+            works = [float(rng.randint(1, 20)) for _ in range(n)]
+            a = chains_to_chains_dp(works, p).bottleneck
+            b = chains_to_chains_probe(works, p).bottleneck
+            assert a == pytest.approx(b)
+
+
+class TestGreedy:
+    def test_never_better_than_exact(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(1, 10)
+            p = rng.randint(1, 5)
+            works = [float(rng.randint(1, 9)) for _ in range(n)]
+            exact_value = chains_to_chains_dp(works, p).bottleneck
+            greedy_value = greedy_partition(works, p).bottleneck
+            assert greedy_value >= exact_value - 1e-9
+
+    def test_valid_partition(self):
+        result = greedy_partition([1.0] * 7, 3)
+        assert result.boundaries[-1] == 7
+
+
+class TestHeterogeneousChains:
+    def test_fixed_order_known_case(self):
+        # works (4, 4), speeds (4, 1): both on p1 -> 2; split -> max(1, 4)
+        result = heterogeneous_chains_dp([4.0, 4.0], [4.0, 1.0])
+        assert result.bottleneck == pytest.approx(2.0)
+
+    def test_empty_intervals_allowed(self):
+        # slow processor first: skipping it is optimal
+        result = heterogeneous_chains_dp([4.0, 4.0], [1.0, 4.0])
+        assert result.bottleneck == pytest.approx(2.0)
+
+    def test_matches_exhaustive_fixed_order(self):
+        rng = random.Random(8)
+        for _ in range(15):
+            n = rng.randint(1, 6)
+            p = rng.randint(1, 4)
+            works = [float(rng.randint(1, 9)) for _ in range(n)]
+            speeds = [float(rng.randint(1, 4)) for _ in range(p)]
+            # exhaustive: place n works into p ordered (possibly empty) bins
+            best = float("inf")
+            for cuts in itertools.combinations_with_replacement(range(n + 1), p - 1):
+                bounds = [0, *cuts, n]
+                value = 0.0
+                for j in range(p):
+                    segment = works[bounds[j]:bounds[j + 1]]
+                    if segment:
+                        value = max(value, sum(segment) / speeds[j])
+                best = min(best, value)
+            got = heterogeneous_chains_dp(works, speeds).bottleneck
+            assert got == pytest.approx(best), (works, speeds)
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ReproError):
+            heterogeneous_chains_dp([1.0], [0.0])

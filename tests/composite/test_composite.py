@@ -1,0 +1,116 @@
+"""Tests for composite workflows (chains of pipeline/fork kernels)."""
+
+import random
+
+import pytest
+
+import repro
+from repro.composite import CompositeWorkflow, map_composite
+from repro.core import InvalidApplicationError, ReproError, validate
+
+
+def demo_workflow():
+    return CompositeWorkflow.of(
+        repro.PipelineApplication.homogeneous(4, 3.0),
+        repro.ForkApplication.homogeneous(6, 2.0, 4.0),
+        repro.PipelineApplication.homogeneous(2, 5.0),
+    )
+
+
+class TestWorkflowModel:
+    def test_structure(self):
+        wf = demo_workflow()
+        assert wf.num_kernels == 3
+        assert wf.kernel_works == (12.0, 26.0, 10.0)
+        assert wf.total_work == 48.0
+        assert "pipeline(4) >> fork(6) >> pipeline(2)" == wf.describe()
+
+    def test_forkjoin_kernel(self):
+        wf = CompositeWorkflow.of(
+            repro.ForkJoinApplication.homogeneous(3, 1.0, 2.0, 3.0)
+        )
+        assert "fork-join(3)" in wf.describe()
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidApplicationError):
+            CompositeWorkflow(kernels=())
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(InvalidApplicationError):
+            CompositeWorkflow(kernels=("nope",))  # type: ignore[arg-type]
+
+
+class TestMapper:
+    def test_basic_mapping(self):
+        wf = demo_workflow()
+        platform = repro.Platform.homogeneous(8, 1.0)
+        sol = map_composite(wf, platform)
+        assert len(sol.plans) == 3
+        # disjoint processor blocks covering a subset of the platform
+        used = [u for plan in sol.plans for u in plan.processors]
+        assert len(used) == len(set(used)) == 8
+        # every per-kernel mapping is valid
+        for plan in sol.plans:
+            validate(plan.solution.mapping, allow_data_parallel=True)
+        # macro-pipeline metrics
+        assert sol.period == pytest.approx(
+            max(p.solution.period for p in sol.plans)
+        )
+        assert sol.latency == pytest.approx(
+            sum(p.solution.latency for p in sol.plans)
+        )
+
+    def test_period_capacity_bound(self):
+        wf = demo_workflow()
+        platform = repro.Platform.heterogeneous([4, 3, 2, 2, 1, 1, 1])
+        sol = map_composite(wf, platform)
+        # no allocation can beat giving each kernel the whole platform
+        for plan, kernel in zip(sol.plans, wf.kernels):
+            assert plan.solution.period >= (
+                kernel.total_work / platform.total_speed - 1e-9
+            )
+
+    def test_refinement_beats_or_matches_proportional(self):
+        # a deliberately unbalanced chain: tiny kernel + heavy kernel
+        wf = CompositeWorkflow.of(
+            repro.PipelineApplication.homogeneous(1, 1.0),
+            repro.PipelineApplication.homogeneous(6, 10.0),
+        )
+        platform = repro.Platform.homogeneous(6, 1.0)
+        sol = map_composite(wf, platform)
+        # the bottleneck is the heavy kernel; refinement should push
+        # processors toward it (tiny kernel keeps exactly 1)
+        assert len(sol.plans[0].processors) == 1
+        assert len(sol.plans[1].processors) == 5
+
+    def test_np_hard_kernel_routes(self):
+        wf = CompositeWorkflow.of(
+            repro.PipelineApplication.from_works([9, 2, 7]),  # het kernel
+            repro.ForkApplication.homogeneous(4, 1.0, 2.0),
+        )
+        platform = repro.Platform.heterogeneous([3, 2, 2, 1, 1])
+        sol = map_composite(wf, platform, rng=random.Random(1))
+        routes = {plan.route for plan in sol.plans}
+        assert routes <= {"poly", "exact", "heuristic"}
+        # the heterogeneous pipeline kernel cannot take the poly route
+        assert sol.plans[0].route in ("exact", "heuristic")
+
+    def test_needs_one_processor_per_kernel(self):
+        wf = demo_workflow()
+        with pytest.raises(ReproError):
+            map_composite(wf, repro.Platform.homogeneous(2, 1.0))
+
+    def test_remapped_processor_indices_are_original(self):
+        wf = demo_workflow()
+        platform = repro.Platform.heterogeneous([5, 4, 3, 2, 1, 1, 1, 1])
+        sol = map_composite(wf, platform)
+        for plan in sol.plans:
+            for group in plan.solution.mapping.groups:
+                assert set(group.processors) <= set(plan.processors)
+
+    def test_describe(self):
+        wf = demo_workflow()
+        sol = map_composite(wf, repro.Platform.homogeneous(8, 1.0))
+        text = sol.describe()
+        assert "composite period" in text
+        assert text.count("kernel") == 3

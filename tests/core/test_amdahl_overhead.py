@@ -1,0 +1,152 @@
+"""Tests for the Amdahl data-parallelization overhead extension (§3.3).
+
+The paper: "we may assume that a fraction of the computations is inherently
+sequential ... introduce a fixed overhead f_i ... for computations we
+obtain f_i + w_i / sum(s_qu)".  Zero overhead recovers the simplified model
+exactly; these tests pin both regimes.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms import pipeline_hom_platform as hom
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.core import (
+    AssignmentKind,
+    InvalidApplicationError,
+    Stage,
+    UnsupportedVariantError,
+    group_delay,
+    group_period,
+)
+from repro.simulation import simulate
+from tests.conftest import fork_mapping, pipeline_mapping
+
+D = AssignmentKind.DATA_PARALLEL
+R = AssignmentKind.REPLICATED
+
+
+class TestGroupFormulas:
+    def test_dp_pays_overhead(self):
+        assert group_period(12.0, [2.0, 2.0], D, dp_overhead=1.5) == pytest.approx(4.5)
+        assert group_delay(12.0, [2.0, 2.0], D, dp_overhead=1.5) == pytest.approx(4.5)
+
+    def test_replication_never_pays_overhead(self):
+        assert group_period(12.0, [2.0, 2.0], R, dp_overhead=99.0) == pytest.approx(3.0)
+        assert group_delay(12.0, [2.0, 2.0], R, dp_overhead=99.0) == pytest.approx(6.0)
+
+    def test_stage_rejects_negative_overhead(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=1.0, dp_overhead=-0.5)
+
+
+class TestMappingCosts:
+    def test_pipeline_dp_group_cost(self):
+        app = repro.PipelineApplication.from_works(
+            [8.0, 4.0], dp_overheads=[2.0, 0.0]
+        )
+        plat = repro.Platform.homogeneous(3, 1.0)
+        m = pipeline_mapping(
+            app, plat, [([1], [0, 1]), ([2], [2])], kinds=[D, R]
+        )
+        # dp group: 2 + 8/2 = 6; replicated: 4
+        assert repro.pipeline_period(m) == pytest.approx(6.0)
+        assert repro.pipeline_latency(m) == pytest.approx(10.0)
+
+    def test_fork_root_dp_overhead_delays_branches(self):
+        root = Stage(index=0, work=6.0, dp_overhead=1.0)
+        branches = (Stage(index=1, work=3.0),)
+        app = repro.ForkApplication(root=root, branches=branches)
+        plat = repro.Platform.heterogeneous([2.0, 1.0, 1.0])
+        m = fork_mapping(app, plat, [([0], [0, 1]), ([1], [2])], kinds=[D, R])
+        # t0 = 1 + 6/3 = 3; branch delay 3 -> latency 6
+        assert repro.fork_latency(m) == pytest.approx(6.0)
+
+    def test_zero_overhead_recovers_simplified_model(self):
+        app = repro.PipelineApplication.from_works([8.0, 4.0])
+        plat = repro.Platform.homogeneous(3, 1.0)
+        m = pipeline_mapping(app, plat, [([1], [0, 1]), ([2], [2])], kinds=[D, R])
+        assert repro.pipeline_period(m) == pytest.approx(4.0)
+
+
+class TestSolversWithOverhead:
+    def test_thm3_dp_accounts_for_overhead(self):
+        """With a large overhead, data-parallelizing stops paying off and
+        the Theorem 3 DP must fall back to a plain mapping."""
+        plat = repro.Platform.homogeneous(3, 1.0)
+        cheap = repro.PipelineApplication.from_works(
+            [14, 4, 2, 4], dp_overheads=[0.0, 0, 0, 0]
+        )
+        dear = repro.PipelineApplication.from_works(
+            [14, 4, 2, 4], dp_overheads=[100.0, 100, 100, 100]
+        )
+        assert hom.min_latency_with_dp(cheap, plat).latency == pytest.approx(17.0)
+        assert hom.min_latency_with_dp(dear, plat).latency == pytest.approx(24.0)
+
+    def test_thm3_matches_brute_force_with_overheads(self):
+        rng = random.Random(44)
+        for _ in range(8):
+            n, p = rng.randint(1, 4), rng.randint(1, 4)
+            app = repro.PipelineApplication.from_works(
+                [rng.randint(1, 9) for _ in range(n)],
+                dp_overheads=[rng.choice([0.0, 0.5, 2.0]) for _ in range(n)],
+            )
+            plat = repro.Platform.homogeneous(p, 1.0)
+            spec = ProblemSpec(app, plat, True)
+            want = bf.optimal(spec, Objective.LATENCY).latency
+            got = hom.min_latency_with_dp(app, plat).latency
+            assert got == pytest.approx(want)
+
+    def test_thm4_bicriteria_with_overheads(self):
+        rng = random.Random(45)
+        for _ in range(6):
+            n, p = rng.randint(1, 4), rng.randint(1, 4)
+            app = repro.PipelineApplication.from_works(
+                [rng.randint(1, 9) for _ in range(n)],
+                dp_overheads=[rng.choice([0.0, 1.0]) for _ in range(n)],
+            )
+            plat = repro.Platform.homogeneous(p, 1.0)
+            spec = ProblemSpec(app, plat, True)
+            K = bf.optimal(spec, Objective.PERIOD).period * (1 + rng.random())
+            want = bf.optimal(spec, Objective.LATENCY, period_bound=K).latency
+            got = hom.min_latency_given_period(app, plat, K, True).latency
+            assert got == pytest.approx(want)
+
+    def test_fork_solver_guards_against_overheads(self):
+        from repro.algorithms import fork_hom_platform as fhom
+
+        root = Stage(index=0, work=2.0, dp_overhead=1.0)
+        branches = tuple(Stage(index=i, work=3.0) for i in (1, 2))
+        app = repro.ForkApplication(root=root, branches=branches)
+        plat = repro.Platform.homogeneous(3, 1.0)
+        with pytest.raises(UnsupportedVariantError):
+            fhom.min_latency(app, plat, allow_data_parallel=True)
+        # without data-parallelism the overhead is never paid: still fine
+        sol = fhom.min_latency(app, plat, allow_data_parallel=False)
+        assert sol.latency > 0
+
+
+class TestSimulatorWithOverhead:
+    def test_pipeline_simulation_matches(self):
+        app = repro.PipelineApplication.from_works(
+            [8.0, 4.0], dp_overheads=[2.0, 0.0]
+        )
+        plat = repro.Platform.homogeneous(3, 1.0)
+        m = pipeline_mapping(app, plat, [([1], [0, 1]), ([2], [2])], kinds=[D, R])
+        res = simulate(m, num_data_sets=300)
+        assert res.measured_period == pytest.approx(6.0, rel=0.02)
+        assert res.max_latency <= 10.0 + 1e-6
+
+    def test_fork_simulation_matches(self):
+        root = Stage(index=0, work=6.0, dp_overhead=1.0)
+        branches = (Stage(index=1, work=3.0),)
+        app = repro.ForkApplication(root=root, branches=branches)
+        plat = repro.Platform.heterogeneous([2.0, 1.0, 1.0])
+        m = fork_mapping(app, plat, [([0], [0, 1]), ([1], [2])], kinds=[D, R])
+        period, latency = repro.evaluate(m)
+        res = simulate(m, num_data_sets=300)
+        assert res.measured_period == pytest.approx(period, rel=0.02)
+        assert res.max_latency <= latency + 1e-6

@@ -1,0 +1,110 @@
+"""Unit tests for the communication-aware model (Eq. 1-2 of Section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    CommunicationModel,
+    InvalidMappingError,
+    InvalidPlatformError,
+    OnePortInterval,
+    PipelineApplication,
+    Platform,
+    interval_costs,
+    pipeline_latency_with_comm,
+    pipeline_period_with_comm,
+)
+
+APP = PipelineApplication.from_works(
+    [4.0, 6.0, 2.0], data_sizes=[8.0, 4.0, 2.0, 1.0]
+)
+
+
+def make_platform(bandwidth=2.0):
+    return Platform.homogeneous(3, speed=2.0, bandwidth=bandwidth)
+
+
+class TestIntervalCosts:
+    def test_single_interval(self):
+        plat = make_platform()
+        cost = interval_costs(APP, plat, [OnePortInterval(1, 3, 0)])
+        # recv 8/2 + compute 12/2 + send 1/2
+        assert cost == [pytest.approx(4.0 + 6.0 + 0.5)]
+
+    def test_two_intervals_strict(self):
+        plat = make_platform()
+        costs = interval_costs(
+            APP, plat,
+            [OnePortInterval(1, 1, 0), OnePortInterval(2, 3, 1)],
+        )
+        # I1: 8/2 + 4/2 + 4/2 = 8 ; I2: 4/2 + 8/2 + 1/2 = 6.5
+        assert costs == [pytest.approx(8.0), pytest.approx(6.5)]
+
+    def test_overlap_model_takes_max(self):
+        plat = make_platform()
+        costs = interval_costs(
+            APP, plat,
+            [OnePortInterval(1, 1, 0), OnePortInterval(2, 3, 1)],
+            model=CommunicationModel.MULTI_PORT_OVERLAP,
+        )
+        assert costs == [pytest.approx(4.0), pytest.approx(4.0)]
+
+    def test_same_processor_communication_free(self):
+        plat = make_platform()
+        costs = interval_costs(
+            APP, plat,
+            [OnePortInterval(1, 1, 0), OnePortInterval(2, 3, 0)],
+        )
+        # no transfer between the two intervals (same processor)
+        assert costs[0] == pytest.approx(4.0 + 2.0)
+        assert costs[1] == pytest.approx(4.0 + 0.5)
+
+    def test_period_and_latency(self):
+        plat = make_platform()
+        intervals = [OnePortInterval(1, 1, 0), OnePortInterval(2, 3, 1)]
+        assert pipeline_period_with_comm(APP, plat, intervals) == pytest.approx(8.0)
+        assert pipeline_latency_with_comm(APP, plat, intervals) == pytest.approx(14.5)
+
+    def test_zero_sizes_cost_nothing(self):
+        app = PipelineApplication.from_works([4.0, 6.0])
+        plat = make_platform()
+        costs = interval_costs(
+            app, plat, [OnePortInterval(1, 1, 0), OnePortInterval(2, 2, 1)]
+        )
+        assert costs == [pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_requires_interconnect_for_nonzero_sizes(self):
+        plat = Platform.homogeneous(3, 2.0)  # no interconnect
+        with pytest.raises(InvalidPlatformError):
+            interval_costs(
+                APP, plat,
+                [OnePortInterval(1, 1, 0), OnePortInterval(2, 3, 1)],
+            )
+
+    def test_rejects_bad_cover(self):
+        plat = make_platform()
+        with pytest.raises(InvalidMappingError):
+            interval_costs(APP, plat, [OnePortInterval(1, 2, 0)])
+        with pytest.raises(InvalidMappingError):
+            interval_costs(
+                APP, plat,
+                [OnePortInterval(2, 3, 0)],
+            )
+        with pytest.raises(InvalidMappingError):
+            interval_costs(APP, plat, [])
+
+    def test_simplified_model_is_comm_model_with_zero_sizes(self):
+        """With zero data sizes the general model degenerates to the
+        simplified one (single-processor intervals)."""
+        from tests.conftest import pipeline_mapping
+        from repro.core import pipeline_latency, pipeline_period
+
+        app = PipelineApplication.from_works([4.0, 6.0, 2.0])
+        plat = make_platform()
+        intervals = [OnePortInterval(1, 2, 0), OnePortInterval(3, 3, 1)]
+        mapping = pipeline_mapping(app, plat, [([1, 2], [0]), ([3], [1])])
+        assert pipeline_period_with_comm(app, plat, intervals) == pytest.approx(
+            pipeline_period(mapping)
+        )
+        assert pipeline_latency_with_comm(app, plat, intervals) == pytest.approx(
+            pipeline_latency(mapping)
+        )

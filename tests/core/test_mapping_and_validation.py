@@ -1,0 +1,210 @@
+"""Unit tests for mapping structures and Section 3.4 validity rules."""
+
+import pytest
+
+from repro.core import (
+    AssignmentKind,
+    ForkApplication,
+    ForkJoinApplication,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    InvalidMappingError,
+    PipelineApplication,
+    PipelineMapping,
+    Platform,
+    is_valid,
+    validate,
+)
+
+APP = PipelineApplication.from_works([1, 2, 3])
+FORK = ForkApplication.from_works(1.0, [1, 2, 3])
+FJ = ForkJoinApplication.from_works(1.0, [1, 2], 2.0)
+PLAT = Platform.homogeneous(4)
+
+
+def g(stages, procs, kind=AssignmentKind.REPLICATED):
+    return GroupAssignment(stages=tuple(stages), processors=tuple(procs), kind=kind)
+
+
+class TestGroupAssignment:
+    def test_sorting_normalization(self):
+        grp = GroupAssignment(stages=(3, 1), processors=(2, 0))
+        assert grp.stages == (1, 3)
+        assert grp.processors == (0, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidMappingError):
+            GroupAssignment(stages=(), processors=(0,))
+        with pytest.raises(InvalidMappingError):
+            GroupAssignment(stages=(1,), processors=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidMappingError):
+            GroupAssignment(stages=(1, 1), processors=(0,))
+
+    def test_is_interval(self):
+        assert g([1, 2, 3], [0]).is_interval
+        assert not g([1, 3], [0]).is_interval
+
+    def test_describe(self):
+        assert "S1" in g([1], [0]).describe()
+        assert "P1" in g([1], [0]).describe()
+
+
+class TestPipelineMapping:
+    def test_valid_two_groups(self):
+        m = PipelineMapping(
+            application=APP, platform=PLAT,
+            groups=(g([1], [0]), g([2, 3], [1, 2])),
+        )
+        assert m.used_processors == (0, 1, 2)
+
+    def test_rejects_gap(self):
+        with pytest.raises(InvalidMappingError):
+            PipelineMapping(
+                application=APP, platform=PLAT,
+                groups=(g([1], [0]), g([3], [1])),
+            )
+
+    def test_rejects_non_interval_group(self):
+        with pytest.raises(InvalidMappingError):
+            PipelineMapping(
+                application=APP, platform=PLAT,
+                groups=(g([1, 3], [0]), g([2], [1])),
+            )
+
+    def test_rejects_missing_tail(self):
+        with pytest.raises(InvalidMappingError):
+            PipelineMapping(application=APP, platform=PLAT, groups=(g([1, 2], [0]),))
+
+    def test_rejects_processor_overlap(self):
+        with pytest.raises(InvalidMappingError):
+            PipelineMapping(
+                application=APP, platform=PLAT,
+                groups=(g([1], [0]), g([2, 3], [0, 1])),
+            )
+
+    def test_rejects_unknown_processor(self):
+        with pytest.raises(InvalidMappingError):
+            PipelineMapping(
+                application=APP, platform=PLAT, groups=(g([1, 2, 3], [7]),)
+            )
+
+
+class TestForkMapping:
+    def test_root_group(self):
+        m = ForkMapping(
+            application=FORK, platform=PLAT,
+            groups=(g([0, 2], [0]), g([1, 3], [1])),
+        )
+        assert m.root_group.stages == (0, 2)
+        assert len(m.non_root_groups) == 1
+
+    def test_rejects_partial_cover(self):
+        with pytest.raises(InvalidMappingError):
+            ForkMapping(
+                application=FORK, platform=PLAT, groups=(g([0, 1], [0]),)
+            )
+
+    def test_rejects_double_stage(self):
+        with pytest.raises(InvalidMappingError):
+            ForkMapping(
+                application=FORK, platform=PLAT,
+                groups=(g([0, 1, 2, 3], [0]), g([3], [1])),
+            )
+
+    def test_forkjoin_join_group(self):
+        m = ForkJoinMapping(
+            application=FJ, platform=PLAT,
+            groups=(g([0, 1], [0]), g([2, 3], [1])),
+        )
+        assert m.join_group.stages == (2, 3)
+
+
+class TestValidationRules:
+    def test_pipeline_dp_singleton_ok(self):
+        m = PipelineMapping(
+            application=APP, platform=PLAT,
+            groups=(
+                g([1], [0, 1], AssignmentKind.DATA_PARALLEL),
+                g([2, 3], [2]),
+            ),
+        )
+        validate(m, allow_data_parallel=True)
+        assert not is_valid(m, allow_data_parallel=False)
+
+    def test_pipeline_dp_interval_forbidden(self):
+        m = PipelineMapping(
+            application=APP, platform=PLAT,
+            groups=(
+                g([1, 2], [0, 1], AssignmentKind.DATA_PARALLEL),
+                g([3], [2]),
+            ),
+        )
+        assert not is_valid(m, allow_data_parallel=True)
+
+    def test_fork_root_dp_alone_ok(self):
+        m = ForkMapping(
+            application=FORK, platform=PLAT,
+            groups=(
+                g([0], [0, 1], AssignmentKind.DATA_PARALLEL),
+                g([1, 2, 3], [2, 3], AssignmentKind.DATA_PARALLEL),
+            ),
+        )
+        validate(m, allow_data_parallel=True)
+
+    def test_fork_root_dp_with_branches_forbidden(self):
+        m = ForkMapping(
+            application=FORK, platform=PLAT,
+            groups=(
+                g([0, 1], [0, 1], AssignmentKind.DATA_PARALLEL),
+                g([2, 3], [2]),
+            ),
+        )
+        assert not is_valid(m, allow_data_parallel=True)
+
+    def test_fork_branches_dp_together_ok(self):
+        # independent stages may share a data-parallel group (fork only)
+        m = ForkMapping(
+            application=FORK, platform=PLAT,
+            groups=(
+                g([0], [0]),
+                g([1, 2, 3], [1, 2], AssignmentKind.DATA_PARALLEL),
+            ),
+        )
+        validate(m, allow_data_parallel=True)
+
+    def test_forkjoin_join_dp_with_branches_forbidden(self):
+        m = ForkJoinMapping(
+            application=FJ, platform=PLAT,
+            groups=(
+                g([0], [0]),
+                g([1, 2, 3], [1, 2], AssignmentKind.DATA_PARALLEL),
+            ),
+        )
+        assert not is_valid(m, allow_data_parallel=True)
+
+    def test_forkjoin_join_dp_alone_ok(self):
+        m = ForkJoinMapping(
+            application=FJ, platform=PLAT,
+            groups=(
+                g([0, 1, 2], [0]),
+                g([3], [1, 2], AssignmentKind.DATA_PARALLEL),
+            ),
+        )
+        validate(m, allow_data_parallel=True)
+
+    def test_no_dp_variant_rejects_any_dp(self):
+        m = ForkMapping(
+            application=FORK, platform=PLAT,
+            groups=(
+                g([0], [0]),
+                g([1, 2, 3], [1, 2], AssignmentKind.DATA_PARALLEL),
+            ),
+        )
+        assert not is_valid(m, allow_data_parallel=False)
+
+    def test_validate_type_error(self):
+        with pytest.raises(TypeError):
+            validate(object())

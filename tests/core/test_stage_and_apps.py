@@ -1,0 +1,129 @@
+"""Unit tests for stages and the three application graph classes."""
+
+import pytest
+
+from repro.core import (
+    ForkApplication,
+    ForkJoinApplication,
+    InvalidApplicationError,
+    PipelineApplication,
+    Stage,
+)
+
+
+class TestStage:
+    def test_basic(self):
+        s = Stage(index=3, work=5.0, input_size=1.0, output_size=2.0)
+        assert s.label == "S3"
+        assert s.time_on(2.0) == pytest.approx(2.5)
+
+    def test_named(self):
+        assert Stage(index=1, work=1.0, name="decode").label == "decode"
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=0.0)
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=-3.0)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=1.0, input_size=-1.0)
+
+
+class TestPipelineApplication:
+    def test_from_works(self):
+        app = PipelineApplication.from_works([14, 4, 2, 4])
+        assert app.n == 4
+        assert app.works == (14.0, 4.0, 2.0, 4.0)
+        assert app.total_work == 24.0
+        assert not app.is_homogeneous
+        assert [s.index for s in app] == [1, 2, 3, 4]
+
+    def test_homogeneous(self):
+        app = PipelineApplication.homogeneous(5, 3.0)
+        assert app.is_homogeneous
+        assert app.total_work == 15.0
+
+    def test_single_stage_is_homogeneous(self):
+        assert PipelineApplication.from_works([7]).is_homogeneous
+
+    def test_interval_work(self):
+        app = PipelineApplication.from_works([14, 4, 2, 4])
+        assert app.interval_work(0, 0) == 14.0
+        assert app.interval_work(1, 3) == 10.0
+        with pytest.raises(IndexError):
+            app.interval_work(2, 4)
+        with pytest.raises(IndexError):
+            app.interval_work(3, 2)
+
+    def test_data_sizes_chain(self):
+        app = PipelineApplication.from_works([1, 2], data_sizes=[5, 3, 1])
+        assert app.stages[0].input_size == 5.0
+        assert app.stages[0].output_size == 3.0
+        assert app.stages[1].input_size == 3.0
+        assert app.stages[1].output_size == 1.0
+
+    def test_data_sizes_length_check(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.from_works([1, 2], data_sizes=[1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(stages=())
+
+    def test_rejects_bad_numbering(self):
+        s1 = Stage(index=2, work=1.0)
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(stages=(s1,))
+
+    def test_rejects_size_mismatch(self):
+        a = Stage(index=1, work=1.0, output_size=5.0)
+        b = Stage(index=2, work=1.0, input_size=3.0)
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(stages=(a, b))
+
+
+class TestForkApplication:
+    def test_from_works(self):
+        app = ForkApplication.from_works(3.0, [1, 2, 5])
+        assert app.n == 3
+        assert app.root.index == 0
+        assert app.branch_works == (1.0, 2.0, 5.0)
+        assert app.total_work == 11.0
+        assert not app.is_homogeneous
+        assert len(app.all_stages) == 4
+
+    def test_homogeneous_allows_different_root(self):
+        app = ForkApplication.homogeneous(4, root_work=9.0, branch_work=2.0)
+        assert app.is_homogeneous  # root weight may differ (paper definition)
+
+    def test_stage_lookup(self):
+        app = ForkApplication.from_works(3.0, [1, 2])
+        assert app.stage(0).work == 3.0
+        assert app.stage(2).work == 2.0
+        with pytest.raises(IndexError):
+            app.stage(3)
+
+    def test_rejects_no_branches(self):
+        with pytest.raises(InvalidApplicationError):
+            ForkApplication.from_works(1.0, [])
+
+
+class TestForkJoinApplication:
+    def test_from_works(self):
+        app = ForkJoinApplication.from_works(2.0, [1, 1, 1], 4.0)
+        assert app.n == 3
+        assert app.join.index == 4
+        assert app.total_work == 9.0
+        assert len(app.all_stages) == 5
+        assert app.stage(4).work == 4.0
+
+    def test_requires_join(self):
+        with pytest.raises(InvalidApplicationError):
+            ForkJoinApplication.from_works(2.0, [], 4.0)
+
+    def test_homogeneous(self):
+        app = ForkJoinApplication.homogeneous(3, 1.0, 2.0, 3.0)
+        assert app.is_homogeneous
+        assert app.join.work == 3.0

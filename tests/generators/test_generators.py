@@ -1,0 +1,79 @@
+"""Tests for instance generators and named scenarios."""
+
+import random
+
+import pytest
+
+from repro.core import ReproError
+from repro.generators import (
+    SCENARIOS,
+    get_scenario,
+    random_fork,
+    random_forkjoin,
+    random_pipeline,
+    random_platform,
+)
+
+
+class TestRandomInstances:
+    def test_pipeline(self):
+        rng = random.Random(29)
+        app = random_pipeline(rng, 5, 2, 7)
+        assert app.n == 5
+        assert all(2 <= w <= 7 for w in app.works)
+
+    def test_homogeneous_flag(self):
+        rng = random.Random(30)
+        assert random_pipeline(rng, 4, homogeneous=True).is_homogeneous
+        assert random_fork(rng, 4, homogeneous=True).is_homogeneous
+        assert random_forkjoin(rng, 4, homogeneous=True).is_homogeneous
+        assert random_platform(rng, 4, homogeneous=True).is_homogeneous
+
+    def test_reproducible_from_seed(self):
+        a = random_pipeline(random.Random(7), 6)
+        b = random_pipeline(random.Random(7), 6)
+        assert a.works == b.works
+
+    def test_fork_shapes(self):
+        rng = random.Random(31)
+        fork = random_fork(rng, 3)
+        assert fork.n == 3
+        fj = random_forkjoin(rng, 3)
+        assert fj.join.index == 4
+
+
+class TestScenarios:
+    def test_known_names(self):
+        assert set(SCENARIOS) == {
+            "image-pipeline", "master-slave-fork", "scatter-gather"
+        }
+
+    def test_lookup(self):
+        s = get_scenario("image-pipeline")
+        assert s.application.n == 6
+        assert not s.platform.is_homogeneous
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_scenario("nope")
+
+    def test_master_slave_is_homogeneous_fork(self):
+        s = get_scenario("master-slave-fork")
+        assert s.application.is_homogeneous
+        assert s.application.n == 16
+
+    def test_scatter_gather_forkjoin(self):
+        s = get_scenario("scatter-gather")
+        assert s.application.join.work == 48.0
+        assert s.platform.is_homogeneous
+
+    def test_scenarios_are_solvable(self):
+        """Every scenario must be solvable by some route of the library."""
+        import repro
+
+        for s in SCENARIOS.values():
+            spec = repro.ProblemSpec(s.application, s.platform, s.allow_data_parallel)
+            entry = repro.classify(spec, repro.Objective.PERIOD)
+            if entry.is_polynomial:
+                sol = repro.solve(spec, repro.Objective.PERIOD)
+                assert sol.period > 0

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestTable1Command:
+    def test_render(self):
+        code, text = run_cli("table1")
+        assert code == 0
+        assert "Homogeneous platforms" in text
+        assert "NP-hard (**)" in text
+
+
+class TestSolveCommand:
+    def test_pipeline_hom(self):
+        code, text = run_cli(
+            "solve", "--graph", "pipeline", "--works", "14,4,2,4",
+            "--speeds", "1,1,1", "--objective", "period",
+        )
+        assert code == 0
+        assert "period=8" in text
+
+    def test_pipeline_dp_latency(self):
+        code, text = run_cli(
+            "solve", "--graph", "pipeline", "--works", "14,4,2,4",
+            "--speeds", "1,1,1", "--data-parallel", "--objective", "latency",
+        )
+        assert code == 0
+        assert "latency=17" in text
+
+    def test_fork(self):
+        code, text = run_cli(
+            "solve", "--graph", "fork", "--root-work", "2",
+            "--works", "5,5,5", "--speeds", "1,2,4", "--objective", "period",
+        )
+        assert code == 0
+        assert "Thm 14" in text
+
+    def test_forkjoin(self):
+        code, text = run_cli(
+            "solve", "--graph", "forkjoin", "--root-work", "2",
+            "--works", "3,3", "--join-work", "4", "--speeds", "2,1",
+            "--objective", "latency",
+        )
+        assert code == 0
+        assert "solution" in text
+
+    def test_np_hard_refusal(self):
+        code, text = run_cli(
+            "solve", "--graph", "pipeline", "--works", "9,2,7",
+            "--speeds", "3,1", "--objective", "period",
+        )
+        assert code == 2
+        assert "NP-hard" in text
+
+    def test_np_hard_exact(self):
+        code, text = run_cli(
+            "solve", "--graph", "pipeline", "--works", "9,2,7",
+            "--speeds", "3,1", "--objective", "period", "--exact",
+        )
+        assert code == 0
+        assert "solution" in text
+
+    def test_np_hard_heuristic(self):
+        code, text = run_cli(
+            "solve", "--graph", "pipeline", "--works", "9,2,7,3,5,1,8",
+            "--speeds", "3,1,2,2", "--objective", "period", "--heuristic",
+        )
+        assert code == 0
+        assert "portfolio" in text
+
+    def test_bicriteria(self):
+        code, text = run_cli(
+            "solve", "--graph", "pipeline", "--works", "14,4,2,4",
+            "--speeds", "1,1,1", "--data-parallel", "--objective", "latency",
+            "--period-bound", "10",
+        )
+        assert code == 0
+        assert "latency=17" in text
+
+    def test_bad_numbers(self):
+        with pytest.raises(SystemExit):
+            run_cli("solve", "--graph", "pipeline", "--works", "a,b",
+                    "--speeds", "1")
+
+    def test_file_input(self, tmp_path):
+        import json
+
+        path = tmp_path / "instance.json"
+        path.write_text(json.dumps({"kind": "pipeline", "works": [14, 4, 2, 4]}))
+        code, text = run_cli(
+            "solve", "--file", str(path), "--speeds", "1,1,1",
+            "--objective", "period",
+        )
+        assert code == 0
+        assert "period=8" in text
+
+    def test_missing_works(self):
+        code, text = run_cli("solve", "--speeds", "1,1")
+        assert code == 2
+        assert "provide --works or --file" in text
+
+
+class TestScenarioCommand:
+    def test_known(self):
+        code, text = run_cli("scenario", "master-slave-fork",
+                             "--objective", "period")
+        assert code == 0
+        assert "master-slave" in text
+
+    def test_unknown(self):
+        code, text = run_cli("scenario", "nope")
+        assert code == 2
+        assert "error" in text
+
+
+class TestSimulateCommand:
+    def test_pipeline(self):
+        # homogeneous pipeline -> the polynomial Theorem 7 route
+        code, text = run_cli(
+            "simulate", "--graph", "pipeline", "--works", "6,6,6",
+            "--speeds", "2,1", "--objective", "period", "--data-sets", "200",
+        )
+        assert code == 0
+        assert "measured period" in text
+        assert "order inversions" in text
+
+    def test_np_hard_instance_with_exact(self):
+        code, text = run_cli(
+            "simulate", "--graph", "pipeline", "--works", "6,2,8",
+            "--speeds", "2,1", "--objective", "period", "--exact",
+            "--data-sets", "200",
+        )
+        assert code == 0
+        assert "measured period" in text

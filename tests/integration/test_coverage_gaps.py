@@ -1,0 +1,152 @@
+"""Targeted tests for dispatch branches and edge paths not covered
+elsewhere: fork-join bi-criteria routing, demand-driven fork simulation,
+Pareto with exact fallback, local-search kind flips, Solution helpers.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms.problem import Objective, ProblemSpec, Solution
+from repro.analysis import pareto_front
+from repro.core import AssignmentKind
+from repro.heuristics import improve_mapping, random_fork_mapping
+from repro.simulation import DispatchPolicy, simulate
+
+
+class TestRegistryForkJoinDispatch:
+    def test_forkjoin_bicriteria_hom_platform(self):
+        app = repro.ForkJoinApplication.homogeneous(3, 1.0, 2.0, 3.0)
+        plat = repro.Platform.homogeneous(3, 1.0)
+        spec = ProblemSpec(app, plat, allow_data_parallel=True)
+        base = repro.solve(spec, Objective.PERIOD).period
+        sol = repro.solve(spec, Objective.LATENCY, period_bound=base * 1.5)
+        want = bf.optimal(
+            spec, Objective.LATENCY, period_bound=base * 1.5
+        ).latency
+        assert sol.latency == pytest.approx(want)
+
+    def test_forkjoin_period_given_latency_het(self):
+        app = repro.ForkJoinApplication.homogeneous(2, 1.0, 2.0, 2.0)
+        plat = repro.Platform.heterogeneous([1.0, 2.0])
+        spec = ProblemSpec(app, plat, allow_data_parallel=False)
+        L = repro.solve(spec, Objective.LATENCY).latency * 1.4
+        sol = repro.solve(spec, Objective.PERIOD, latency_bound=L)
+        want = bf.optimal(spec, Objective.PERIOD, latency_bound=L).period
+        assert sol.period == pytest.approx(want)
+
+    def test_forkjoin_np_hard_latency_exact_fallback(self):
+        app = repro.ForkJoinApplication.from_works(1.0, [1.0, 5.0], 1.0)
+        plat = repro.Platform.homogeneous(2, 1.0)
+        spec = ProblemSpec(app, plat, allow_data_parallel=False)
+        with pytest.raises(repro.NPHardError):
+            repro.solve(spec, Objective.LATENCY)
+        sol = repro.solve(spec, Objective.LATENCY, exact_fallback=True)
+        want = bf.optimal(spec, Objective.LATENCY).latency
+        assert sol.latency == pytest.approx(want)
+
+
+class TestDemandDrivenFork:
+    def test_demand_driven_fork_runs_and_reorders(self):
+        rng = random.Random(55)
+        app = repro.ForkApplication.from_works(2.0, [12.0, 12.0])
+        plat = repro.Platform.heterogeneous([3.0, 1.0, 1.0])
+        sol = random_fork_mapping(app, plat, rng, allow_data_parallel=False)
+        res = simulate(
+            sol.mapping, num_data_sets=300,
+            policy=DispatchPolicy.DEMAND_DRIVEN,
+        )
+        assert res.num_data_sets == 300
+        # demand-driven throughput never loses to round-robin
+        rr = simulate(sol.mapping, num_data_sets=300)
+        assert res.measured_period <= rr.measured_period + 1e-6
+
+
+class TestParetoExactFallback:
+    def test_np_hard_front_tiny(self):
+        app = repro.PipelineApplication.from_works([5, 2, 3])
+        plat = repro.Platform.heterogeneous([2.0, 1.0])
+        spec = ProblemSpec(app, plat, allow_data_parallel=False)
+        front = pareto_front(spec, num_points=6, exact_fallback=True)
+        assert front
+        for a, b in zip(front, front[1:]):
+            assert a.period <= b.period + 1e-9
+            assert a.latency >= b.latency - 1e-9
+
+
+class TestLocalSearchKindFlips:
+    def test_flip_to_data_parallel_improves_latency(self):
+        # seed with a replicated singleton; dp flip is the only way down
+        app = repro.PipelineApplication.from_works([12.0])
+        plat = repro.Platform.homogeneous(2, 1.0)
+        from repro.core import GroupAssignment, PipelineMapping
+
+        seed_mapping = PipelineMapping(
+            application=app, platform=plat,
+            groups=(GroupAssignment(stages=(1,), processors=(0, 1),
+                                    kind=AssignmentKind.REPLICATED),),
+        )
+        seed = Solution.from_mapping(seed_mapping)
+        improved = improve_mapping(
+            seed, Objective.LATENCY, allow_data_parallel=True
+        )
+        assert improved.latency == pytest.approx(6.0)
+        assert improved.mapping.groups[0].kind is AssignmentKind.DATA_PARALLEL
+
+    def test_no_flip_when_dp_not_allowed(self):
+        app = repro.PipelineApplication.from_works([12.0])
+        plat = repro.Platform.homogeneous(2, 1.0)
+        from repro.core import GroupAssignment, PipelineMapping
+
+        seed = Solution.from_mapping(PipelineMapping(
+            application=app, platform=plat,
+            groups=(GroupAssignment(stages=(1,), processors=(0, 1),
+                                    kind=AssignmentKind.REPLICATED),),
+        ))
+        improved = improve_mapping(
+            seed, Objective.LATENCY, allow_data_parallel=False
+        )
+        assert improved.latency == pytest.approx(12.0)
+
+
+class TestSolutionHelpers:
+    def test_objective_value(self):
+        app = repro.PipelineApplication.from_works([4.0])
+        plat = repro.Platform.homogeneous(1, 1.0)
+        spec = ProblemSpec(app, plat, False)
+        sol = repro.solve(spec, Objective.PERIOD)
+        assert sol.objective_value(Objective.PERIOD) == sol.period
+        assert sol.objective_value(Objective.LATENCY) == sol.latency
+        assert "period" in sol.describe()
+
+    def test_spec_describe(self):
+        app = repro.ForkApplication.homogeneous(2)
+        spec = ProblemSpec(app, repro.Platform.homogeneous(2), True)
+        text = spec.describe()
+        assert "fork" in text and "with data-parallelism" in text
+
+
+class TestLemma3Structure:
+    """The Theorem 7 optimum is achieved by speed-sorted processor blocks —
+    verify the returned mappings have that structural form."""
+
+    def test_blocks_are_speed_intervals(self):
+        rng = random.Random(56)
+        from repro.algorithms import pipeline_het_platform as het
+
+        for _ in range(10):
+            n, p = rng.randint(2, 6), rng.randint(2, 6)
+            app = repro.PipelineApplication.homogeneous(n, rng.randint(1, 5))
+            speeds = [rng.randint(1, 6) for _ in range(p)]
+            plat = repro.Platform.heterogeneous(speeds)
+            sol = het.min_period_homogeneous(app, plat)
+            # group speed ranges must not interleave
+            ranges = sorted(
+                (min(plat.subset_speeds(g.processors)),
+                 max(plat.subset_speeds(g.processors)))
+                for g in sol.mapping.groups
+            )
+            for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+                assert hi1 <= lo2 + 1e-9 or lo1 == lo2

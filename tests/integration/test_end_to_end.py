@@ -1,0 +1,87 @@
+"""End-to-end flows through the public API, as a downstream user would."""
+
+import pytest
+
+import repro
+from repro.analysis import pareto_front
+from repro.generators import get_scenario
+from repro.simulation import simulate
+
+
+class TestQuickstartFlow:
+    def test_readme_flow(self):
+        app = repro.PipelineApplication.from_works([14, 4, 2, 4])
+        platform = repro.Platform.homogeneous(3)
+        spec = repro.ProblemSpec(app, platform, allow_data_parallel=True)
+        solution = repro.solve(spec, repro.Objective.LATENCY)
+        assert solution.latency == pytest.approx(17.0)
+        assert "data-parallel" in solution.mapping.describe()
+
+    def test_classify_then_solve(self):
+        app = repro.ForkApplication.homogeneous(8, 2.0, 5.0)
+        platform = repro.Platform.heterogeneous([1, 1, 2, 2, 4])
+        spec = repro.ProblemSpec(app, platform, allow_data_parallel=False)
+        entry = repro.classify(spec, repro.Objective.PERIOD)
+        assert entry.is_polynomial
+        sol = repro.solve(spec, repro.Objective.PERIOD)
+        # solution is internally consistent
+        period, latency = repro.evaluate(sol.mapping)
+        assert period == pytest.approx(sol.period)
+        assert latency == pytest.approx(sol.latency)
+
+    def test_np_hard_flow_with_heuristic(self):
+        from repro.heuristics import improve_mapping, pipeline_period_sweep
+
+        app = repro.PipelineApplication.from_works([9, 2, 7, 3, 5])
+        platform = repro.Platform.heterogeneous([3, 2, 2, 1])
+        spec = repro.ProblemSpec(app, platform, allow_data_parallel=False)
+        with pytest.raises(repro.NPHardError):
+            repro.solve(spec, repro.Objective.PERIOD)
+        seed = pipeline_period_sweep(app, platform)
+        improved = improve_mapping(seed, repro.Objective.PERIOD)
+        exact = repro.solve(spec, repro.Objective.PERIOD, exact_fallback=True)
+        assert improved.period >= exact.period - 1e-9
+
+
+class TestScenarioFlows:
+    def test_image_pipeline_solve_and_simulate(self):
+        s = get_scenario("image-pipeline")
+        spec = repro.ProblemSpec(s.application, s.platform, s.allow_data_parallel)
+        entry = repro.classify(spec, repro.Objective.PERIOD)
+        # het pipeline + het platform + dp -> NP-hard; heuristic route
+        assert not entry.is_polynomial
+        from repro.heuristics import pipeline_period_sweep
+
+        sol = pipeline_period_sweep(s.application, s.platform)
+        result = simulate(sol.mapping, num_data_sets=300)
+        assert result.measured_period == pytest.approx(sol.period, rel=0.05)
+
+    def test_master_slave_fork_solve(self):
+        s = get_scenario("master-slave-fork")
+        spec = repro.ProblemSpec(s.application, s.platform, s.allow_data_parallel)
+        sol = repro.solve(spec, repro.Objective.PERIOD)
+        # aggregate capacity bound
+        bound = s.application.total_work / s.platform.total_speed
+        assert sol.period >= bound - 1e-9
+
+    def test_scatter_gather_bicriteria(self):
+        s = get_scenario("scatter-gather")
+        spec = repro.ProblemSpec(s.application, s.platform, s.allow_data_parallel)
+        best_period = repro.solve(spec, repro.Objective.PERIOD)
+        sol = repro.solve(
+            spec, repro.Objective.LATENCY, period_bound=best_period.period * 1.5
+        )
+        assert sol.period <= best_period.period * 1.5 * (1 + 1e-9)
+
+
+class TestParetoFlow:
+    def test_pareto_and_simulate_each_point(self):
+        app = repro.ForkApplication.homogeneous(6, 2.0, 4.0)
+        plat = repro.Platform.heterogeneous([1.0, 2.0, 2.0, 3.0])
+        spec = repro.ProblemSpec(app, plat, allow_data_parallel=False)
+        front = pareto_front(spec, num_points=8)
+        assert front
+        for sol in front:
+            res = simulate(sol.mapping, num_data_sets=300)
+            assert res.measured_period == pytest.approx(sol.period, rel=0.05)
+            assert res.max_latency <= sol.latency + 1e-6

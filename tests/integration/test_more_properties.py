@@ -1,0 +1,80 @@
+"""Additional hypothesis properties: serialization, comm model, composites."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.algorithms.comm_aware import min_period_comm
+from repro.chains import chains_to_chains_dp
+from repro.core import evaluate
+from repro.heuristics import random_fork_mapping, random_pipeline_mapping
+from repro.serialization import loads, dumps
+
+works_lists = st.lists(st.integers(1, 15), min_size=1, max_size=5)
+sizes_lists = st.lists(st.integers(0, 8), min_size=2, max_size=6)
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(works=works_lists, speeds=st.lists(st.integers(1, 4), min_size=1,
+                                          max_size=4), seed=seeds)
+def test_serialization_preserves_costs(works, speeds, seed):
+    rng = random.Random(seed)
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    if seed % 2:
+        app = repro.PipelineApplication.from_works([float(w) for w in works])
+        sol = random_pipeline_mapping(app, plat, rng, True)
+    else:
+        app = repro.ForkApplication.from_works(
+            float(works[0]), [float(w) for w in works]
+        )
+        sol = random_fork_mapping(app, plat, rng, True)
+    back = loads(dumps(sol.mapping))
+    period, latency = evaluate(back)
+    assert abs(period - sol.period) <= 1e-9 * max(1.0, sol.period)
+    assert abs(latency - sol.latency) <= 1e-9 * max(1.0, sol.latency)
+
+
+@settings(max_examples=40, deadline=None)
+@given(works=works_lists, p=st.integers(1, 4), b=st.integers(1, 8))
+def test_comm_period_bounded_by_chains(works, p, b):
+    """With data sizes, the comm-aware optimum is at least the
+    chains-to-chains optimum (communication only adds cost) and collapses
+    to it when sizes are zero."""
+    fworks = [float(w) for w in works]
+    n = len(fworks)
+    app_zero = repro.PipelineApplication.from_works(fworks)
+    app_comm = repro.PipelineApplication.from_works(
+        fworks, data_sizes=[1.0] * (n + 1)
+    )
+    plat = repro.Platform.homogeneous(p, 1.0, bandwidth=float(b))
+    chains = chains_to_chains_dp(fworks, p).bottleneck
+    zero = min_period_comm(app_zero, plat).period
+    comm = min_period_comm(app_comm, plat).period
+    assert abs(zero - chains) <= 1e-9 * max(1.0, chains)
+    assert comm >= chains - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n1=st.integers(1, 3), n2=st.integers(1, 3),
+    w1=st.integers(1, 5), w2=st.integers(1, 5),
+    speeds=st.lists(st.integers(1, 4), min_size=2, max_size=6),
+)
+def test_composite_period_dominates_kernels(n1, n2, w1, w2, speeds):
+    """The composite period is at least each kernel's whole-platform
+    optimum (disjoint blocks can only be weaker than the full platform)."""
+    from repro.composite import CompositeWorkflow, map_composite
+
+    wf = CompositeWorkflow.of(
+        repro.PipelineApplication.homogeneous(n1, float(w1)),
+        repro.PipelineApplication.homogeneous(n2, float(w2)),
+    )
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    sol = map_composite(wf, plat)
+    for kernel in wf.kernels:
+        spec = repro.ProblemSpec(kernel, plat, False)
+        best = repro.solve(spec, repro.Objective.PERIOD).period
+        assert sol.period >= best - 1e-9

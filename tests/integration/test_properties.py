@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on the core invariants of the model.
+
+These encode the structural facts the paper's proofs lean on; each property
+is tested on arbitrary generated instances and mappings.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms.lemmas import (
+    strip_data_parallelism_hom,
+    strip_replication_for_latency,
+)
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.chains import chains_to_chains_dp, chains_to_chains_probe
+from repro.core import evaluate
+from repro.heuristics import random_fork_mapping, random_pipeline_mapping
+
+works_lists = st.lists(
+    st.integers(min_value=1, max_value=20), min_size=1, max_size=5
+)
+speeds_lists = st.lists(
+    st.integers(min_value=1, max_value=5), min_size=1, max_size=5
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _pipeline_instance(works, speeds, seed, dp):
+    app = repro.PipelineApplication.from_works([float(w) for w in works])
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    sol = random_pipeline_mapping(app, plat, random.Random(seed), dp)
+    return app, plat, sol
+
+
+@settings(max_examples=60, deadline=None)
+@given(works=works_lists, speeds=speeds_lists, seed=seeds)
+def test_period_never_below_capacity_bound(works, speeds, seed):
+    """No mapping beats total work over aggregate speed (paper Thm 1 bound)."""
+    _, plat, sol = _pipeline_instance(works, speeds, seed, dp=True)
+    assert sol.period >= sum(works) / plat.total_speed - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(works=works_lists, speeds=speeds_lists, seed=seeds)
+def test_latency_never_below_fastest_processor_without_dp(works, speeds, seed):
+    """Without data-parallelism, latency >= total work / fastest speed
+    (the Theorem 6 optimum is a lower bound on every no-dp mapping)."""
+    _, plat, sol = _pipeline_instance(works, speeds, seed, dp=False)
+    assert sol.latency >= sum(works) / max(speeds) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(works=works_lists, speeds=speeds_lists, seed=seeds)
+def test_latency_never_below_aggregate_capacity(works, speeds, seed):
+    """With data-parallelism, each stage's delay >= w_i / (sum of all
+    speeds), so the latency >= total work / aggregate speed."""
+    _, plat, sol = _pipeline_instance(works, speeds, seed, dp=True)
+    assert sol.latency >= sum(works) / plat.total_speed - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(works=works_lists, speeds=speeds_lists, seed=seeds)
+def test_period_at_most_latency_groupwise(works, speeds, seed):
+    """Each group's period <= its delay, hence T_period <= T_latency for
+    pipelines (delays sum, periods max)."""
+    _, _, sol = _pipeline_instance(works, speeds, seed, dp=True)
+    assert sol.period <= sol.latency + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(works=works_lists, seed=seeds, p=st.integers(1, 4))
+def test_lemma1_strip_dp_preserves_period_hom(works, seed, p):
+    app = repro.PipelineApplication.from_works([float(w) for w in works])
+    plat = repro.Platform.homogeneous(p, 2.0)
+    sol = random_pipeline_mapping(app, plat, random.Random(seed), True)
+    period, _ = evaluate(strip_data_parallelism_hom(sol.mapping))
+    assert abs(period - sol.period) <= 1e-9 * max(1.0, sol.period)
+
+
+@settings(max_examples=40, deadline=None)
+@given(works=works_lists, speeds=speeds_lists, seed=seeds)
+def test_lemma2_strip_replication_preserves_latency(works, speeds, seed):
+    app = repro.ForkApplication.from_works(
+        float(works[0]), [float(w) for w in works]
+    )
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    sol = random_fork_mapping(app, plat, random.Random(seed), False)
+    _, latency = evaluate(strip_replication_for_latency(sol.mapping))
+    assert abs(latency - sol.latency) <= 1e-9 * max(1.0, sol.latency)
+
+
+@settings(max_examples=40, deadline=None)
+@given(works=works_lists, p=st.integers(1, 5))
+def test_chains_to_chains_dp_probe_agree(works, p):
+    a = chains_to_chains_dp([float(w) for w in works], p).bottleneck
+    b = chains_to_chains_probe([float(w) for w in works], p).bottleneck
+    assert abs(a - b) <= 1e-9 * max(1.0, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(works=works_lists, p=st.integers(1, 5))
+def test_chains_bottleneck_bounds(works, p):
+    result = chains_to_chains_dp([float(w) for w in works], p)
+    assert result.bottleneck >= max(works) - 1e-9
+    assert result.bottleneck <= sum(works) + 1e-9
+    # more processors never hurt
+    more = chains_to_chains_dp([float(w) for w in works], p + 1)
+    assert more.bottleneck <= result.bottleneck + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    works=st.lists(st.integers(1, 9), min_size=1, max_size=4),
+    speeds=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+)
+def test_dp_option_never_hurts_optimum(works, speeds):
+    """Allowing data-parallelism can only improve (or keep) both optima —
+    the search space strictly contains the no-dp one."""
+    app = repro.PipelineApplication.from_works([float(w) for w in works])
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    for objective in (Objective.PERIOD, Objective.LATENCY):
+        no_dp = bf.optimal(ProblemSpec(app, plat, False), objective)
+        with_dp = bf.optimal(ProblemSpec(app, plat, True), objective)
+        assert with_dp.objective_value(objective) <= (
+            no_dp.objective_value(objective) + 1e-9
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    works=st.lists(st.integers(1, 9), min_size=1, max_size=4),
+    speeds=st.lists(st.integers(1, 4), min_size=2, max_size=4),
+)
+def test_more_processors_never_hurt(works, speeds):
+    """Dropping a processor cannot improve the brute-force optimum."""
+    app = repro.PipelineApplication.from_works([float(w) for w in works])
+    full = repro.Platform.heterogeneous([float(s) for s in speeds])
+    reduced = repro.Platform.heterogeneous([float(s) for s in speeds[:-1]])
+    for objective in (Objective.PERIOD, Objective.LATENCY):
+        big = bf.optimal(ProblemSpec(app, full, False), objective)
+        small = bf.optimal(ProblemSpec(app, reduced, False), objective)
+        assert big.objective_value(objective) <= (
+            small.objective_value(objective) + 1e-9
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 4),
+    w=st.integers(1, 5),
+    speeds=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+)
+def test_thm7_matches_brute_force_property(n, w, speeds):
+    app = repro.PipelineApplication.homogeneous(n, float(w))
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    spec = ProblemSpec(app, plat, False)
+    got = repro.solve(spec, Objective.PERIOD).period
+    want = bf.optimal(spec, Objective.PERIOD).period
+    assert abs(got - want) <= 1e-9 * max(1.0, want)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    w0=st.integers(1, 6),
+    w=st.integers(1, 4),
+    speeds=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+)
+def test_thm14_matches_brute_force_property(n, w0, w, speeds):
+    app = repro.ForkApplication.homogeneous(n, float(w0), float(w))
+    plat = repro.Platform.heterogeneous([float(s) for s in speeds])
+    spec = ProblemSpec(app, plat, False)
+    for objective in (Objective.PERIOD, Objective.LATENCY):
+        got = repro.solve(spec, objective).objective_value(objective)
+        want = bf.optimal(spec, objective).objective_value(objective)
+        assert abs(got - want) <= 1e-9 * max(1.0, want)

@@ -1,0 +1,97 @@
+"""Round-trip tests for JSON serialization."""
+
+import random
+
+import pytest
+
+import repro
+from repro.core import ReproError, evaluate
+from repro.heuristics import random_fork_mapping, random_pipeline_mapping
+from repro.serialization import (
+    application_from_dict,
+    application_to_dict,
+    dumps,
+    loads,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+)
+
+
+class TestApplications:
+    def test_pipeline_roundtrip(self):
+        app = repro.PipelineApplication.from_works(
+            [3, 5, 2], data_sizes=[1, 2, 3, 4], dp_overheads=[0.5, 0, 1.0]
+        )
+        back = application_from_dict(application_to_dict(app))
+        assert back == app
+
+    def test_plain_pipeline_omits_empty_fields(self):
+        app = repro.PipelineApplication.from_works([3, 5])
+        doc = application_to_dict(app)
+        assert "data_sizes" not in doc and "dp_overheads" not in doc
+        assert application_from_dict(doc) == app
+
+    def test_fork_roundtrip(self):
+        app = repro.ForkApplication.from_works(2.0, [1, 4, 2])
+        assert application_from_dict(application_to_dict(app)) == app
+
+    def test_forkjoin_roundtrip(self):
+        app = repro.ForkJoinApplication.from_works(2.0, [1, 4], 3.0)
+        assert application_from_dict(application_to_dict(app)) == app
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            application_from_dict({"kind": "dag"})
+
+
+class TestPlatforms:
+    def test_roundtrip(self):
+        plat = repro.Platform.heterogeneous([3, 1, 2])
+        assert platform_from_dict(platform_to_dict(plat)) == plat
+
+    def test_bandwidth_roundtrip(self):
+        plat = repro.Platform.homogeneous(3, 2.0, bandwidth=4.0)
+        back = platform_from_dict(platform_to_dict(plat))
+        assert back.speeds == plat.speeds
+        assert back.interconnect.link(0, 1) == 4.0
+
+
+class TestMappings:
+    def test_random_mapping_roundtrips_preserve_costs(self):
+        rng = random.Random(57)
+        for _ in range(10):
+            p = rng.randint(2, 5)
+            plat = repro.Platform.heterogeneous(
+                [rng.randint(1, 4) for _ in range(p)]
+            )
+            if rng.random() < 0.5:
+                app = repro.PipelineApplication.from_works(
+                    [rng.randint(1, 9) for _ in range(rng.randint(1, 4))]
+                )
+                sol = random_pipeline_mapping(app, plat, rng, True)
+            else:
+                app = repro.ForkApplication.from_works(
+                    rng.randint(1, 5),
+                    [rng.randint(1, 9) for _ in range(rng.randint(1, 4))],
+                )
+                sol = random_fork_mapping(app, plat, rng, True)
+            back = mapping_from_dict(mapping_to_dict(sol.mapping))
+            assert evaluate(back) == pytest.approx(evaluate(sol.mapping))
+            assert back == sol.mapping
+
+    def test_text_roundtrip(self):
+        app = repro.PipelineApplication.from_works([14, 4, 2, 4])
+        plat = repro.Platform.homogeneous(3, 1.0)
+        spec = repro.ProblemSpec(app, plat, allow_data_parallel=True)
+        sol = repro.solve(spec, repro.Objective.LATENCY)
+        text = dumps(sol.mapping)
+        back = loads(text)
+        assert evaluate(back) == pytest.approx((sol.period, sol.latency))
+
+    def test_loads_dispatch(self):
+        assert loads(dumps(repro.Platform.homogeneous(2))) == \
+            repro.Platform.homogeneous(2)
+        app = repro.ForkApplication.homogeneous(2)
+        assert loads(dumps(app)) == app

@@ -1,0 +1,206 @@
+"""End-to-end tests of the five NP-hardness reductions.
+
+For each theorem: the gadget builds, the YES witness mapping prices exactly
+at the threshold, the decision procedure agrees with the source problem's
+ground truth (on YES and NO instances), and the back-mapping recovers a
+valid partition/matching.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import brute_force as bf
+from repro.algorithms.problem import Objective
+from repro.core import ReproError, evaluate
+from repro.nphard import (
+    N3DMInstance,
+    Thm5Reduction,
+    Thm9Reduction,
+    Thm12Reduction,
+    Thm13Reduction,
+    Thm15Reduction,
+    TwoPartitionInstance,
+    random_n3dm_yes,
+    solve_n3dm,
+    solve_two_partition,
+)
+
+# hand-picked instances: YES with distinct values < S/2, and a NO sibling
+YES_INST = TwoPartitionInstance((1, 2, 3, 4, 5, 7))   # S=22, e.g. {4,7} v {1,2,3,5}
+NO_INST = TwoPartitionInstance((1, 2, 3, 4, 5, 8))    # S=23 odd -> NO
+NO_EVEN = TwoPartitionInstance((1, 2, 3, 4, 6, 16))   # S=32, 16 = S/2 violates
+
+
+class TestThm5:
+    def test_yes_witness_prices_exactly(self):
+        subset = solve_two_partition(YES_INST)
+        red = Thm5Reduction(YES_INST)
+        mapping = red.yes_mapping(subset)
+        period, latency = evaluate(mapping)
+        assert latency == pytest.approx(red.latency_threshold)
+        assert period <= red.period_threshold + 1e-9
+
+    def test_decision_yes(self):
+        red = Thm5Reduction(YES_INST)
+        assert red.schedule_meets_bound(Objective.LATENCY)
+        assert red.schedule_meets_bound(Objective.PERIOD)
+
+    def test_decision_no(self):
+        red = Thm5Reduction(NO_INST)
+        assert not red.schedule_meets_bound(Objective.LATENCY)
+        assert not red.schedule_meets_bound(Objective.PERIOD)
+
+    def test_extraction(self):
+        subset = solve_two_partition(YES_INST)
+        red = Thm5Reduction(YES_INST)
+        extracted = red.extract_partition(red.yes_mapping(subset))
+        assert extracted is not None
+        assert sum(YES_INST.values[i] for i in extracted) * 2 == YES_INST.total
+
+    def test_side_condition_enforcement(self):
+        with pytest.raises(ReproError):
+            Thm5Reduction(NO_EVEN)  # one value equals S/2
+        with pytest.raises(ReproError):
+            Thm5Reduction(TwoPartitionInstance((2, 2, 4)))  # duplicates
+
+    def test_optimal_latency_from_brute_force_is_2_iff_yes(self):
+        for inst, expect in ((YES_INST, True), (NO_INST, False)):
+            red = Thm5Reduction(inst)
+            best = bf.optimal(red.spec, Objective.LATENCY)
+            assert (best.latency <= 2.0 + 1e-9) == expect
+
+
+class TestThm13:
+    def test_decision_matches_ground_truth(self):
+        assert Thm13Reduction(YES_INST).schedule_meets_bound(Objective.LATENCY)
+        assert not Thm13Reduction(NO_INST).schedule_meets_bound(Objective.LATENCY)
+
+    def test_yes_witness(self):
+        subset = solve_two_partition(YES_INST)
+        red = Thm13Reduction(YES_INST)
+        mapping = red.yes_mapping(subset)
+        period, latency = evaluate(mapping)
+        assert latency == pytest.approx(2.0)
+        assert period <= 1.0 + 1e-9
+        assert red.extract_partition(mapping) is not None
+
+
+class TestThm12:
+    def test_yes(self):
+        inst = TwoPartitionInstance((3, 1, 2, 2))
+        red = Thm12Reduction(inst)
+        assert red.schedule_meets_bound()
+        subset = solve_two_partition(inst)
+        mapping = red.yes_mapping(subset)
+        _, latency = evaluate(mapping)
+        assert latency == pytest.approx(red.latency_threshold)
+        assert red.extract_partition(mapping) is not None
+
+    def test_no(self):
+        inst = TwoPartitionInstance((3, 1, 1))
+        assert not Thm12Reduction(inst).schedule_meets_bound()
+
+    def test_agrees_with_brute_force(self):
+        rng = random.Random(13)
+        from repro.nphard import random_two_partition
+
+        for _ in range(8):
+            inst = random_two_partition(rng, rng.randint(3, 5), 9)
+            red = Thm12Reduction(inst)
+            best = bf.optimal(red.spec(False), Objective.LATENCY)
+            want = best.latency <= red.latency_threshold * (1 + 1e-9)
+            assert red.schedule_meets_bound() == want == inst.is_yes()
+
+
+class TestThm15:
+    def test_yes(self):
+        inst = TwoPartitionInstance((3, 1, 2, 2))
+        red = Thm15Reduction(inst)
+        assert red.schedule_meets_bound()
+        subset = solve_two_partition(inst)
+        mapping = red.yes_mapping(subset)
+        period, _ = evaluate(mapping)
+        assert period <= red.period_threshold + 1e-9
+        assert red.extract_partition(mapping) is not None
+
+    def test_no(self):
+        assert not Thm15Reduction(TwoPartitionInstance((3, 1, 1))).schedule_meets_bound()
+
+    def test_replicate_all_gives_period_3(self):
+        # the proof's observation: whole-fork replication yields period 3
+        inst = TwoPartitionInstance((2, 2))
+        red = Thm15Reduction(inst)
+        from repro.core import AssignmentKind, ForkMapping, GroupAssignment
+
+        mapping = ForkMapping(
+            application=red.application,
+            platform=red.platform,
+            groups=(
+                GroupAssignment(
+                    stages=tuple(range(inst.m + 2)),
+                    processors=(0, 1),
+                    kind=AssignmentKind.REPLICATED,
+                ),
+            ),
+        )
+        period, _ = evaluate(mapping)
+        assert period == pytest.approx(3.0)
+
+    def test_agrees_with_brute_force(self):
+        rng = random.Random(14)
+        from repro.nphard import random_two_partition
+
+        for _ in range(8):
+            inst = random_two_partition(rng, rng.randint(3, 5), 9)
+            red = Thm15Reduction(inst)
+            best = bf.optimal(red.spec, Objective.PERIOD)
+            want = best.period <= 1.0 + 1e-9
+            assert red.schedule_meets_bound() == want == inst.is_yes()
+
+
+class TestThm9:
+    def test_gadget_shape(self):
+        inst = N3DMInstance(xs=(3, 1), ys=(1, 2), zs=(2, 3), M=6)
+        red = Thm9Reduction(inst)
+        app, plat = red.application, red.platform
+        assert app.n == (inst.M + 3) * inst.m
+        assert plat.p == 3 * inst.m
+        # constants per the proof
+        assert red.R == 20
+        assert red.B == 12
+        assert red.C == 600
+        assert red.D == 144000
+
+    def test_yes_witness_prices_at_period_1(self):
+        inst = N3DMInstance(xs=(3, 1), ys=(1, 2), zs=(2, 3), M=6)
+        red = Thm9Reduction(inst)
+        s1, s2 = solve_n3dm(inst)
+        mapping = red.yes_mapping(s1, s2)
+        period, _ = evaluate(mapping)
+        assert period == pytest.approx(1.0)
+
+    def test_extraction_roundtrip(self):
+        rng = random.Random(15)
+        inst = random_n3dm_yes(rng, 3)
+        red = Thm9Reduction(inst)
+        s1, s2 = solve_n3dm(inst)
+        mapping = red.yes_mapping(s1, s2)
+        extracted = red.extract_matching(mapping)
+        assert extracted is not None
+        e1, e2 = extracted
+        for i in range(inst.m):
+            assert inst.xs[i] + inst.ys[e1[i]] + inst.zs[e2[i]] == inst.M
+
+    def test_decision_matches_n3dm(self):
+        yes = N3DMInstance(xs=(3, 1), ys=(1, 2), zs=(2, 3), M=6)
+        assert Thm9Reduction(yes).schedule_meets_bound()
+        # sum-preserving perturbation that kills the matching
+        no = N3DMInstance(xs=(4, 2), ys=(1, 2), zs=(2, 3), M=7)
+        if not no.is_yes():
+            assert not Thm9Reduction(no).schedule_meets_bound()
+
+    def test_rejects_violating_side_conditions(self):
+        bad = N3DMInstance(xs=(5, 1), ys=(1, 2), zs=(2, 3), M=6)  # sum != mM
+        with pytest.raises(ReproError):
+            Thm9Reduction(bad)

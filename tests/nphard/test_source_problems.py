@@ -1,0 +1,132 @@
+"""Tests for the 2-PARTITION and N3DM source problems."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import ReproError
+from repro.nphard import (
+    N3DMInstance,
+    TwoPartitionInstance,
+    best_balanced_split,
+    random_n3dm_yes,
+    random_two_partition,
+    random_two_partition_yes,
+    solve_n3dm,
+    solve_two_partition,
+)
+
+
+def brute_two_partition(values):
+    total = sum(values)
+    if total % 2:
+        return None
+    for r in range(len(values) + 1):
+        for subset in itertools.combinations(range(len(values)), r):
+            if sum(values[i] for i in subset) * 2 == total:
+                return frozenset(subset)
+    return None
+
+
+class TestTwoPartition:
+    def test_known_yes(self):
+        inst = TwoPartitionInstance((3, 1, 1, 2, 2, 1))
+        subset = solve_two_partition(inst)
+        assert subset is not None
+        assert sum(inst.values[i] for i in subset) == inst.half
+
+    def test_known_no_odd_total(self):
+        assert solve_two_partition(TwoPartitionInstance((1, 1, 1))) is None
+
+    def test_known_no_even_total(self):
+        assert solve_two_partition(TwoPartitionInstance((2, 4, 16))) is None
+
+    def test_matches_brute_force(self):
+        rng = random.Random(9)
+        for _ in range(30):
+            values = tuple(rng.randint(1, 15) for _ in range(rng.randint(1, 8)))
+            inst = TwoPartitionInstance(values)
+            got = solve_two_partition(inst)
+            want = brute_two_partition(values)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert sum(values[i] for i in got) * 2 == inst.total
+
+    def test_best_balanced_split(self):
+        inst = TwoPartitionInstance((5, 4, 3))  # S=12, best split 7/5 -> 7
+        subset, makespan = best_balanced_split(inst)
+        assert makespan == 7
+        side = sum(inst.values[i] for i in subset)
+        assert max(side, inst.total - side) == 7
+
+    def test_best_balanced_split_yes_instance(self):
+        inst = TwoPartitionInstance((2, 2, 4))
+        _, makespan = best_balanced_split(inst)
+        assert makespan == inst.half
+
+    def test_generators(self):
+        rng = random.Random(10)
+        for _ in range(10):
+            yes = random_two_partition_yes(rng, 5)
+            assert yes.is_yes()
+            any_inst = random_two_partition(rng, 5)
+            assert any_inst.m == 5
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ReproError):
+            TwoPartitionInstance((1, 0))
+        with pytest.raises(ReproError):
+            TwoPartitionInstance(())
+        with pytest.raises(ReproError):
+            TwoPartitionInstance((1.5,))  # type: ignore[arg-type]
+
+
+def brute_n3dm(inst):
+    m = inst.m
+    for s1 in itertools.permutations(range(m)):
+        for s2 in itertools.permutations(range(m)):
+            if all(
+                inst.xs[i] + inst.ys[s1[i]] + inst.zs[s2[i]] == inst.M
+                for i in range(m)
+            ):
+                return True
+    return False
+
+
+class TestN3DM:
+    def test_known_yes(self):
+        inst = N3DMInstance(xs=(3, 1), ys=(1, 2), zs=(2, 3), M=6)
+        result = solve_n3dm(inst)
+        assert result is not None
+        s1, s2 = result
+        for i in range(2):
+            assert inst.xs[i] + inst.ys[s1[i]] + inst.zs[s2[i]] == 6
+
+    def test_known_no(self):
+        inst = N3DMInstance(xs=(4, 1), ys=(1, 2), zs=(2, 3), M=6)
+        assert solve_n3dm(inst) is None
+
+    def test_matches_brute_force(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            m = rng.randint(1, 3)
+            M = rng.randint(6, 12)
+            inst = N3DMInstance(
+                xs=tuple(rng.randint(1, M - 2) for _ in range(m)),
+                ys=tuple(rng.randint(1, M - 2) for _ in range(m)),
+                zs=tuple(rng.randint(1, M - 2) for _ in range(m)),
+                M=M,
+            )
+            assert (solve_n3dm(inst) is not None) == brute_n3dm(inst)
+
+    def test_generator_side_conditions(self):
+        rng = random.Random(12)
+        for m in (1, 2, 4, 6):
+            inst = random_n3dm_yes(rng, m)
+            assert inst.satisfies_side_conditions()
+            assert inst.is_yes()
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            N3DMInstance(xs=(1,), ys=(1, 2), zs=(1,), M=5)

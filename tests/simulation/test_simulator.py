@@ -1,0 +1,175 @@
+"""Tests for the discrete-event simulator against the analytic model."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AssignmentKind,
+    ForkApplication,
+    ForkJoinApplication,
+    PipelineApplication,
+    Platform,
+    evaluate,
+)
+from repro.heuristics import random_fork_mapping, random_pipeline_mapping
+from repro.simulation import DispatchPolicy, simulate, simulate_pipeline
+from tests.conftest import fork_mapping, pipeline_mapping
+
+# staircase quantization of the slope estimator: generous data-set count
+N_SETS = 600
+RTOL = 0.02
+
+
+class TestPipelineSimulation:
+    def test_single_processor_exact(self):
+        app = PipelineApplication.from_works([4.0, 2.0])
+        plat = Platform.homogeneous(1, 2.0)
+        m = pipeline_mapping(app, plat, [([1, 2], [0])])
+        res = simulate_pipeline(m, num_data_sets=100)
+        assert res.measured_period == pytest.approx(3.0)
+        assert res.max_latency == pytest.approx(3.0)
+        assert res.order_inversions == 0
+
+    def test_round_robin_matches_analytic(self):
+        rng = random.Random(26)
+        for _ in range(12):
+            n, p = rng.randint(1, 4), rng.randint(1, 5)
+            app = PipelineApplication.from_works(
+                [rng.randint(1, 9) for _ in range(n)]
+            )
+            plat = Platform.heterogeneous(
+                [rng.choice([1.0, 2.0, 3.0]) for _ in range(p)]
+            )
+            sol = random_pipeline_mapping(app, plat, rng, rng.random() < 0.5)
+            period, latency = evaluate(sol.mapping)
+            res = simulate(sol.mapping, num_data_sets=N_SETS)
+            assert res.measured_period == pytest.approx(period, rel=RTOL)
+            assert res.max_latency <= latency + 1e-6
+
+    def test_latency_reaches_analytic_on_aligned_replicas(self):
+        # one replicated group: every data set hitting the slow processor
+        # realizes the analytic delay exactly
+        app = PipelineApplication.from_works([6.0])
+        plat = Platform.heterogeneous([3.0, 1.0])
+        m = pipeline_mapping(app, plat, [([1], [0, 1])])
+        res = simulate_pipeline(m, num_data_sets=50)
+        assert res.max_latency == pytest.approx(6.0)  # 6 / min(3,1)
+
+    def test_overdriven_input_grows_latency(self):
+        app = PipelineApplication.from_works([4.0])
+        plat = Platform.homogeneous(1, 1.0)
+        m = pipeline_mapping(app, plat, [([1], [0])])
+        res = simulate_pipeline(m, num_data_sets=100, input_period=2.0)
+        # server takes 4 per item, input every 2: queue grows linearly
+        assert res.max_latency > 100
+        assert res.measured_period == pytest.approx(4.0, rel=RTOL)
+
+    def test_demand_driven_beats_round_robin_on_het_replicas(self):
+        # replicated group on speeds (3, 1): round robin is limited by the
+        # slow processor (period W/(2*1)); demand-driven approaches
+        # W/(3+1) but breaks ordering.
+        app = PipelineApplication.from_works([12.0])
+        plat = Platform.heterogeneous([3.0, 1.0])
+        m = pipeline_mapping(app, plat, [([1], [0, 1])])
+        rr = simulate_pipeline(
+            m, num_data_sets=N_SETS, policy=DispatchPolicy.ROUND_ROBIN
+        )
+        free_input = 12.0 / 4.0  # feed at the demand-driven optimum
+        dd = simulate_pipeline(
+            m, num_data_sets=N_SETS, input_period=free_input,
+            policy=DispatchPolicy.DEMAND_DRIVEN, enforce_order=False,
+        )
+        assert rr.measured_period == pytest.approx(6.0, rel=RTOL)
+        assert dd.measured_period < rr.measured_period
+        assert dd.order_inversions > 0
+        # note: round robin over *different-speed* replicas also produces
+        # raw out-of-order completions (that is why the paper charges tmax);
+        # the reorder buffer restores the stream order in both policies.
+
+    def test_round_robin_keeps_order_on_identical_replicas(self):
+        app = PipelineApplication.from_works([12.0])
+        plat = Platform.homogeneous(3, 1.0)
+        m = pipeline_mapping(app, plat, [([1], [0, 1, 2])])
+        res = simulate_pipeline(m, num_data_sets=200)
+        assert res.order_inversions == 0
+
+    def test_data_parallel_group_is_single_server(self):
+        app = PipelineApplication.from_works([8.0])
+        plat = Platform.heterogeneous([3.0, 1.0])
+        m = pipeline_mapping(
+            app, plat, [([1], [0, 1])], kinds=[AssignmentKind.DATA_PARALLEL]
+        )
+        res = simulate_pipeline(m, num_data_sets=100)
+        assert res.measured_period == pytest.approx(2.0, rel=RTOL)
+        assert res.max_latency == pytest.approx(2.0)
+
+
+class TestForkSimulation:
+    def test_matches_analytic(self):
+        rng = random.Random(27)
+        for _ in range(10):
+            n, p = rng.randint(1, 4), rng.randint(1, 5)
+            app = ForkApplication.from_works(
+                rng.randint(1, 6), [rng.randint(1, 9) for _ in range(n)]
+            )
+            plat = Platform.heterogeneous(
+                [rng.choice([1.0, 2.0]) for _ in range(p)]
+            )
+            sol = random_fork_mapping(app, plat, rng, rng.random() < 0.5)
+            period, latency = evaluate(sol.mapping)
+            res = simulate(sol.mapping, num_data_sets=N_SETS)
+            assert res.measured_period == pytest.approx(period, rel=RTOL)
+            assert res.max_latency <= latency + 1e-6
+
+    def test_flexible_model_start(self):
+        # branches start at w0/s0, not after the whole root group
+        app = ForkApplication.from_works(2.0, [4.0, 6.0])
+        plat = Platform.homogeneous(3, 1.0)
+        m = fork_mapping(app, plat, [([0, 1], [0]), ([2], [1])])
+        res = simulate(m, num_data_sets=1)
+        # data set 0: S0 done at 2; branch group done at 2+6=8; root group
+        # done at 6; completion 8
+        assert res.completion_times[0] == pytest.approx(8.0)
+
+
+class TestForkJoinSimulation:
+    def test_matches_analytic(self):
+        rng = random.Random(28)
+        for _ in range(10):
+            n, p = rng.randint(1, 3), rng.randint(1, 5)
+            app = ForkJoinApplication.from_works(
+                rng.randint(1, 6),
+                [rng.randint(1, 9) for _ in range(n)],
+                rng.randint(1, 6),
+            )
+            plat = Platform.heterogeneous(
+                [rng.choice([1.0, 2.0]) for _ in range(p)]
+            )
+            sol = random_fork_mapping(app, plat, rng, rng.random() < 0.5)
+            period, latency = evaluate(sol.mapping)
+            res = simulate(sol.mapping, num_data_sets=N_SETS)
+            assert res.measured_period == pytest.approx(period, rel=RTOL)
+            assert res.max_latency <= latency + 1e-6
+
+    def test_join_waits_for_slowest_branch(self):
+        app = ForkJoinApplication.from_works(1.0, [2.0, 10.0], 3.0)
+        plat = Platform.homogeneous(3, 1.0)
+        m = fork_mapping(app, plat, [([0, 1], [0]), ([2], [1]), ([3], [2])])
+        res = simulate(m, num_data_sets=1)
+        assert res.completion_times[0] == pytest.approx(14.0)
+
+
+class TestResultFields:
+    def test_result_shape(self):
+        app = PipelineApplication.from_works([2.0])
+        plat = Platform.homogeneous(1)
+        m = pipeline_mapping(app, plat, [([1], [0])])
+        res = simulate(m, num_data_sets=10)
+        assert res.num_data_sets == 10
+        assert len(res.latencies) == 10
+        assert res.mean_latency <= res.max_latency + 1e-12
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            simulate(object())
