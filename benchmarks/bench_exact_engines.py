@@ -1,0 +1,155 @@
+"""Perf regression harness — flat enumeration vs branch-and-bound.
+
+Run standalone to (re)generate the machine-readable trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_exact_engines.py
+
+This measures both exact engines on matched heterogeneous pipeline
+instances at ``(n, p) in {(5, 5), (6, 6), (7, 7)}`` (asserting they return
+the same optimum), adds a bnb-only showcase at ``n = 9, p = 8`` (far beyond
+the enumerator's reach), and writes ``BENCH_exact.json`` at the repository
+root so future PRs can track the speedup trajectory.
+
+The pytest entry point runs the same harness on the cheap ``(5, 5)`` /
+``(6, 6)`` sizes only (flat enumeration at ``(7, 7)`` takes >60 s — fine
+for the occasional standalone run, hostile in a CI loop) and writes its
+result under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform_mod
+import random
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.analysis import format_table
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_exact.json"
+SEED = 2007
+FULL_SIZES = ((5, 5), (6, 6), (7, 7))
+QUICK_SIZES = ((5, 5), (6, 6))
+SHOWCASE = (9, 8)
+
+
+def _instance(rng: random.Random, n: int, p: int):
+    app = repro.PipelineApplication.from_works(
+        [rng.randint(1, 9) for _ in range(n)]
+    )
+    plat = repro.Platform.heterogeneous([rng.randint(1, 6) for _ in range(p)])
+    return ProblemSpec(app, plat, False)
+
+
+def _timed(spec, objective, engine):
+    t0 = time.perf_counter()
+    solution = bf.optimal(spec, objective, engine=engine)
+    return time.perf_counter() - t0, solution
+
+
+def run_matrix(sizes=FULL_SIZES, seed=SEED) -> dict:
+    """Measure both engines at each size; returns the JSON-ready payload."""
+    rng = random.Random(seed)
+    entries = []
+    for n, p in sizes:
+        spec = _instance(rng, n, p)
+        t_bnb, sol_bnb = _timed(spec, Objective.PERIOD, "bnb")
+        t_enum, sol_enum = _timed(spec, Objective.PERIOD, "enumerate")
+        gap = abs(sol_bnb.period - sol_enum.period)
+        assert gap <= 1e-9 * max(1.0, sol_enum.period), (
+            f"engine disagreement at n={n}, p={p}: "
+            f"{sol_bnb.period} vs {sol_enum.period}"
+        )
+        entries.append({
+            "n": n,
+            "p": p,
+            "objective": "period",
+            "optimum": sol_enum.period,
+            "enumerate_seconds": round(t_enum, 6),
+            "bnb_seconds": round(t_bnb, 6),
+            "speedup": round(t_enum / max(t_bnb, 1e-9), 1),
+            "bnb_nodes": sol_bnb.meta["nodes"],
+        })
+    return {
+        "benchmark": "exact-engine comparison (heterogeneous pipeline, period)",
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "machine": _platform_mod.machine(),
+        "entries": entries,
+    }
+
+
+def run_showcase(seed=SEED) -> dict:
+    """bnb-only solve far beyond the enumerator's practical reach."""
+    n, p = SHOWCASE
+    rng = random.Random(seed + 1)
+    spec = _instance(rng, n, p)
+    results = {}
+    for objective in (Objective.PERIOD, Objective.LATENCY):
+        t, sol = _timed(spec, objective, "bnb")
+        results[objective.value] = {
+            "seconds": round(t, 6),
+            "optimum": sol.objective_value(objective),
+            "nodes": sol.meta["nodes"],
+        }
+    return {"n": n, "p": p, "engine": "bnb", "objectives": results}
+
+
+def _rows(payload: dict) -> list[list[str]]:
+    return [
+        [
+            f"{e['n']}x{e['p']}",
+            f"{e['optimum']:.4g}",
+            f"{e['enumerate_seconds'] * 1e3:.1f}",
+            f"{e['bnb_seconds'] * 1e3:.1f}",
+            f"{e['speedup']:.0f}x",
+        ]
+        for e in payload["entries"]
+    ]
+
+
+def _render(payload: dict) -> str:
+    return format_table(
+        ["n=p", "optimum", "enumerate (ms)", "bnb (ms)", "speedup"],
+        _rows(payload),
+        title="exact engines on matched heterogeneous pipelines",
+    )
+
+
+def main() -> int:
+    payload = run_matrix(FULL_SIZES)
+    payload["showcase"] = run_showcase()
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(_render(payload))
+    sc = payload["showcase"]
+    for obj, r in sc["objectives"].items():
+        print(
+            f"showcase n={sc['n']} p={sc['p']} {obj}: "
+            f"{r['seconds'] * 1e3:.0f} ms, optimum {r['optimum']:.4g}, "
+            f"{r['nodes']} nodes"
+        )
+    print(f"[results -> {RESULT_PATH}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (quick sizes only)
+# ----------------------------------------------------------------------
+def test_exact_engines_quick(benchmark, report):
+    payload = benchmark.pedantic(
+        lambda: run_matrix(QUICK_SIZES), rounds=1, iterations=1
+    )
+    for entry in payload["entries"]:
+        assert entry["speedup"] >= 10.0, (
+            f"bnb speedup regressed below 10x at n={entry['n']}: {entry}"
+        )
+    report("exact_engines", _render(payload))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ def test_thm14_latency_scaling(benchmark, size):
     assert sol.latency >= (app.root.work + app.branches[0].work) / fastest - 1e-9
 
 
-def test_thm14_vs_exhaustive_gap(benchmark, report):
+def test_thm14_vs_exhaustive_gap(benchmark, report, exact_engine):
     rng = random.Random(RNG_SEED)
 
     def measure():
@@ -59,7 +59,7 @@ def test_thm14_vs_exhaustive_gap(benchmark, report):
                 fast = fhet.solve_homogeneous(app, plat, objective)
                 t_fast = time.perf_counter() - t0
                 t0 = time.perf_counter()
-                slow = bf.optimal(spec, objective)
+                slow = bf.optimal(spec, objective, engine=exact_engine)
                 t_slow = time.perf_counter() - t0
                 assert fast.objective_value(objective) == pytest.approx(
                     slow.objective_value(objective)

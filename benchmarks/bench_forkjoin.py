@@ -23,7 +23,7 @@ from repro.analysis import format_table
 SEED = 75
 
 
-def test_forkjoin_agrees_with_bruteforce(benchmark, report):
+def test_forkjoin_agrees_with_bruteforce(benchmark, report, exact_engine):
     rng = random.Random(SEED)
 
     def run():
@@ -38,7 +38,8 @@ def test_forkjoin_agrees_with_bruteforce(benchmark, report):
                 app, hom_plat, Objective.LATENCY, allow_data_parallel=True
             ).latency
             want = bf.optimal(
-                ProblemSpec(app, hom_plat, True), Objective.LATENCY
+                ProblemSpec(app, hom_plat, True), Objective.LATENCY,
+                engine=exact_engine,
             ).latency
             assert got == pytest.approx(want)
             het_plat = repro.Platform.heterogeneous(
@@ -48,7 +49,8 @@ def test_forkjoin_agrees_with_bruteforce(benchmark, report):
                 app, het_plat, Objective.PERIOD
             ).period
             want_h = bf.optimal(
-                ProblemSpec(app, het_plat, False), Objective.PERIOD
+                ProblemSpec(app, het_plat, False), Objective.PERIOD,
+                engine=exact_engine,
             ).period
             assert got_h == pytest.approx(want_h)
             rows.append([trial, n, p, f"{got:.4g}", f"{got_h:.4g}"])

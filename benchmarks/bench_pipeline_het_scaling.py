@@ -51,7 +51,7 @@ def test_thm8_bicriteria_scaling(benchmark, size):
     assert sol.period <= base * 1.5 * (1 + 1e-9)
 
 
-def test_polynomial_vs_exhaustive_gap(benchmark, report):
+def test_polynomial_vs_exhaustive_gap(benchmark, report, exact_engine):
     """Measure both solvers over growing sizes; the report shows the gap."""
     rng = random.Random(RNG_SEED)
 
@@ -64,7 +64,7 @@ def test_polynomial_vs_exhaustive_gap(benchmark, report):
             fast = het.min_period_homogeneous(app, plat).period
             t_fast = time.perf_counter() - t0
             t0 = time.perf_counter()
-            slow = bf.optimal(spec, Objective.PERIOD).period
+            slow = bf.optimal(spec, Objective.PERIOD, engine=exact_engine).period
             t_slow = time.perf_counter() - t0
             assert fast == pytest.approx(slow)
             rows.append(

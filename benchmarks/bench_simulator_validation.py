@@ -7,6 +7,10 @@ the analytic period through the discrete-event simulator and compare:
   within the staircase quantization of the estimator);
 * observed worst-case latency vs the analytic latency (must never exceed
   it — the analytic value is the adversarial-alignment bound).
+
+The numpy batch evaluator is cross-checked against the scalar model on the
+same mappings, so all three cost paths (scalar, vectorized, simulated) are
+pinned to each other here.
 """
 
 import random
@@ -15,7 +19,7 @@ import pytest
 
 import repro
 from repro.analysis import format_table
-from repro.core import evaluate
+from repro.core import batch_evaluate, evaluate
 from repro.generators import random_fork, random_forkjoin, random_pipeline, random_platform
 from repro.heuristics import random_fork_mapping, random_pipeline_mapping
 from repro.simulation import simulate
@@ -51,6 +55,9 @@ def test_simulator_agrees_with_model(benchmark, report):
         rows = []
         for kind, sol in mapped:
             period, latency = evaluate(sol.mapping)
+            batch_p, batch_l = batch_evaluate([sol.mapping])
+            assert batch_p[0] == pytest.approx(period)
+            assert batch_l[0] == pytest.approx(latency)
             res = simulate(sol.mapping, num_data_sets=N_SETS)
             assert res.measured_period == pytest.approx(period, rel=RTOL)
             assert res.max_latency <= latency + 1e-6

@@ -15,6 +15,22 @@ import pytest
 REPORTS = Path(__file__).parent / "reports"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        choices=("bnb", "enumerate"),
+        default="bnb",
+        help="exact reference engine used by the scaling benchmarks: "
+             "pruned branch-and-bound (default) or flat enumeration",
+    )
+
+
+@pytest.fixture
+def exact_engine(request) -> str:
+    """The ``--engine`` knob: which exact engine benchmarks compare against."""
+    return request.config.getoption("--engine")
+
+
 @pytest.fixture
 def report():
     """Callable fixture: ``report(name, text)`` persists and prints text."""

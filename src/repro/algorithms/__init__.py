@@ -9,6 +9,7 @@ NP-hard.
 """
 
 from . import (
+    bnb,
     brute_force,
     exact,
     fork_het_platform,
@@ -39,6 +40,7 @@ __all__ = [
     "NPHardError",
     "classify",
     "solve",
+    "bnb",
     "brute_force",
     "exact",
     "lemmas",

@@ -1,0 +1,658 @@
+"""Pruned branch-and-bound exact engine for the Section 3.4 problems.
+
+:mod:`repro.algorithms.brute_force` prices every valid mapping from scratch,
+which caps exact ground truth at roughly ``n <= 6, p <= 6``.  This module
+solves the same sixteen problems exactly but builds mappings *incrementally*
+— interval by interval for pipelines, block by block for forks and
+fork-joins — maintaining the partial objective as it goes and cutting
+subtrees with admissible lower bounds:
+
+* **capacity bound** (period): any split of the remaining work ``W`` over
+  the remaining processors of aggregate speed ``S`` has a group of period at
+  least ``W / S`` (a replicated group's capacity ``k * min_speed`` and a
+  data-parallel group's capacity ``sum_speed`` both total at most ``S``
+  over disjoint groups);
+* **partial-sum bound** (latency): assigned groups' delays only grow, and
+  the remaining work contributes at least ``W / S`` more delay;
+* **speed-multiset canonicalization**: two processor subsets with the same
+  multiset of speeds yield identical costs, so subsets are enumerated as
+  per-speed-class counts (on a homogeneous platform this collapses the
+  ``2^p`` subsets per group to ``p`` sizes);
+* **replicated dominance fill**: a replicated group's period and delay
+  depend only on ``(k, min_speed)``; among all subsets with those
+  parameters, taking the *slowest* available processors of speed >=
+  ``min_speed`` leaves a pointwise-fastest pool for the remaining groups
+  and therefore dominates — one canonical subset per ``(k, min class)``
+  instead of every count vector (data-parallel groups, whose cost depends
+  on ``sum_speed``, still enumerate all canonical count vectors).
+
+Bi-criteria thresholds prune with the same bounds; both the objective
+incumbent and the threshold feasibility use the global ``FLOAT_TOL``
+semantics of the flat enumerator, so the two engines agree to tolerance
+(pinned down by ``tests/algorithms/test_bnb_equivalence.py``, which compares
+against the exhaustive enumeration oracle on hundreds of random instances).
+
+See ``PERFORMANCE.md`` at the repository root for the bound derivations and
+measured speedups (>=10x at ``n = p = 7``; ``n = 9, p = 8`` pipelines solve
+in seconds).
+"""
+
+from __future__ import annotations
+
+from ..core.application import ForkApplication, ForkJoinApplication
+from ..core.costs import FLOAT_TOL, evaluate
+from ..core.exceptions import InfeasibleProblemError
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from ..core.validation import is_valid
+from .problem import Objective, ProblemSpec, Solution
+
+__all__ = ["optimal"]
+
+_INF = float("inf")
+_REPL = AssignmentKind.REPLICATED
+_DP = AssignmentKind.DATA_PARALLEL
+
+
+# ----------------------------------------------------------------------
+# processor pool with speed-class canonicalization
+# ----------------------------------------------------------------------
+class _SpeedPool:
+    """Remaining processors, grouped into equal-speed classes.
+
+    Classes are sorted by *ascending* speed; within a class processors are
+    interchangeable (identical costs), so subsets are described by a count
+    per class.  ``take``/``restore`` consume indices stack-wise so the
+    recursion can reconstruct concrete processor sets for the incumbent.
+    """
+
+    def __init__(self, platform) -> None:
+        by_speed: dict[float, list[int]] = {}
+        for proc in platform.processors:
+            by_speed.setdefault(proc.speed, []).append(proc.index)
+        self.speeds: list[float] = sorted(by_speed)
+        self.indices: list[list[int]] = [by_speed[s] for s in self.speeds]
+        self.sizes: list[int] = [len(lst) for lst in self.indices]
+        self.avail: list[int] = list(self.sizes)
+        self.classes: int = len(self.speeds)
+        self.total_avail: int = sum(self.sizes)
+        self.total_speed: float = sum(
+            s * c for s, c in zip(self.speeds, self.sizes)
+        )
+
+    def take(self, counts: tuple[int, ...]) -> tuple[int, ...]:
+        """Consume ``counts[c]`` processors per class; return their indices."""
+        picked: list[int] = []
+        for c, cnt in enumerate(counts):
+            if cnt:
+                pos = self.sizes[c] - self.avail[c]
+                picked.extend(self.indices[c][pos : pos + cnt])
+                self.avail[c] -= cnt
+                self.total_avail -= cnt
+                self.total_speed -= cnt * self.speeds[c]
+        return tuple(sorted(picked))
+
+    def restore(self, counts: tuple[int, ...]) -> None:
+        for c, cnt in enumerate(counts):
+            if cnt:
+                self.avail[c] += cnt
+                self.total_avail += cnt
+                self.total_speed += cnt * self.speeds[c]
+
+    # ------------------------------------------------------------------
+    def best_repl_capacity(self) -> float:
+        """Best ``k * min_speed`` of any subset of the remaining pool.
+
+        The optimum takes a full suffix of the fastest classes (growing the
+        subset within a class keeps the min and raises ``k``).
+        """
+        best, k = 0.0, 0
+        for c in range(self.classes - 1, -1, -1):
+            a = self.avail[c]
+            if a:
+                k += a
+                cap = k * self.speeds[c]
+                if cap > best:
+                    best = cap
+        return best
+
+    def repl_choices(self, k_max: int):
+        """Canonical replicated subsets: one per ``(min class, k)``.
+
+        For each minimum class ``c`` the fill takes the slowest available
+        processors of speed >= ``speeds[c]`` (dominance: any other subset
+        with the same ``(k, min)`` leaves a pointwise-slower pool).
+        Yields ``(counts, k, min_speed, sum_speed)``.
+        """
+        out = []
+        for c in range(self.classes):
+            if self.avail[c] == 0:
+                continue
+            counts = [0] * self.classes
+            k, ssum, cc = 0, 0.0, c
+            while k < k_max and cc < self.classes:
+                if counts[cc] < self.avail[cc]:
+                    counts[cc] += 1
+                    k += 1
+                    ssum += self.speeds[cc]
+                    out.append((tuple(counts), k, self.speeds[c], ssum))
+                else:
+                    cc += 1
+        return out
+
+    def dp_choices(self, k_max: int):
+        """All canonical count vectors with ``2 <= k <= k_max``.
+
+        Data-parallel cost depends on ``sum_speed``, so no single fill
+        dominates; the per-class counts keep this to
+        ``prod_c (avail_c + 1)`` candidates instead of ``2^p``.
+        Yields ``(counts, k, sum_speed)``.
+        """
+        out = []
+        counts = [0] * self.classes
+
+        def rec(c: int, k: int, ssum: float) -> None:
+            if c == self.classes:
+                if k >= 2:
+                    out.append((tuple(counts), k, ssum))
+                return
+            top = min(self.avail[c], k_max - k)
+            for cnt in range(top + 1):
+                counts[c] = cnt
+                rec(c + 1, k + cnt, ssum + cnt * self.speeds[c])
+            counts[c] = 0
+
+        rec(0, 0, 0.0)
+        return out
+
+
+# ----------------------------------------------------------------------
+# shared search state
+# ----------------------------------------------------------------------
+class _Search:
+    """Incumbent + counters + threshold tolerances for one solve."""
+
+    def __init__(self, objective, period_bound, latency_bound) -> None:
+        self.objective = objective
+        self.period_cap = (
+            None if period_bound is None else period_bound * (1 + FLOAT_TOL)
+        )
+        self.latency_cap = (
+            None if latency_bound is None else latency_bound * (1 + FLOAT_TOL)
+        )
+        self.best_value = _INF
+        self.best_groups: list[tuple] | None = None
+        self.nodes = 0
+        self.pruned = 0
+
+    def value_of(self, period: float, latency: float) -> float:
+        return period if self.objective is Objective.PERIOD else latency
+
+    def feasible(self, period: float, latency: float) -> bool:
+        if self.period_cap is not None and period > self.period_cap:
+            return False
+        if self.latency_cap is not None and latency > self.latency_cap:
+            return False
+        return True
+
+    def cut(self, lb_period: float, lb_latency: float) -> bool:
+        """True when the subtree below these lower bounds is hopeless."""
+        if self.period_cap is not None and lb_period > self.period_cap:
+            return True
+        if self.latency_cap is not None and lb_latency > self.latency_cap:
+            return True
+        return self.value_of(lb_period, lb_latency) >= self.best_value - FLOAT_TOL
+
+    def offer(self, period: float, latency: float, groups: list[tuple]) -> None:
+        if not self.feasible(period, latency):
+            return
+        value = self.value_of(period, latency)
+        if value < self.best_value - FLOAT_TOL:
+            self.best_value = value
+            self.best_groups = list(groups)
+
+
+def _seed_incumbent(spec: ProblemSpec, search: _Search) -> None:
+    """Prime the incumbent with a few cheap constructive mappings.
+
+    A finite starting upper bound is what makes the capacity bounds bite
+    from the first node on.  All seeds are replicated-only (always valid).
+    """
+    app, platform = spec.application, spec.platform
+    p = platform.p
+    if isinstance(app, ForkApplication):
+        stage_ids = [stage.index for stage in app.all_stages]
+        cls = ForkJoinMapping if isinstance(app, ForkJoinApplication) else ForkMapping
+    else:
+        stage_ids = [stage.index for stage in app.stages]
+        cls = PipelineMapping
+
+    candidates: list[tuple[tuple, ...]] = [
+        # everything in one group on the whole platform
+        ((tuple(stage_ids), tuple(range(p)), _REPL),),
+        # everything on the single fastest processor
+        ((tuple(stage_ids), (platform.fastest.index,), _REPL),),
+    ]
+    if cls is not PipelineMapping and len(stage_ids) <= p:
+        # one group per stage, heaviest work on fastest processor
+        order = platform.sorted_by_speed(descending=True)
+        works = {stage.index: stage.work for stage in app.all_stages}
+        by_load = sorted(stage_ids, key=lambda i: -works[i])
+        candidates.append(
+            tuple(
+                ((i,), (order[t].index,), _REPL) for t, i in enumerate(by_load)
+            )
+        )
+    for groups in candidates:
+        mapping = cls(
+            application=app,
+            platform=platform,
+            groups=tuple(
+                GroupAssignment(stages=s, processors=pr, kind=kind)
+                for s, pr, kind in groups
+            ),
+        )
+        period, latency = evaluate(mapping)
+        search.offer(period, latency, list(groups))
+
+
+# ----------------------------------------------------------------------
+# pipeline engine: interval-by-interval
+# ----------------------------------------------------------------------
+def _solve_pipeline(spec: ProblemSpec, search: _Search) -> None:
+    app, platform = spec.application, spec.platform
+    allow_dp = spec.allow_data_parallel
+    n = app.n
+    works = app.works
+    prefix = [0.0] * (n + 1)
+    for i, w in enumerate(works):
+        prefix[i + 1] = prefix[i] + w
+    total = prefix[n]
+    overheads = [stage.dp_overhead for stage in app.stages]
+    pool = _SpeedPool(platform)
+    groups: list[tuple] = []  # (stages, processors, kind)
+
+    def rec(stage: int, cur_period: float, cur_latency: float) -> None:
+        search.nodes += 1
+        if stage > n:
+            search.offer(cur_period, cur_latency, groups)
+            return
+        rem_speed = pool.total_speed
+        if pool.total_avail == 0:
+            return
+        rest = (total - prefix[stage - 1]) / rem_speed
+        if search.cut(max(cur_period, rest), cur_latency + rest):
+            search.pruned += 1
+            return
+        children = []
+        for length in range(1, n - stage + 2):
+            load = prefix[stage + length - 1] - prefix[stage - 1]
+            reserve = 1 if stage + length <= n else 0
+            k_max = pool.total_avail - reserve
+            if k_max < 1:
+                continue
+            for counts, k, mins, _sums in pool.repl_choices(k_max):
+                children.append(
+                    (length, counts, _REPL, load / (k * mins), load / mins)
+                )
+            if allow_dp and length == 1 and k_max >= 2:
+                f = overheads[stage - 1]
+                for counts, _k, sums in pool.dp_choices(k_max):
+                    t = f + load / sums
+                    children.append((length, counts, _DP, t, t))
+        # visit promising children first so the incumbent tightens early
+        children.sort(
+            key=lambda ch: search.value_of(
+                max(cur_period, ch[3]), cur_latency + ch[4]
+            )
+        )
+        for length, counts, kind, g_period, g_delay in children:
+            new_period = max(cur_period, g_period)
+            new_latency = cur_latency + g_delay
+            if search.cut(new_period, new_latency):
+                search.pruned += 1
+                continue
+            procs = pool.take(counts)
+            groups.append(
+                (tuple(range(stage, stage + length)), procs, kind)
+            )
+            rec(stage + length, new_period, new_latency)
+            groups.pop()
+            pool.restore(counts)
+
+    rec(1, 0.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# fork / fork-join engine: partition blocks, then assign block-by-block
+# ----------------------------------------------------------------------
+class _Block:
+    """One block of the stage partition, with cached load decomposition."""
+
+    __slots__ = (
+        "stages", "load", "overhead", "branch_load", "branch_overhead",
+        "has_root", "has_join",
+    )
+
+    def __init__(self) -> None:
+        self.stages: list[int] = []
+        self.load = 0.0
+        self.overhead = 0.0
+        self.branch_load = 0.0
+        self.branch_overhead = 0.0
+        self.has_root = False
+        self.has_join = False
+
+
+def _solve_fork_like(spec: ProblemSpec, search: _Search) -> None:
+    app, platform = spec.application, spec.platform
+    allow_dp = spec.allow_data_parallel
+    is_forkjoin = isinstance(app, ForkJoinApplication)
+    join_index = app.n + 1 if is_forkjoin else None
+    stages = app.all_stages
+    works = {stage.index: stage.work for stage in stages}
+    overheads = {stage.index: stage.dp_overhead for stage in stages}
+    w0 = works[0]
+    f0 = overheads[0]
+    w_join = works[join_index] if is_forkjoin else 0.0
+    f_join = overheads[join_index] if is_forkjoin else 0.0
+    p = platform.p
+    total_speed = platform.total_speed
+    max_speed = platform.fastest.speed
+    total_work = sum(works.values())
+    latency_objective = (
+        search.objective is Objective.LATENCY or search.latency_cap is not None
+    )
+    # optimistic t0: a replicated root runs at <= max_speed, a data-parallel
+    # (singleton) root at <= total_speed
+    t0_floor = w0 / (total_speed if allow_dp else max_speed)
+
+    # best single-group capacities on the *full* platform (Phase A bound)
+    desc = sorted(platform.speeds, reverse=True)
+    cap_full = 0.0
+    for k in range(1, p + 1):
+        cap_full = max(cap_full, k * desc[k - 1])
+    if allow_dp:
+        cap_full = max(cap_full, total_speed)
+
+    # process the root first, then heavier stages first (tighter bounds)
+    order = [0] + sorted(
+        (i for i in works if i != 0), key=lambda i: -works[i]
+    )
+    max_blocks = min(len(order), p)
+    blocks: list[_Block] = []
+
+    # ----- Phase B: assign processors to the blocks of a complete partition
+    def assign_blocks(partition: list[_Block]) -> None:
+        root_first = sorted(
+            partition, key=lambda b: (not b.has_root, -b.load)
+        )
+        q = len(root_first)
+        pool = _SpeedPool(platform)
+        # suffix tables over the fixed block order
+        suf_load_sum = [0.0] * (q + 1)
+        suf_load_max = [0.0] * (q + 1)
+        suf_nonroot_max = [0.0] * (q + 1)
+        suf_branch_max = [0.0] * (q + 1)
+        for i in range(q - 1, -1, -1):
+            b = root_first[i]
+            suf_load_sum[i] = suf_load_sum[i + 1] + b.load
+            suf_load_max[i] = max(suf_load_max[i + 1], b.load)
+            suf_nonroot_max[i] = max(
+                suf_nonroot_max[i + 1], 0.0 if b.has_root else b.load
+            )
+            suf_branch_max[i] = max(suf_branch_max[i + 1], b.branch_load)
+        chosen: list[tuple] = []
+
+        # running state: cur_period; fork: t0/root_delay/other_max;
+        # fork-join: t0/done_max/join_time
+        def rec(
+            i: int,
+            cur_period: float,
+            t0: float,
+            root_delay: float,
+            other_max: float,
+            done_max: float,
+            join_time: float,
+        ) -> None:
+            search.nodes += 1
+            if i == q:
+                if is_forkjoin:
+                    latency = done_max + join_time
+                elif other_max == -_INF:
+                    latency = root_delay
+                else:
+                    latency = max(root_delay, t0 + other_max)
+                search.offer(cur_period, latency, chosen)
+                return
+            rem_speed = pool.total_speed
+            if pool.total_avail < q - i or rem_speed <= 0.0:
+                return
+            # admissible bounds over the unassigned suffix
+            lb_period = max(
+                cur_period,
+                suf_load_max[i] / pool.best_repl_capacity()
+                if not allow_dp
+                else suf_load_max[i] / max(pool.best_repl_capacity(), rem_speed),
+                suf_load_sum[i] / rem_speed,
+            )
+            if is_forkjoin:
+                join_floor = join_time if join_time >= 0.0 else w_join / rem_speed
+                lb_latency = (
+                    max(done_max, t0 + suf_branch_max[i] / rem_speed)
+                    + join_floor
+                )
+            else:
+                partial = (
+                    root_delay
+                    if other_max == -_INF
+                    else max(root_delay, t0 + other_max)
+                )
+                lb_latency = max(
+                    partial, t0 + suf_nonroot_max[i] / rem_speed
+                    if suf_nonroot_max[i] > 0.0
+                    else partial,
+                )
+            if search.cut(lb_period, lb_latency if latency_objective else 0.0):
+                search.pruned += 1
+                return
+            block = root_first[i]
+            reserve = q - i - 1
+            k_max = pool.total_avail - reserve
+            if k_max < 1:
+                return
+            size = len(block.stages)
+            children = []
+            for counts, k, mins, sums in pool.repl_choices(k_max):
+                children.append((counts, k, mins, sums, _REPL))
+            dp_ok = (
+                allow_dp
+                and k_max >= 2
+                and not (block.has_root and size > 1)
+                and not (block.has_join and size > 1)
+            )
+            if dp_ok:
+                for counts, k, sums in pool.dp_choices(k_max):
+                    children.append((counts, k, 0.0, sums, _DP))
+
+            scored = []
+            for counts, k, mins, sums, kind in children:
+                if kind is _DP:
+                    g_period = block.overhead + block.load / sums
+                    g_delay = g_period
+                else:
+                    g_period = block.load / (k * mins)
+                    g_delay = block.load / mins
+                new_period = max(cur_period, g_period)
+                n_t0, n_root, n_other = t0, root_delay, other_max
+                n_done, n_join = done_max, join_time
+                if block.has_root:
+                    n_root = g_delay
+                    n_t0 = (
+                        (f0 + w0 / sums) if kind is _DP else w0 / mins
+                    )
+                if is_forkjoin:
+                    if kind is _DP:
+                        phase = (
+                            block.branch_overhead + block.branch_load / sums
+                            if block.branch_load > 0.0
+                            else 0.0
+                        )
+                    else:
+                        phase = block.branch_load / mins
+                    done = (
+                        n_t0 + phase
+                        if (block.has_root or block.branch_load > 0.0)
+                        else n_t0
+                    )
+                    n_done = max(done_max, done)
+                    if block.has_join:
+                        if kind is _DP:
+                            n_join = (
+                                (f_join + w_join / sums) if w_join > 0.0 else 0.0
+                            )
+                        else:
+                            n_join = w_join / mins
+                elif not block.has_root:
+                    n_other = max(other_max, g_delay)
+                score = search.value_of(new_period, g_delay)
+                scored.append(
+                    (score, counts, kind, new_period,
+                     n_t0, n_root, n_other, n_done, n_join)
+                )
+            scored.sort(key=lambda ch: ch[0])
+            for (_s, counts, kind, new_period,
+                 n_t0, n_root, n_other, n_done, n_join) in scored:
+                procs = pool.take(counts)
+                chosen.append((tuple(sorted(block.stages)), procs, kind))
+                rec(i + 1, new_period, n_t0, n_root, n_other, n_done, n_join)
+                chosen.pop()
+                pool.restore(counts)
+
+        # the root block is assigned first, so t0/root_delay are pinned at
+        # i = 1; before that they carry harmless optimistic floors
+        rec(0, 0.0, t0_floor, 0.0, -_INF, 0.0, -1.0)
+
+    # ----- Phase A: enumerate stage partitions (restricted growth)
+    def grow(idx: int) -> None:
+        search.nodes += 1
+        if idx == len(order):
+            assign_blocks(blocks)
+            return
+        # bounds from partial block loads (loads only grow)
+        max_load = max((b.load for b in blocks), default=0.0)
+        lb_period = max(max_load / cap_full, total_work / total_speed)
+        if is_forkjoin:
+            max_branch = max((b.branch_load for b in blocks), default=0.0)
+            lb_latency = t0_floor + max_branch / total_speed + w_join / total_speed
+        else:
+            max_nonroot = max(
+                (b.load for b in blocks if not b.has_root), default=0.0
+            )
+            lb_latency = t0_floor + max_nonroot / total_speed
+        if search.cut(lb_period, lb_latency if latency_objective else 0.0):
+            search.pruned += 1
+            return
+        s = order[idx]
+        w = works[s]
+        f = overheads[s]
+        is_branch = s != 0 and s != join_index
+        for b in blocks:
+            b.stages.append(s)
+            b.load += w
+            b.overhead += f
+            if is_branch:
+                b.branch_load += w
+                b.branch_overhead += f
+            if s == 0:
+                b.has_root = True
+            if s == join_index:
+                b.has_join = True
+            grow(idx + 1)
+            if s == 0:
+                b.has_root = False
+            if s == join_index:
+                b.has_join = False
+            if is_branch:
+                b.branch_load -= w
+                b.branch_overhead -= f
+            b.load -= w
+            b.overhead -= f
+            b.stages.pop()
+        if len(blocks) < max_blocks:
+            nb = _Block()
+            nb.stages.append(s)
+            nb.load = w
+            nb.overhead = f
+            if is_branch:
+                nb.branch_load = w
+                nb.branch_overhead = f
+            nb.has_root = s == 0
+            nb.has_join = s == join_index
+            blocks.append(nb)
+            grow(idx + 1)
+            blocks.pop()
+
+    grow(0)
+
+
+# ----------------------------------------------------------------------
+# public entry point
+# ----------------------------------------------------------------------
+def optimal(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+) -> Solution:
+    """Branch-and-bound exact optimum (same contract as the enumerator).
+
+    Minimizes ``objective``; ``period_bound`` / ``latency_bound`` turn the
+    call into the paper's bi-criteria problems.  Raises
+    :class:`InfeasibleProblemError` when no valid mapping meets the bounds.
+    """
+    search = _Search(objective, period_bound, latency_bound)
+    _seed_incumbent(spec, search)
+    app = spec.application
+    if isinstance(app, ForkApplication):
+        _solve_fork_like(spec, search)
+        mapping_cls = (
+            ForkJoinMapping if isinstance(app, ForkJoinApplication) else ForkMapping
+        )
+    else:
+        _solve_pipeline(spec, search)
+        mapping_cls = PipelineMapping
+    if search.best_groups is None:
+        raise InfeasibleProblemError(
+            f"no valid mapping satisfies the bounds (period<={period_bound}, "
+            f"latency<={latency_bound})"
+        )
+    mapping = mapping_cls(
+        application=app,
+        platform=spec.platform,
+        groups=tuple(
+            GroupAssignment(stages=s, processors=procs, kind=kind)
+            for s, procs, kind in search.best_groups
+        ),
+    )
+    assert is_valid(mapping, spec.allow_data_parallel)
+    solution = Solution.from_mapping(
+        mapping,
+        algorithm="bnb",
+        nodes=search.nodes,
+        pruned=search.pruned,
+    )
+    # verified wrapper contract: the incremental value must match the
+    # authoritative cost model on the returned mapping
+    value = solution.period if objective is Objective.PERIOD else solution.latency
+    scale = max(1.0, abs(value))
+    assert abs(value - search.best_value) <= 1e-6 * scale, (
+        f"bnb incremental value {search.best_value} drifted from "
+        f"evaluate() value {value}"
+    )
+    return solution

@@ -1,11 +1,16 @@
 """Exhaustive optimal solvers — the reference every algorithm is tested against.
 
-These enumerate *all* valid mappings of an instance (Section 3.4 rules) and
-return the best one.  The search space is exponential in both the number of
-stages and the number of processors, so these functions are only usable for
-tiny instances (roughly ``n <= 6``, ``p <= 6``); that is exactly their role:
-they provide ground truth for the polynomial algorithms and for the reduced
-instances of the NP-hardness constructions.
+:func:`optimal` is the exact ground-truth entry point.  By default it routes
+through the pruned branch-and-bound engine (:mod:`repro.algorithms.bnb`),
+which extends exact solving to roughly ``n = 9..10``, ``p = 8``; pass
+``engine="enumerate"`` for the historical flat enumeration, kept as
+:func:`optimal_enumerated` because its very naivety makes it the trusted
+oracle for the engine-equivalence property tests.
+
+The enumerators below yield *all* valid mappings of an instance
+(Section 3.4 rules).  The space is exponential in both the number of stages
+and the number of processors, so flat enumeration is only usable for tiny
+instances (roughly ``n <= 6``, ``p <= 6``).
 
 Enumeration notes
 -----------------
@@ -30,7 +35,7 @@ from ..core.application import (
     PipelineApplication,
 )
 from ..core.costs import FLOAT_TOL, evaluate
-from ..core.exceptions import InfeasibleProblemError
+from ..core.exceptions import InfeasibleProblemError, ReproError
 from ..core.mapping import (
     AssignmentKind,
     ForkJoinMapping,
@@ -50,6 +55,7 @@ __all__ = [
     "enumerate_forkjoin_mappings",
     "enumerate_mappings",
     "optimal",
+    "optimal_enumerated",
 ]
 
 
@@ -250,15 +256,46 @@ def optimal(
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    engine: str = "bnb",
 ) -> Solution:
-    """Exhaustively optimal solution (tiny instances only).
+    """Exact optimal solution, routed through the selected engine.
 
     ``period_bound`` / ``latency_bound`` turn the call into the bi-criteria
     problems of the paper: minimize the objective subject to the other
     criterion not exceeding its bound.
 
+    ``engine`` selects the search strategy:
+
+    * ``"bnb"`` (default) — the pruned branch-and-bound engine of
+      :mod:`repro.algorithms.bnb`; exact, and typically orders of magnitude
+      faster (usable to roughly ``n = 9..10``, ``p = 8``);
+    * ``"enumerate"`` — the historical flat enumeration
+      (:func:`optimal_enumerated`), kept as the oracle for the equivalence
+      property tests and the engine benchmarks.
+
     Raises :class:`InfeasibleProblemError` when no valid mapping meets the
     bounds.
+    """
+    if engine == "bnb":
+        from .bnb import optimal as bnb_optimal
+
+        return bnb_optimal(spec, objective, period_bound, latency_bound)
+    if engine != "enumerate":
+        raise ReproError(f"unknown exact engine {engine!r}")
+    return optimal_enumerated(spec, objective, period_bound, latency_bound)
+
+
+def optimal_enumerated(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+) -> Solution:
+    """Flat exhaustive enumeration (tiny instances only).
+
+    Evaluates every valid mapping from scratch; exponential in both ``n``
+    and ``p``.  This is the trusted oracle the branch-and-bound engine is
+    property-tested against.
     """
     best: Solution | None = None
     best_value = float("inf")

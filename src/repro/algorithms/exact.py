@@ -26,10 +26,8 @@ measure the scaling gap against the polynomial entries.
 
 from __future__ import annotations
 
-import itertools
-
 from ..core.application import ForkApplication, PipelineApplication
-from ..core.costs import FLOAT_TOL, evaluate
+from ..core.costs import FLOAT_TOL
 from ..core.exceptions import InfeasibleProblemError, ReproError
 from ..core.mapping import (
     AssignmentKind,
@@ -50,16 +48,23 @@ __all__ = [
     "fork_latency_exact_hom_platform",
 ]
 
-#: Guard for the plain brute-force wrappers.
-_BRUTE_LIMIT = 7
+#: Size guards for the generic exact wrappers, per engine.  The pruned
+#: branch-and-bound engine reaches noticeably further than flat enumeration.
+_ENGINE_LIMITS = {"enumerate": 7, "bnb": 10}
 
 
-def _guard(n_stages: int, p: int) -> None:
-    if n_stages > _BRUTE_LIMIT or p > _BRUTE_LIMIT:
+def _guard(n_stages: int, p: int, engine: str = "bnb") -> None:
+    if engine not in _ENGINE_LIMITS:
         raise ReproError(
-            f"brute-force exact solving is limited to {_BRUTE_LIMIT} stages/"
-            f"processors (got n={n_stages}, p={p}); use the structured exact "
-            "solvers or repro.heuristics for larger instances"
+            f"unknown exact engine {engine!r} (choose from "
+            f"{sorted(_ENGINE_LIMITS)})"
+        )
+    limit = _ENGINE_LIMITS[engine]
+    if n_stages > limit or p > limit:
+        raise ReproError(
+            f"exact solving with engine {engine!r} is limited to {limit} "
+            f"stages/processors (got n={n_stages}, p={p}); use the structured "
+            "exact solvers or repro.heuristics for larger instances"
         )
 
 
@@ -68,10 +73,11 @@ def pipeline_exact(
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    engine: str = "bnb",
 ) -> Solution:
-    """Brute-force exact pipeline solution (any variant, tiny sizes)."""
-    _guard(spec.application.n, spec.platform.p)
-    return brute_optimal(spec, objective, period_bound, latency_bound)
+    """Generic exact pipeline solution (any variant, small sizes)."""
+    _guard(spec.application.n, spec.platform.p, engine)
+    return brute_optimal(spec, objective, period_bound, latency_bound, engine)
 
 
 def fork_exact(
@@ -79,10 +85,11 @@ def fork_exact(
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    engine: str = "bnb",
 ) -> Solution:
-    """Brute-force exact fork solution (any variant, tiny sizes)."""
-    _guard(spec.application.n + 1, spec.platform.p)
-    return brute_optimal(spec, objective, period_bound, latency_bound)
+    """Generic exact fork solution (any variant, small sizes)."""
+    _guard(spec.application.n + 1, spec.platform.p, engine)
+    return brute_optimal(spec, objective, period_bound, latency_bound, engine)
 
 
 def forkjoin_exact(
@@ -90,10 +97,11 @@ def forkjoin_exact(
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    engine: str = "bnb",
 ) -> Solution:
-    """Brute-force exact fork-join solution (any variant, tiny sizes)."""
-    _guard(spec.application.n + 2, spec.platform.p)
-    return brute_optimal(spec, objective, period_bound, latency_bound)
+    """Generic exact fork-join solution (any variant, small sizes)."""
+    _guard(spec.application.n + 2, spec.platform.p, engine)
+    return brute_optimal(spec, objective, period_bound, latency_bound, engine)
 
 
 # ======================================================================

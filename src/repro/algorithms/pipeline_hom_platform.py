@@ -25,8 +25,6 @@ transcribing it literally.
 
 from __future__ import annotations
 
-import itertools
-
 from ..core.application import PipelineApplication
 from ..core.costs import FLOAT_TOL
 from ..core.exceptions import (

@@ -21,7 +21,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..core.application import ForkApplication, ForkJoinApplication
 from ..core.exceptions import ReproError
 from . import (
     exact,
@@ -218,6 +217,7 @@ def solve(
     period_bound: float | None = None,
     latency_bound: float | None = None,
     exact_fallback: bool = False,
+    engine: str = "bnb",
 ) -> Solution:
     """Solve a mapping problem with the matching paper algorithm.
 
@@ -225,7 +225,9 @@ def solve(
     instances raise :class:`NPHardError` unless ``exact_fallback=True``, in
     which case the (exponential) exact solvers of
     :mod:`repro.algorithms.exact` are used — only sensible for small
-    instances.
+    instances.  ``engine`` selects the generic exact search strategy for
+    the fallback: the pruned branch-and-bound engine (``"bnb"``, default)
+    or the flat enumeration oracle (``"enumerate"``).
     """
     bicriteria = (
         (objective is Objective.PERIOD and latency_bound is not None)
@@ -240,7 +242,7 @@ def solve(
                 f"({entry.theorem}); pass exact_fallback=True for an "
                 "exponential exact solve, or use repro.heuristics"
             )
-        return _exact_dispatch(spec, objective, period_bound, latency_bound)
+        return _exact_dispatch(spec, objective, period_bound, latency_bound, engine)
     return _poly_dispatch(spec, objective, period_bound, latency_bound)
 
 
@@ -305,7 +307,9 @@ def _poly_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
     )
 
 
-def _exact_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
+def _exact_dispatch(
+    spec, objective, period_bound, latency_bound, engine="bnb"
+) -> Solution:
     app = spec.application
     if spec.graph_kind is GraphKind.PIPELINE:
         if (
@@ -315,7 +319,9 @@ def _exact_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
             and latency_bound is None
         ):
             return exact.pipeline_period_exact_blocks(app, spec.platform)
-        return exact.pipeline_exact(spec, objective, period_bound, latency_bound)
+        return exact.pipeline_exact(
+            spec, objective, period_bound, latency_bound, engine
+        )
     if (
         spec.graph_kind is GraphKind.FORK
         and objective is Objective.LATENCY
@@ -326,5 +332,7 @@ def _exact_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
     ):
         return exact.fork_latency_exact_hom_platform(app, spec.platform)
     if spec.graph_kind is GraphKind.FORK_JOIN:
-        return exact.forkjoin_exact(spec, objective, period_bound, latency_bound)
-    return exact.fork_exact(spec, objective, period_bound, latency_bound)
+        return exact.forkjoin_exact(
+            spec, objective, period_bound, latency_bound, engine
+        )
+    return exact.fork_exact(spec, objective, period_bound, latency_bound, engine)

@@ -11,7 +11,6 @@ is exact, with ``O(log #candidates)`` feasibility tests.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from collections.abc import Callable, Iterable
 
 from ..core.costs import FLOAT_TOL

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from ..algorithms import brute_force
 from ..algorithms.problem import Objective, ProblemSpec
-from ..algorithms.registry import TABLE, Criterion, classify, solve
+from ..algorithms.registry import TABLE, Criterion, solve
 from ..core.costs import FLOAT_TOL
 from ..generators.instances import (
     random_fork,

@@ -25,9 +25,9 @@ Theorem 9 problem.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..core.costs import FLOAT_TOL
 from ..core.exceptions import ReproError
@@ -65,19 +65,30 @@ class PartitionResult:
         return out
 
 
-def _prefix(works: Sequence[float]) -> list[float]:
+@lru_cache(maxsize=512)
+def _prefix_cached(works: tuple[float, ...]) -> tuple[float, ...]:
     prefix = [0.0]
     for w in works:
         if w <= 0:
             raise ReproError("chains-to-chains requires positive works")
         prefix.append(prefix[-1] + w)
-    return prefix
+    return tuple(prefix)
 
 
-def interval_sums(works: Sequence[float]) -> list[float]:
-    """All ``O(n^2)`` contiguous interval sums, sorted ascending (the
-    candidate bottleneck values of the probe algorithm)."""
-    prefix = _prefix(works)
+def _prefix(works: Sequence[float]) -> tuple[float, ...]:
+    """Prefix sums of the works, memoized on the works tuple.
+
+    The DP, probe and greedy algorithms are routinely called back to back
+    on the *same* works array (e.g. by the heuristics portfolio and the
+    benchmarks); one shared cache makes the construction free after the
+    first call.
+    """
+    return _prefix_cached(tuple(works))
+
+
+@lru_cache(maxsize=512)
+def _interval_sums_cached(works: tuple[float, ...]) -> tuple[float, ...]:
+    prefix = _prefix_cached(works)
     n = len(works)
     sums = sorted(
         prefix[j] - prefix[i] for i in range(n) for j in range(i + 1, n + 1)
@@ -86,7 +97,17 @@ def interval_sums(works: Sequence[float]) -> list[float]:
     for s in sums:
         if not out or s - out[-1] > FLOAT_TOL * max(1.0, s):
             out.append(s)
-    return out
+    return tuple(out)
+
+
+def interval_sums(works: Sequence[float]) -> list[float]:
+    """All ``O(n^2)`` contiguous interval sums, sorted ascending (the
+    candidate bottleneck values of the probe algorithm).
+
+    Memoized per works tuple so repeated probe/DP calls on one array pay
+    the ``O(n^2 log n)`` construction once.
+    """
+    return list(_interval_sums_cached(tuple(works)))
 
 
 def chains_to_chains_dp(works: Sequence[float], p: int) -> PartitionResult:
@@ -111,14 +132,17 @@ def chains_to_chains_dp(works: Sequence[float], p: int) -> PartitionResult:
     for j in range(2, p + 1):
         cur = [INF] * (n + 1)
         cur[0] = 0.0
+        back_j = back[j]
         for i in range(1, n + 1):
-            best, arg = prefix[i], 0  # single interval still allowed
+            pi = prefix[i]  # hoisted out of the O(n) inner scan
+            best, arg = pi, 0  # single interval still allowed
             for k in range(1, i):
-                cand = max(prev[k], prefix[i] - prefix[k])
+                left, right = prev[k], pi - prefix[k]
+                cand = left if left >= right else right
                 if cand < best - FLOAT_TOL:
                     best, arg = cand, k
             cur[i] = best
-            back[j][i] = arg
+            back_j[i] = arg
         prev = cur
     # reconstruct
     boundaries: list[int] = []
@@ -222,16 +246,20 @@ def heterogeneous_chains_dp(
         s = speeds[j - 1]
         if s <= 0:
             raise ReproError("speeds must be positive")
+        prev_row, cur_row, back_j = C[j - 1], C[j], back[j]
         for i in range(n + 1):
+            pi = prefix[i]  # hoisted out of the O(n) inner scan
             best, arg = INF, 0
             for k in range(i + 1):
-                if C[j - 1][k] == INF:
+                left = prev_row[k]
+                if left == INF:
                     continue
-                cand = max(C[j - 1][k], (prefix[i] - prefix[k]) / s)
+                right = (pi - prefix[k]) / s
+                cand = left if left >= right else right
                 if cand < best - FLOAT_TOL:
                     best, arg = cand, k
-            C[j][i] = best
-            back[j][i] = arg
+            cur_row[i] = best
+            back_j[i] = arg
     # reconstruct (drop empty trailing intervals)
     boundaries: list[int] = []
     i = n

@@ -127,6 +127,7 @@ def _solve_spec(spec, args, out) -> object | None:
             period_bound=args.period_bound,
             latency_bound=args.latency_bound,
             exact_fallback=getattr(args, "exact", False),
+            engine=getattr(args, "engine", "bnb"),
         )
     except NPHardError as exc:
         if getattr(args, "heuristic", False) and args.graph == "pipeline":
@@ -211,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_flags(p_solve)
     p_solve.add_argument("--exact", action="store_true",
                          help="exponential exact fallback for NP-hard cells")
+    p_solve.add_argument("--engine", choices=("bnb", "enumerate"),
+                         default="bnb",
+                         help="exact search engine for --exact: pruned "
+                              "branch-and-bound (default) or flat enumeration")
     p_solve.add_argument("--heuristic", action="store_true",
                          help="portfolio heuristic for NP-hard pipelines")
 
@@ -222,11 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--period-bound", type=float, default=None)
     p_scen.add_argument("--latency-bound", type=float, default=None)
     p_scen.add_argument("--exact", action="store_true")
+    p_scen.add_argument("--engine", choices=("bnb", "enumerate"),
+                        default="bnb")
     p_scen.add_argument("--heuristic", action="store_true")
 
     p_sim = sub.add_parser("simulate", help="solve then simulate")
     _add_instance_flags(p_sim)
     p_sim.add_argument("--exact", action="store_true")
+    p_sim.add_argument("--engine", choices=("bnb", "enumerate"),
+                       default="bnb")
     p_sim.add_argument("--heuristic", action="store_true")
     p_sim.add_argument("--data-sets", type=int, default=500)
     return parser

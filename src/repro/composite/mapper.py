@@ -25,8 +25,8 @@ import random
 from dataclasses import dataclass
 
 from ..algorithms.problem import Objective, ProblemSpec, Solution
-from ..algorithms.registry import NPHardError, classify, solve
-from ..core.application import ForkApplication, PipelineApplication
+from ..algorithms.registry import classify, solve
+from ..core.application import PipelineApplication
 from ..core.exceptions import ReproError
 from ..core.platform import Platform
 from ..heuristics.greedy import pipeline_period_portfolio

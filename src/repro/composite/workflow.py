@@ -17,7 +17,6 @@ composable.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core.application import (

@@ -8,6 +8,7 @@ communication-aware model of Section 3.3.
 """
 
 from .application import ForkApplication, ForkJoinApplication, PipelineApplication
+from .batch_eval import BatchEvaluator, batch_evaluate
 from .comm_costs import (
     CommunicationModel,
     OnePortInterval,
@@ -77,6 +78,8 @@ __all__ = [
     "forkjoin_period",
     "forkjoin_latency",
     "evaluate",
+    "BatchEvaluator",
+    "batch_evaluate",
     "CommunicationModel",
     "OnePortInterval",
     "interval_costs",

@@ -42,6 +42,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from .application import ForkApplication, ForkJoinApplication
+from .exceptions import ReproError
 from .mapping import (
     AssignmentKind,
     ForkJoinMapping,
@@ -67,6 +68,26 @@ __all__ = [
 FLOAT_TOL = 1e-9
 
 
+def _checked_min_speed(speeds: Sequence[float]) -> float:
+    """Validate a group's speeds and return the minimum.
+
+    Raising :class:`ReproError` here turns the otherwise-cryptic
+    ``ZeroDivisionError`` / ``min() arg is an empty sequence`` failures of
+    malformed groups into actionable messages at the model boundary.
+    """
+    if len(speeds) == 0:
+        raise ReproError(
+            "group cost needs at least one processor speed (empty speeds "
+            "sequence)"
+        )
+    s_min = min(speeds)
+    if s_min <= 0:
+        raise ReproError(
+            f"group speeds must be positive, got {s_min!r} in {list(speeds)!r}"
+        )
+    return s_min
+
+
 def group_period(
     work: float,
     speeds: Sequence[float],
@@ -74,9 +95,10 @@ def group_period(
     dp_overhead: float = 0.0,
 ) -> float:
     """Period of one group: minimum interval between consecutive data sets."""
+    s_min = _checked_min_speed(speeds)
     if kind is AssignmentKind.DATA_PARALLEL:
         return dp_overhead + work / sum(speeds)
-    return work / (len(speeds) * min(speeds))
+    return work / (len(speeds) * s_min)
 
 
 def group_delay(
@@ -91,9 +113,10 @@ def group_delay(
     (:math:`t_{max}` in the paper); for a data-parallel group it equals the
     period.
     """
+    s_min = _checked_min_speed(speeds)
     if kind is AssignmentKind.DATA_PARALLEL:
         return dp_overhead + work / sum(speeds)
-    return work / min(speeds)
+    return work / s_min
 
 
 # ----------------------------------------------------------------------

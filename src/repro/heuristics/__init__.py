@@ -24,7 +24,11 @@ from .greedy import (
     pipeline_period_sweep,
 )
 from .local_search import improve_mapping
-from .random_baseline import random_fork_mapping, random_pipeline_mapping
+from .random_baseline import (
+    best_of_random,
+    random_fork_mapping,
+    random_pipeline_mapping,
+)
 
 __all__ = [
     "pipeline_period_greedy",
@@ -34,4 +38,5 @@ __all__ = [
     "improve_mapping",
     "random_pipeline_mapping",
     "random_fork_mapping",
+    "best_of_random",
 ]

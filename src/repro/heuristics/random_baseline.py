@@ -1,19 +1,24 @@
 """Random valid mappings: the baseline every heuristic must beat.
 
 Also used by the property tests and the simulator-validation benchmark as a
-source of arbitrary (but valid) mappings.
+source of arbitrary (but valid) mappings.  :func:`best_of_random` is the
+portfolio version: it samples many mappings and scores them all in one
+vectorized pass through :class:`repro.core.batch_eval.BatchEvaluator`
+instead of pricing each sample individually.
 """
 
 from __future__ import annotations
 
 import random
 
-from ..algorithms.problem import Solution
+from ..algorithms.problem import Objective, Solution
 from ..core.application import (
     ForkApplication,
     ForkJoinApplication,
     PipelineApplication,
 )
+from ..core.batch_eval import BatchEvaluator, feasible_argmin
+from ..core.exceptions import InfeasibleProblemError
 from ..core.mapping import (
     AssignmentKind,
     ForkJoinMapping,
@@ -24,7 +29,7 @@ from ..core.mapping import (
 from ..core.platform import Platform
 from ..core.validation import is_valid
 
-__all__ = ["random_pipeline_mapping", "random_fork_mapping"]
+__all__ = ["random_pipeline_mapping", "random_fork_mapping", "best_of_random"]
 
 
 def _random_processor_split(
@@ -42,13 +47,12 @@ def _random_processor_split(
     return parts
 
 
-def random_pipeline_mapping(
+def _random_pipeline_groups(
     app: PipelineApplication,
     platform: Platform,
     rng: random.Random,
-    allow_data_parallel: bool = False,
-) -> Solution:
-    """A uniformly-structured random valid pipeline mapping."""
+    allow_data_parallel: bool,
+) -> PipelineMapping:
     n, p = app.n, platform.p
     q = rng.randint(1, min(n, p))
     cuts = sorted(rng.sample(range(1, n), q - 1)) if q > 1 else []
@@ -74,16 +78,26 @@ def random_pipeline_mapping(
     mapping = PipelineMapping(application=app, platform=platform,
                               groups=tuple(groups))
     assert is_valid(mapping, allow_data_parallel)
-    return Solution.from_mapping(mapping, algorithm="random")
+    return mapping
 
 
-def random_fork_mapping(
-    app: ForkApplication,
+def random_pipeline_mapping(
+    app: PipelineApplication,
     platform: Platform,
     rng: random.Random,
     allow_data_parallel: bool = False,
 ) -> Solution:
-    """A random valid fork (or fork-join) mapping."""
+    """A uniformly-structured random valid pipeline mapping."""
+    mapping = _random_pipeline_groups(app, platform, rng, allow_data_parallel)
+    return Solution.from_mapping(mapping, algorithm="random")
+
+
+def _random_fork_groups(
+    app: ForkApplication,
+    platform: Platform,
+    rng: random.Random,
+    allow_data_parallel: bool,
+) -> ForkMapping:
     is_forkjoin = isinstance(app, ForkJoinApplication)
     n, p = app.n, platform.p
     stage_count = n + (2 if is_forkjoin else 1)
@@ -117,4 +131,60 @@ def random_fork_mapping(
     cls = ForkJoinMapping if is_forkjoin else ForkMapping
     mapping = cls(application=app, platform=platform, groups=tuple(groups))
     assert is_valid(mapping, allow_data_parallel)
+    return mapping
+
+
+def random_fork_mapping(
+    app: ForkApplication,
+    platform: Platform,
+    rng: random.Random,
+    allow_data_parallel: bool = False,
+) -> Solution:
+    """A random valid fork (or fork-join) mapping."""
+    mapping = _random_fork_groups(app, platform, rng, allow_data_parallel)
     return Solution.from_mapping(mapping, algorithm="random")
+
+
+def best_of_random(
+    app,
+    platform: Platform,
+    rng: random.Random,
+    objective: Objective,
+    samples: int = 200,
+    allow_data_parallel: bool = False,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+) -> Solution:
+    """Best of ``samples`` random valid mappings, scored in one batch.
+
+    The honest portfolio baseline: all candidates are generated first, then
+    priced together by the numpy batch evaluator — sampling cost stays, the
+    ``O(samples)`` per-mapping Python evaluation disappears.  Raises
+    :class:`InfeasibleProblemError` when no sample meets the thresholds.
+    """
+    if samples < 1:
+        raise InfeasibleProblemError("need at least one random sample")
+    if isinstance(app, ForkApplication):
+        draw = _random_fork_groups
+    else:
+        draw = _random_pipeline_groups
+    mappings = [
+        draw(app, platform, rng, allow_data_parallel) for _ in range(samples)
+    ]
+    evaluator = BatchEvaluator(app, platform)
+    periods, latencies = evaluator.evaluate(mappings)
+    values = periods if objective is Objective.PERIOD else latencies
+    pick = feasible_argmin(
+        periods, latencies, values, period_bound, latency_bound
+    )
+    if pick is None:
+        raise InfeasibleProblemError(
+            f"none of {samples} random mappings satisfies the bounds "
+            f"(period<={period_bound}, latency<={latency_bound})"
+        )
+    return Solution(
+        mapping=mappings[pick],
+        period=float(periods[pick]),
+        latency=float(latencies[pick]),
+        meta={"algorithm": "random-portfolio", "samples": samples},
+    )

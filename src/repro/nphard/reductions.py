@@ -25,12 +25,11 @@ violating instances raise :class:`ReproError`.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from ..algorithms.problem import Objective, ProblemSpec
 from ..core.application import ForkApplication, PipelineApplication
-from ..core.costs import FLOAT_TOL, evaluate
+from ..core.costs import FLOAT_TOL
 from ..core.exceptions import ReproError
 from ..core.mapping import (
     AssignmentKind,
@@ -39,7 +38,7 @@ from ..core.mapping import (
     PipelineMapping,
 )
 from ..core.platform import Platform
-from .n3dm import N3DMInstance, solve_n3dm
+from .n3dm import N3DMInstance
 from .two_partition import TwoPartitionInstance, best_balanced_split
 
 __all__ = [

@@ -1,0 +1,178 @@
+"""Property tests: the branch-and-bound engine equals exhaustive enumeration.
+
+``brute_force.optimal_enumerated`` prices every valid mapping from scratch —
+slow, but too simple to be wrong.  These tests draw hundreds of random
+instances (all three graph shapes, heterogeneous speeds, optional
+data-parallelism, nonzero Amdahl ``dp_overhead``) and assert that
+``bnb.optimal`` reproduces the enumeration optimum exactly — for the period
+objective, the latency objective, and the bi-criteria variants — including
+agreeing on *infeasibility* of threshold combinations.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.algorithms import bnb
+from repro.algorithms import brute_force as bf
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.core import FLOAT_TOL, InfeasibleProblemError, Stage
+
+TRIALS_PER_SHAPE = 70  # x3 shapes = 210 instances, each checked 4 ways
+
+
+def _random_overheads(rng, n):
+    return [
+        round(rng.random(), 2) if rng.random() < 0.4 else 0.0 for _ in range(n)
+    ]
+
+
+def _random_platform(rng):
+    p = rng.randint(1, 5)
+    return repro.Platform.heterogeneous(
+        [rng.choice([1, 1, 2, 3, 5]) for _ in range(p)]
+    )
+
+
+def _random_pipeline_spec(rng):
+    n = rng.randint(1, 5)
+    app = repro.PipelineApplication.from_works(
+        [rng.randint(1, 9) for _ in range(n)],
+        dp_overheads=_random_overheads(rng, n),
+    )
+    return ProblemSpec(app, _random_platform(rng), rng.random() < 0.5)
+
+
+def _random_fork_spec(rng):
+    n = rng.randint(1, 4)
+    root = Stage(
+        index=0, work=float(rng.randint(1, 9)),
+        dp_overhead=_random_overheads(rng, 1)[0],
+    )
+    branches = tuple(
+        Stage(
+            index=k + 1, work=float(rng.randint(1, 9)),
+            dp_overhead=f,
+        )
+        for k, f in enumerate(_random_overheads(rng, n))
+    )
+    app = repro.ForkApplication(root=root, branches=branches)
+    return ProblemSpec(app, _random_platform(rng), rng.random() < 0.5)
+
+
+def _random_forkjoin_spec(rng):
+    n = rng.randint(1, 3)
+    root = Stage(
+        index=0, work=float(rng.randint(1, 9)),
+        dp_overhead=_random_overheads(rng, 1)[0],
+    )
+    branches = tuple(
+        Stage(index=k + 1, work=float(rng.randint(1, 9)), dp_overhead=f)
+        for k, f in enumerate(_random_overheads(rng, n))
+    )
+    join = Stage(
+        index=n + 1, work=float(rng.randint(1, 9)),
+        dp_overhead=_random_overheads(rng, 1)[0],
+    )
+    app = repro.ForkJoinApplication(root=root, branches=branches, join=join)
+    return ProblemSpec(app, _random_platform(rng), rng.random() < 0.5)
+
+
+def _enumeration_oracle(spec):
+    """Price every valid mapping once; answer all queries from the cache.
+
+    Mirrors :func:`brute_force.optimal_enumerated` (same ``FLOAT_TOL``
+    threshold semantics) but amortizes the single expensive enumeration
+    over the four queries each instance is checked with.
+    """
+    metrics = [repro.evaluate(m) for m in bf.enumerate_mappings(spec)]
+
+    def best(objective, period_bound=None, latency_bound=None):
+        values = [
+            period if objective is Objective.PERIOD else latency
+            for period, latency in metrics
+            if (period_bound is None
+                or period <= period_bound * (1 + FLOAT_TOL))
+            and (latency_bound is None
+                 or latency <= latency_bound * (1 + FLOAT_TOL))
+        ]
+        return min(values) if values else None
+
+    return best
+
+
+def _bnb_value(spec, objective, period_bound=None, latency_bound=None):
+    try:
+        return bnb.optimal(
+            spec, objective, period_bound, latency_bound
+        ).objective_value(objective)
+    except InfeasibleProblemError:
+        return None
+
+
+def _check_instance(spec, rng):
+    oracle = _enumeration_oracle(spec)
+    optima = {}
+    for objective in (Objective.PERIOD, Objective.LATENCY):
+        want = oracle(objective)
+        got = _bnb_value(spec, objective)
+        assert want is not None and got is not None  # unbounded: always feasible
+        assert got == pytest.approx(want), (
+            f"{objective} mismatch on {spec.describe()}: "
+            f"enumerate={want} bnb={got}"
+        )
+        optima[objective] = want
+    # bi-criteria around the mono-criterion optima: a loose threshold (must
+    # be feasible) and a too-tight one (both engines must agree either way)
+    loose_k = optima[Objective.PERIOD] * (1.0 + rng.random())
+    want = oracle(Objective.LATENCY, period_bound=loose_k)
+    got = _bnb_value(spec, Objective.LATENCY, period_bound=loose_k)
+    assert want is not None and got == pytest.approx(want), (
+        f"bi-criteria (K={loose_k}) mismatch on {spec.describe()}: "
+        f"enumerate={want} bnb={got}"
+    )
+    tight_l = optima[Objective.LATENCY] * (0.3 + 0.8 * rng.random())
+    want = oracle(Objective.PERIOD, latency_bound=tight_l)
+    got = _bnb_value(spec, Objective.PERIOD, latency_bound=tight_l)
+    if want is None:
+        assert got is None, (
+            f"enumerate infeasible but bnb found {got} on {spec.describe()} "
+            f"(L={tight_l})"
+        )
+    else:
+        assert got == pytest.approx(want), (
+            f"bi-criteria (L={tight_l}) mismatch on {spec.describe()}: "
+            f"enumerate={want} bnb={got}"
+        )
+
+
+@pytest.mark.parametrize(
+    "seed,builder",
+    [
+        (20260726, _random_pipeline_spec),
+        (20260727, _random_fork_spec),
+        (20260728, _random_forkjoin_spec),
+    ],
+    ids=["pipeline", "fork", "forkjoin"],
+)
+def test_bnb_matches_enumeration(seed, builder):
+    rng = random.Random(seed)
+    for _ in range(TRIALS_PER_SHAPE):
+        _check_instance(builder(rng), rng)
+
+
+def test_bnb_solution_is_valid_and_consistent():
+    """The returned Solution re-evaluates to its reported metrics."""
+    rng = random.Random(5)
+    for builder in (
+        _random_pipeline_spec, _random_fork_spec, _random_forkjoin_spec
+    ):
+        for _ in range(10):
+            spec = builder(rng)
+            sol = bnb.optimal(spec, Objective.PERIOD)
+            period, latency = repro.evaluate(sol.mapping)
+            assert sol.period == pytest.approx(period)
+            assert sol.latency == pytest.approx(latency)
+            assert sol.meta["algorithm"] == "bnb"
+            assert sol.meta["nodes"] >= 1

@@ -149,10 +149,42 @@ class TestForkLatencyExact:
 
 
 class TestBruteGuards:
-    def test_size_guard(self):
-        app = PipelineApplication.homogeneous(10)
-        plat = Platform.homogeneous(10)
+    def test_size_guard_bnb(self):
+        # the default bnb engine reaches n = p = 10, but no further
+        app = PipelineApplication.homogeneous(11)
+        plat = Platform.homogeneous(11)
         with pytest.raises(ReproError):
             exact.pipeline_exact(
                 ProblemSpec(app, plat, False), Objective.PERIOD
+            )
+
+    def test_size_guard_enumerate(self):
+        # flat enumeration keeps its historical n, p <= 7 guard
+        app = PipelineApplication.homogeneous(8)
+        plat = Platform.homogeneous(8)
+        with pytest.raises(ReproError):
+            exact.pipeline_exact(
+                ProblemSpec(app, plat, False), Objective.PERIOD,
+                engine="enumerate",
+            )
+
+    def test_bnb_engine_reaches_past_enumerate_guard(self):
+        # n = p = 8 was out of reach for the old guard; bnb solves it
+        app = PipelineApplication.homogeneous(8)
+        plat = Platform.homogeneous(8)
+        sol = exact.pipeline_exact(
+            ProblemSpec(app, plat, False), Objective.PERIOD
+        )
+        # 8 unit stages replicated over 8 unit processors: period 1
+        assert sol.period == pytest.approx(1.0)
+
+    def test_unknown_engine_rejected(self):
+        from repro.algorithms import brute_force as bf
+
+        app = PipelineApplication.homogeneous(2)
+        plat = Platform.homogeneous(2)
+        with pytest.raises(ReproError):
+            bf.optimal(
+                ProblemSpec(app, plat, False), Objective.PERIOD,
+                engine="quantum",
             )

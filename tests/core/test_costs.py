@@ -12,6 +12,7 @@ from repro.core import (
     ForkJoinApplication,
     PipelineApplication,
     Platform,
+    ReproError,
     evaluate,
     fork_latency,
     fork_period,
@@ -229,3 +230,27 @@ class TestForkJoinCosts:
     def test_evaluate_type_error(self):
         with pytest.raises(TypeError):
             evaluate(42)
+
+
+class TestGroupFormulaGuards:
+    """Malformed speed sequences must fail loudly, not cryptically."""
+
+    def test_empty_speeds_period(self):
+        with pytest.raises(ReproError, match="at least one processor speed"):
+            group_period(10.0, [], R)
+
+    def test_empty_speeds_delay(self):
+        with pytest.raises(ReproError, match="at least one processor speed"):
+            group_delay(10.0, (), D)
+
+    def test_zero_speed(self):
+        with pytest.raises(ReproError, match="must be positive"):
+            group_period(10.0, [2.0, 0.0], R)
+
+    def test_negative_speed_dp(self):
+        with pytest.raises(ReproError, match="must be positive"):
+            group_delay(10.0, [1.0, -3.0], D)
+
+    def test_valid_groups_unaffected(self):
+        assert group_period(10.0, [2.0], R) == pytest.approx(5.0)
+        assert group_delay(10.0, [2.0, 3.0], D) == pytest.approx(2.0)

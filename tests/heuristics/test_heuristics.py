@@ -15,6 +15,7 @@ from repro.core import (
     validate,
 )
 from repro.heuristics import (
+    best_of_random,
     fork_latency_lpt,
     improve_mapping,
     pipeline_period_greedy,
@@ -181,3 +182,78 @@ class TestRandomBaseline:
             dp = rng.random() < 0.5
             sol = random_fork_mapping(app, plat, rng, dp)
             validate(sol.mapping, allow_data_parallel=dp)
+
+
+class TestBestOfRandom:
+    def test_beats_or_matches_single_samples(self):
+        """The batch pick must equal the true minimum over its samples."""
+        rng = random.Random(31)
+        app = PipelineApplication.from_works([5, 3, 8, 2, 6])
+        plat = Platform.heterogeneous([1, 2, 3, 2, 1])
+        # same seed stream: drawing k singles equals one k-sample portfolio
+        portfolio = best_of_random(
+            app, plat, random.Random(7), Objective.PERIOD, samples=50
+        )
+        singles = [
+            random_pipeline_mapping(app, plat, random.Random(7), False)
+        ]
+        for _ in range(49):
+            singles.append(random_pipeline_mapping(app, plat, rng, False))
+        assert portfolio.period <= max(s.period for s in singles) + 1e-12
+        # the reported metrics must match a scalar re-evaluation
+        from repro.core import evaluate
+
+        period, latency = evaluate(portfolio.mapping)
+        assert portfolio.period == pytest.approx(period)
+        assert portfolio.latency == pytest.approx(latency)
+        validate(portfolio.mapping, allow_data_parallel=False)
+
+    def test_is_exact_minimum_of_its_sample_set(self):
+        rng = random.Random(8)
+        app = ForkApplication.from_works(2, [4, 1, 6])
+        plat = Platform.heterogeneous([1, 3, 2, 1])
+        sol = best_of_random(
+            app, plat, rng, Objective.LATENCY, samples=120,
+            allow_data_parallel=True,
+        )
+        # re-draw the identical sample set and minimize by hand
+        rng2 = random.Random(8)
+        best = min(
+            random_fork_mapping(app, plat, rng2, True).latency
+            for _ in range(120)
+        )
+        assert sol.latency == pytest.approx(best)
+        assert sol.meta == {"algorithm": "random-portfolio", "samples": 120}
+
+    def test_respects_bounds(self):
+        rng = random.Random(9)
+        app = PipelineApplication.from_works([6, 2, 8])
+        plat = Platform.heterogeneous([2, 1, 3])
+        bound = 10.0
+        sol = best_of_random(
+            app, plat, rng, Objective.PERIOD, samples=100,
+            latency_bound=bound,
+        )
+        assert sol.latency <= bound * (1 + 1e-9)
+
+    def test_infeasible_bound_raises(self):
+        from repro.core import InfeasibleProblemError
+
+        rng = random.Random(10)
+        app = PipelineApplication.from_works([6, 2, 8])
+        plat = Platform.heterogeneous([2, 1, 3])
+        with pytest.raises(InfeasibleProblemError):
+            best_of_random(
+                app, plat, rng, Objective.PERIOD, samples=50,
+                period_bound=1e-6,
+            )
+
+    def test_zero_samples_rejected(self):
+        from repro.core import InfeasibleProblemError
+
+        app = PipelineApplication.from_works([6.0])
+        plat = Platform.homogeneous(1)
+        with pytest.raises(InfeasibleProblemError):
+            best_of_random(
+                app, plat, random.Random(0), Objective.PERIOD, samples=0
+            )
