@@ -11,60 +11,71 @@ final stage".  Reproduced as:
 
 import random
 import time
+from pathlib import Path
 
 import pytest
 
 import repro
-from repro.algorithms import brute_force as bf
 from repro.algorithms import fork_het_platform, forkjoin
-from repro.algorithms.problem import Objective, ProblemSpec
+from repro.algorithms.problem import Objective
 from repro.analysis import format_table
 
 SEED = 75
 
 
 def test_forkjoin_agrees_with_bruteforce(benchmark, report, exact_engine):
-    rng = random.Random(SEED)
+    """Poly fork-join solvers vs the exhaustive reference, as a campaign:
+    two random fork-join families (hom platform with DP; het platform
+    without) x both objectives x {poly, brute} solver columns, executed
+    through the sharded runner with the shared result cache."""
+    from repro.campaign import CampaignSpec, ResultCache, run_campaign
+
+    spec = CampaignSpec(
+        name=f"forkjoin-agreement-{exact_engine}",
+        instances=(
+            {"type": "random", "graph": "forkjoin", "count": 6,
+             "seed": SEED, "n": [1, 3], "p": [1, 3],
+             "work_high": 5, "speed_high": 4,
+             "homogeneous_app": True, "homogeneous_platform": True,
+             "allow_data_parallel": True},
+            {"type": "random", "graph": "forkjoin", "count": 6,
+             "seed": SEED + 1, "n": [1, 3], "p": [1, 3],
+             "work_high": 5, "speed_high": 4,
+             "homogeneous_app": True},
+        ),
+        objectives=("period", "latency"),
+        solvers=(
+            {"name": "poly", "mode": "auto"},
+            {"name": "brute", "mode": "exact", "engine": exact_engine},
+        ),
+    )
+    cache = ResultCache(
+        Path(__file__).parent / "reports" / "campaign-cache"
+    )
 
     def run():
-        rows = []
-        for trial in range(6):
-            n, p = rng.randint(1, 3), rng.randint(1, 3)
-            app = repro.ForkJoinApplication.homogeneous(
-                n, rng.randint(1, 5), rng.randint(1, 4), rng.randint(1, 5)
-            )
-            hom_plat = repro.Platform.homogeneous(p, 1.0)
-            got = forkjoin.solve_hom_platform(
-                app, hom_plat, Objective.LATENCY, allow_data_parallel=True
-            ).latency
-            want = bf.optimal(
-                ProblemSpec(app, hom_plat, True), Objective.LATENCY,
-                engine=exact_engine,
-            ).latency
-            assert got == pytest.approx(want)
-            het_plat = repro.Platform.heterogeneous(
-                [rng.randint(1, 4) for _ in range(p)]
-            )
-            got_h = forkjoin.solve_het_platform(
-                app, het_plat, Objective.PERIOD
-            ).period
-            want_h = bf.optimal(
-                ProblemSpec(app, het_plat, False), Objective.PERIOD,
-                engine=exact_engine,
-            ).period
-            assert got_h == pytest.approx(want_h)
-            rows.append([trial, n, p, f"{got:.4g}", f"{got_h:.4g}"])
-        return rows
+        return run_campaign(spec, cache=cache, workers=0)
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.error_rows, result.error_rows
+    paired: dict[tuple, dict[str, dict]] = {}
+    for row in result.rows:
+        paired.setdefault(
+            (row["instance_id"], row["objective"]), {}
+        )[row["solver"]] = row
+    rows = []
+    for (iid, objective), solved in sorted(paired.items()):
+        got = solved["poly"]["value"]
+        want = solved["brute"]["value"]
+        assert got == pytest.approx(want), (iid, objective, got, want)
+        rows.append([iid, objective, f"{got:.4g}"])
     report(
         "forkjoin_agreement",
         format_table(
-            ["trial", "n", "p", "hom-platform latency opt",
-             "het-platform period opt"],
+            ["instance", "objective", "optimum (poly == brute)"],
             rows,
             title="fork-join extended algorithms vs brute force "
-                  "(Section 6.3)",
+                  "(Section 6.3), via the campaign runner",
         ),
     )
 

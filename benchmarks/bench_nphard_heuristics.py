@@ -6,24 +6,33 @@ Shape claims reproduced:
   show super-polynomial growth (the NP-hard side of Table 1);
 * the heuristic portfolio (greedy/chains-to-chains seeds + local search,
   LPT) stays close to the exact optimum — quantified as a ratio table.
+
+The heuristic-quality studies execute as declarative campaigns through
+:mod:`repro.campaign` (exact / heuristic / random solver columns over one
+random instance family), sharing the persistent result cache under
+``benchmarks/reports/campaign-cache/`` — re-runs and overlapping studies
+re-use every solve.
 """
 
 import random
 import time
+from pathlib import Path
 
 import pytest
 
 import repro
 from repro.algorithms import exact
 from repro.analysis import format_table
-from repro.heuristics import (
-    fork_latency_lpt,
-    pipeline_period_portfolio,
-    pipeline_period_sweep,
-    random_pipeline_mapping,
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    heuristic_gap,
+    run_campaign,
+    summarize,
 )
 
 RNG_SEED = 73
+CACHE_DIR = Path(__file__).parent / "reports" / "campaign-cache"
 
 
 @pytest.mark.parametrize("n", [6, 9, 12])
@@ -50,80 +59,92 @@ def test_pcmax_exact_scaling(benchmark, n):
 
 
 def test_heuristic_quality_pipeline_period(benchmark, report):
-    """Greedy + local search vs exact on the Theorem 9 problem."""
-    rng = random.Random(RNG_SEED)
+    """Portfolio + random baseline vs exact on the Theorem 9 problem,
+    as a campaign: one instance family x three solver columns, executed
+    through the sharded runner with the shared result cache."""
+    spec = CampaignSpec(
+        name="nphard-pipeline-quality",
+        instances=(
+            {"type": "random", "graph": "pipeline", "count": 8,
+             "seed": RNG_SEED, "n": [5, 9], "p": [4, 7],
+             "work_high": 12, "speed_high": 5},
+        ),
+        objectives=("period",),
+        solvers=(
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+            {"name": "portfolio", "mode": "heuristic", "seed": RNG_SEED},
+            {"name": "random", "mode": "random", "seed": RNG_SEED,
+             "samples": 1},
+        ),
+    )
 
     def run():
-        rows, ratios = [], []
-        for trial in range(8):
-            n = rng.randint(5, 9)
-            p = rng.randint(4, 7)
-            app = repro.PipelineApplication.from_works(
-                [rng.randint(1, 12) for _ in range(n)]
-            )
-            plat = repro.Platform.heterogeneous(
-                [rng.randint(1, 5) for _ in range(p)]
-            )
-            best = exact.pipeline_period_exact_blocks(app, plat).period
-            greedy = pipeline_period_sweep(app, plat)
-            portfolio = pipeline_period_portfolio(app, plat, rng)
-            rnd = random_pipeline_mapping(app, plat, rng)
-            ratios.append(portfolio.period / best)
-            rows.append([
-                trial, n, p, f"{best:.3f}",
-                f"{greedy.period / best:.3f}",
-                f"{portfolio.period / best:.3f}",
-                f"{rnd.period / best:.3f}",
-            ])
-        return rows, ratios
+        return run_campaign(spec, cache=ResultCache(CACHE_DIR), workers=0)
 
-    rows, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert max(ratios) <= 1.5, "portfolio drifted far from optimal"
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.error_rows, result.error_rows
+    stats, gap_table = heuristic_gap(result, baseline="exact")
+    assert stats["portfolio"]["max"] <= 1.5, (
+        "portfolio drifted far from optimal"
+    )
     report(
         "nphard_heuristics_pipeline",
-        format_table(
-            ["trial", "n", "p", "exact period", "greedy/opt",
-             "portfolio/opt", "random/opt"],
-            rows,
-            title="heuristic quality on the NP-hard het-pipeline period "
-                  "problem (Thm 9)",
-        ),
+        summarize(result, title="heuristic quality on the NP-hard "
+                                "het-pipeline period problem (Thm 9)")
+        + "\n" + gap_table,
     )
 
 
 def test_heuristic_quality_fork_latency(benchmark, report):
-    """LPT vs exact P||Cmax on the Theorem 12 problem; Graham's 4/3 bound
-    must hold on the makespan part."""
-    rng = random.Random(RNG_SEED + 1)
+    """LPT vs exact P||Cmax on the Theorem 12 problem, as a campaign;
+    Graham's 4/3 bound must hold on the makespan part of every row."""
+    spec = CampaignSpec(
+        name="nphard-fork-quality",
+        instances=(
+            {"type": "random", "graph": "fork", "count": 8,
+             "seed": RNG_SEED + 1, "n": [6, 12], "p": [2, 4],
+             "work_high": 20, "homogeneous_platform": True},
+        ),
+        objectives=("latency",),
+        solvers=(
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+            {"name": "lpt", "mode": "heuristic"},
+        ),
+    )
 
     def run():
-        rows = []
-        for trial in range(8):
-            n = rng.randint(6, 12)
-            p = rng.randint(2, 4)
-            app = repro.ForkApplication.from_works(
-                rng.randint(1, 9),
-                [rng.randint(1, 20) for _ in range(n)],
-            )
-            plat = repro.Platform.homogeneous(p, 1.0)
-            best = exact.fork_latency_exact_hom_platform(app, plat)
-            lpt = fork_latency_lpt(app, plat)
-            w0 = app.root.work
-            ratio = (lpt.latency - w0) / max(best.latency - w0, 1e-12)
-            assert ratio <= 4 / 3 + 1e-9
-            rows.append([trial, n, p, f"{best.latency:.3f}",
-                         f"{lpt.latency:.3f}", f"{ratio:.3f}"])
-        return rows
+        return run_campaign(spec, cache=ResultCache(CACHE_DIR), workers=0)
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.error_rows, result.error_rows
+    # Graham bound on the makespan part: latency = (w0 + Cmax) / s on a
+    # homogeneous platform, so ratios of (latency - w0/s) are Cmax ratios.
+    instances = dict(spec.expand_instances())
+    by_instance: dict[str, dict[str, dict]] = {}
+    for row in result.rows:
+        by_instance.setdefault(row["instance_id"], {})[row["solver"]] = row
+    rows = []
+    for iid, solved in sorted(by_instance.items()):
+        doc = instances[iid]
+        w0 = doc["application"]["root_work"]
+        s = doc["platform"]["speeds"][0]
+        best, lpt = solved["exact"], solved["lpt"]
+        ratio = (lpt["latency"] - w0 / s) / max(
+            best["latency"] - w0 / s, 1e-12
+        )
+        assert ratio <= 4 / 3 + 1e-9
+        rows.append([
+            iid, f"{best['latency']:.3f}", f"{lpt['latency']:.3f}",
+            f"{ratio:.3f}",
+        ])
     report(
         "nphard_heuristics_fork",
         format_table(
-            ["trial", "branches", "p", "exact latency", "LPT latency",
+            ["instance", "exact latency", "LPT latency",
              "Cmax ratio (<= 4/3)"],
             rows,
             title="LPT vs exact on the NP-hard het-fork latency problem "
-                  "(Thm 12)",
+                  "(Thm 12), via the campaign runner",
         ),
     )
 

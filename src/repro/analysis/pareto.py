@@ -4,22 +4,51 @@ The paper studies bi-criteria optimization as "minimize latency under a
 period threshold" (and the converse).  Sweeping the threshold over the
 achievable periods traces the Pareto front of a problem instance, which the
 examples plot as text.
+
+The sweep executes through the campaign runner
+(:mod:`repro.campaign.runner`): the two extreme solves and the whole
+threshold batch become content-addressed tasks, so a :class:`ResultCache`
+makes repeat or overlapping fronts (e.g. the same instance at different
+resolutions, or a re-run after a crash) resolve without re-solving, and
+``workers=N`` fans the independent threshold solves out to processes.
 """
 
 from __future__ import annotations
 
 from ..algorithms.problem import Objective, ProblemSpec, Solution
-from ..algorithms.registry import solve
+from ..algorithms.registry import NPHardError
 from ..core.costs import FLOAT_TOL
-from ..core.exceptions import InfeasibleProblemError
+from ..core.exceptions import InfeasibleProblemError, ReproError
+from ..serialization import mapping_from_dict, spec_to_dict
 
 __all__ = ["pareto_front"]
+
+
+def _solution_from_row(row: dict) -> Solution:
+    return Solution(
+        mapping=mapping_from_dict(row["mapping"]),
+        period=row["period"],
+        latency=row["latency"],
+        meta={"algorithm": row.get("algorithm")},
+    )
+
+
+def _raise_row_error(row: dict) -> None:
+    kind, message = row.get("error_type"), row.get("error", "")
+    if kind == "NPHardError":
+        raise NPHardError(message)
+    if kind == "InfeasibleProblemError":
+        raise InfeasibleProblemError(message)
+    raise ReproError(f"{kind}: {message}")
 
 
 def pareto_front(
     spec: ProblemSpec,
     num_points: int = 32,
     exact_fallback: bool = False,
+    engine: str = "bnb",
+    cache=None,
+    workers: int = 0,
 ) -> list[Solution]:
     """Non-dominated (period, latency) solutions of an instance.
 
@@ -27,11 +56,44 @@ def pareto_front(
     then sweep period thresholds between them (geometric grid) and solve
     "min latency s.t. period <= K" at each; dominated points are dropped.
     Exact for the polynomial variants; uses the exponential exact solvers
-    when ``exact_fallback`` is set (tiny instances only).
+    when ``exact_fallback`` is set, searched by ``engine`` (the pruned
+    branch-and-bound default reaches well past the flat enumerator's old
+    size limits).  ``cache`` (a :class:`repro.campaign.ResultCache`) and
+    ``workers`` thread through to the campaign runner.
     """
-    lo = solve(spec, Objective.PERIOD, exact_fallback=exact_fallback)
-    hi = solve(spec, Objective.LATENCY, exact_fallback=exact_fallback)
-    front: list[Solution] = []
+    from ..campaign.runner import execute_tasks
+    from ..campaign.spec import Task
+
+    instance = spec_to_dict(spec)
+    solver = {
+        "name": "pareto",
+        "mode": "auto",
+        "exact_fallback": exact_fallback,
+        "engine": engine,
+    }
+
+    def _task(index: int, objective: Objective,
+              period_bound: float | None = None) -> Task:
+        return Task(
+            index=index,
+            instance_id="pareto",
+            instance=instance,
+            objective=objective.value,
+            period_bound=period_bound,
+            latency_bound=None,
+            solver=solver,
+        )
+
+    # two tasks never amortize a process pool: resolve the extremes
+    # serially, save the fan-out for the threshold sweep below
+    extremes = execute_tasks(
+        [_task(0, Objective.PERIOD), _task(1, Objective.LATENCY)],
+        cache=cache, workers=0,
+    )
+    for row in extremes:
+        if row["status"] != "ok":
+            _raise_row_error(row)
+    lo, hi = (_solution_from_row(row) for row in extremes)
 
     thresholds: list[float] = []
     k_min, k_max = lo.period, max(hi.period, lo.period)
@@ -44,16 +106,21 @@ def pareto_front(
             thresholds.append(value)
             value *= ratio
 
-    for bound in thresholds:
-        try:
-            sol = solve(
-                spec,
-                Objective.LATENCY,
-                period_bound=bound * (1 + FLOAT_TOL),
-                exact_fallback=exact_fallback,
-            )
-        except InfeasibleProblemError:
-            continue
+    sweep = execute_tasks(
+        [
+            _task(i, Objective.LATENCY, period_bound=bound * (1 + FLOAT_TOL))
+            for i, bound in enumerate(thresholds)
+        ],
+        cache=cache, workers=workers,
+    )
+
+    front: list[Solution] = []
+    for row in sweep:
+        if row["status"] != "ok":
+            if row.get("error_type") == "InfeasibleProblemError":
+                continue
+            _raise_row_error(row)
+        sol = _solution_from_row(row)
         if front and sol.latency >= front[-1].latency - FLOAT_TOL:
             continue
         front.append(sol)

@@ -1,0 +1,63 @@
+"""Campaign subsystem: declarative experiment grids at scale.
+
+Turns "solve one instance" into "run an experiment campaign":
+
+* :mod:`repro.campaign.spec` — versioned, JSON-round-trippable
+  :class:`CampaignSpec` describing instances x objectives x solvers;
+* :mod:`repro.campaign.cache` — content-addressed persistent
+  :class:`ResultCache` (sharded JSONL), keyed by canonical instance+config
+  hashes so re-runs and overlapping campaigns re-use every solve;
+* :mod:`repro.campaign.runner` — process-pool executor with chunked
+  fan-out, per-task failure isolation and deterministic result rows
+  (``workers=0`` serial mode is the bit-identical reference);
+* :mod:`repro.campaign.report` — summary tables, heuristic-gap statistics
+  and multi-instance Pareto comparisons over result rows.
+
+Exposed on the CLI as ``python -m repro campaign run / report``.
+
+Quick start::
+
+    from repro.campaign import CampaignSpec, ResultCache, run_campaign
+
+    spec = CampaignSpec(
+        name="demo",
+        instances=({"type": "random", "graph": "pipeline", "count": 50,
+                    "seed": 7, "n": [4, 6], "p": [3, 5]},),
+        objectives=("period",),
+        solvers=({"name": "exact", "mode": "auto", "exact_fallback": True},
+                 {"name": "random", "mode": "random", "seed": 1}),
+    )
+    result = run_campaign(spec, cache=ResultCache(".repro-cache"), workers=4)
+"""
+
+from .cache import CACHE_VERSION, ResultCache
+from .report import heuristic_gap, pareto_comparison, summarize
+from .runner import (
+    VOLATILE_FIELDS,
+    CampaignResult,
+    execute_tasks,
+    load_rows,
+    run_campaign,
+    save_rows,
+    strip_volatile,
+)
+from .spec import SPEC_VERSION, CampaignSpec, SolverConfig, Task
+
+__all__ = [
+    "SPEC_VERSION",
+    "CACHE_VERSION",
+    "CampaignSpec",
+    "SolverConfig",
+    "Task",
+    "ResultCache",
+    "CampaignResult",
+    "VOLATILE_FIELDS",
+    "strip_volatile",
+    "execute_tasks",
+    "run_campaign",
+    "save_rows",
+    "load_rows",
+    "summarize",
+    "heuristic_gap",
+    "pareto_comparison",
+]

@@ -1,0 +1,106 @@
+"""Content-addressed persistent result cache (sharded JSONL).
+
+Rows are keyed by the :class:`~repro.campaign.spec.Task` content hash and
+stored under ``root/`` in 256 JSONL shards named by the first two hex
+characters of the key, e.g. ``root/a3.jsonl``.  Each line is one
+``{"version": 1, "key": ..., "row": {...}}`` record; a shard is loaded
+into memory on first access and appended to on every put, so re-runs and
+overlapping campaigns resolve repeat keys without re-solving.
+
+The runner is the single writer (workers return rows to the parent
+process, which writes), so no cross-process locking is needed.  Unreadable
+lines and records with a different format version are skipped on load —
+a corrupt or stale shard degrades to cache misses, never to an error.
+A duplicate key keeps the *latest* appended record, making re-puts an
+overwrite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["CACHE_VERSION", "ResultCache"]
+
+#: Version of the on-disk cache record format.  Bump to invalidate
+#: everything previously stored (old records are skipped on load).
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Sharded JSONL store mapping content hashes to result rows."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._shards: dict[str, dict[str, dict]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -------------------------------------------------------------- shards
+    def _shard_name(self, key: str) -> str:
+        return key[:2]
+
+    def _shard_path(self, name: str) -> Path:
+        return self.root / f"{name}.jsonl"
+
+    def _load(self, name: str) -> dict[str, dict]:
+        shard = self._shards.get(name)
+        if shard is not None:
+            return shard
+        shard = {}
+        path = self._shard_path(name)
+        if path.exists():
+            with path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if (
+                        not isinstance(record, dict)
+                        or record.get("version") != CACHE_VERSION
+                        or "key" not in record
+                        or "row" not in record
+                    ):
+                        continue
+                    shard[record["key"]] = record["row"]
+        self._shards[name] = shard
+        return shard
+
+    # -------------------------------------------------------------- api
+    def get(self, key: str) -> dict | None:
+        """The cached row for ``key``, or ``None`` (counts hit/miss)."""
+        row = self._load(self._shard_name(key)).get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(row)
+
+    def put(self, key: str, row: dict) -> None:
+        """Store ``row`` under ``key`` (appended to disk immediately)."""
+        name = self._shard_name(key)
+        self._load(name)[key] = dict(row)
+        record = {"version": CACHE_VERSION, "key": key, "row": row}
+        with self._shard_path(name).open("a") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(self._shard_name(key)).get(key) is not None
+
+    def __len__(self) -> int:
+        """Number of distinct keys currently on disk (loads all shards)."""
+        total = 0
+        for path in self.root.glob("*.jsonl"):
+            total += len(self._load(path.stem))
+        return total
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}

@@ -1,0 +1,175 @@
+"""Aggregation of campaign results: summaries, gaps, Pareto comparisons.
+
+Everything here consumes the plain-dict result rows produced by
+:mod:`repro.campaign.runner` (live, or re-loaded from a JSONL results
+file), so reports can be regenerated without re-solving anything.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..analysis.report import format_table
+from ..core.exceptions import ReproError
+
+__all__ = ["summarize", "heuristic_gap", "pareto_comparison"]
+
+
+def _rows_of(result_or_rows) -> list[dict]:
+    rows = getattr(result_or_rows, "rows", result_or_rows)
+    return list(rows)
+
+
+def _group_key(row: dict) -> tuple:
+    return (
+        row["instance_id"],
+        row["objective"],
+        row.get("period_bound"),
+        row.get("latency_bound"),
+    )
+
+
+# ----------------------------------------------------------------------
+# summary table
+# ----------------------------------------------------------------------
+def summarize(result_or_rows, title: str = "campaign summary") -> str:
+    """One line per (solver, objective): counts, values, time, cache use."""
+    rows = _rows_of(result_or_rows)
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault((row["solver"], row["objective"]), []).append(row)
+    table = []
+    for (solver, objective), members in sorted(groups.items()):
+        ok = [r for r in members if r["status"] == "ok"]
+        values = [r["value"] for r in ok]
+        seconds = sum(r["seconds"] for r in members)
+        cached = sum(1 for r in members if r.get("cached"))
+        table.append([
+            solver,
+            objective,
+            str(len(members)),
+            str(len(ok)),
+            str(len(members) - len(ok)),
+            str(cached),
+            f"{statistics.mean(values):.4g}" if values else "-",
+            f"{statistics.median(values):.4g}" if values else "-",
+            f"{seconds:.3f}",
+        ])
+    return format_table(
+        ["solver", "objective", "tasks", "ok", "errors", "cached",
+         "mean value", "median value", "solve (s)"],
+        table,
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# heuristic-gap statistics
+# ----------------------------------------------------------------------
+def heuristic_gap(
+    result_or_rows,
+    baseline: str,
+    title: str = "heuristic gap vs baseline",
+) -> tuple[dict, str]:
+    """Per-solver value ratios against a baseline solver.
+
+    Rows are matched by (instance, objective, bounds); for every non-
+    baseline solver the ratio ``value / baseline_value`` is collected over
+    the instances where both solves succeeded.  Returns ``(stats, table)``
+    where ``stats[solver]`` holds ``count / mean / median / max`` ratios —
+    the standard quality summary of a heuristic-vs-exact campaign.
+    """
+    rows = _rows_of(result_or_rows)
+    base: dict[tuple, dict] = {}
+    for row in rows:
+        if row["solver"] == baseline and row["status"] == "ok":
+            base[_group_key(row)] = row
+    if not base:
+        raise ReproError(
+            f"no successful rows for baseline solver {baseline!r}"
+        )
+    ratios: dict[str, list[float]] = {}
+    for row in rows:
+        if row["solver"] == baseline or row["status"] != "ok":
+            continue
+        anchor = base.get(_group_key(row))
+        if anchor is None or not anchor["value"]:
+            continue
+        ratios.setdefault(row["solver"], []).append(
+            row["value"] / anchor["value"]
+        )
+    stats: dict[str, dict] = {}
+    table = []
+    for solver, values in sorted(ratios.items()):
+        stats[solver] = {
+            "count": len(values),
+            "mean": statistics.mean(values),
+            "median": statistics.median(values),
+            "max": max(values),
+        }
+        table.append([
+            solver,
+            str(len(values)),
+            f"{stats[solver]['mean']:.4f}",
+            f"{stats[solver]['median']:.4f}",
+            f"{stats[solver]['max']:.4f}",
+        ])
+    text = format_table(
+        ["solver", "instances", "mean ratio", "median ratio", "max ratio"],
+        table,
+        title=f"{title} ({baseline!r} = 1.0)",
+    )
+    return stats, text
+
+
+# ----------------------------------------------------------------------
+# multi-instance Pareto comparison
+# ----------------------------------------------------------------------
+def pareto_comparison(
+    instances,
+    num_points: int = 16,
+    exact_fallback: bool = False,
+    engine: str = "bnb",
+    cache=None,
+    workers: int = 0,
+    title: str = "Pareto fronts",
+) -> tuple[dict, str]:
+    """Period/latency trade-off curves for several instances side by side.
+
+    ``instances`` is an iterable of ``(instance_id, ProblemSpec)`` pairs;
+    each front is traced through the campaign runner (sharing ``cache`` and
+    ``workers``), so overlapping comparisons re-use threshold solves.
+    Returns ``(fronts, table)`` with ``fronts[instance_id]`` the list of
+    non-dominated :class:`~repro.algorithms.problem.Solution` objects.
+    """
+    from ..analysis.pareto import pareto_front
+
+    fronts: dict[str, list] = {}
+    table = []
+    for iid, spec in instances:
+        front = pareto_front(
+            spec,
+            num_points=num_points,
+            exact_fallback=exact_fallback,
+            engine=engine,
+            cache=cache,
+            workers=workers,
+        )
+        fronts[iid] = front
+        periods = [s.period for s in front]
+        latencies = [s.latency for s in front]
+        table.append([
+            iid,
+            str(len(front)),
+            f"{min(periods):.4g}",
+            f"{max(periods):.4g}",
+            f"{min(latencies):.4g}",
+            f"{max(latencies):.4g}",
+        ])
+    text = format_table(
+        ["instance", "points", "min period", "max period",
+         "min latency", "max latency"],
+        table,
+        title=title,
+    )
+    return fronts, text

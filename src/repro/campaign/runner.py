@@ -1,0 +1,340 @@
+"""Sharded campaign executor: process-pool fan-out over a task grid.
+
+:func:`execute_tasks` is the engine: it resolves each
+:class:`~repro.campaign.spec.Task` against the result cache, fans the
+misses out to a :class:`~concurrent.futures.ProcessPoolExecutor` in
+contiguous chunks (amortizing pickling over many small solves), and
+re-assembles rows in task order.  Guarantees:
+
+* **determinism** — rows are keyed by task index and sorted on return;
+  ``workers=0`` (serial, in-process) and any ``workers=N`` produce
+  identical rows up to the :data:`VOLATILE_FIELDS` (timing, cache flags),
+  because every task is fully specified by its content (heuristic RNGs are
+  seeded per task, never shared);
+* **failure isolation** — a task that raises records an error row
+  (``status="error"`` with the exception type and message) and the
+  campaign continues; a poisoned instance can never kill the run;
+* **single-writer cache** — workers only compute; the parent process
+  resolves hits before dispatch and writes misses after collection, so
+  the JSONL cache needs no cross-process locking.
+
+Result rows are plain JSON dicts::
+
+    {"index": 3, "instance_id": "pipeline-s7-001", "key": "<sha256>",
+     "objective": "period", "period_bound": null, "latency_bound": null,
+     "solver": "exact",
+     "status": "ok" | "error",
+     "period": 1.5, "latency": 9.0, "value": 1.5,
+     "mapping": {...}, "algorithm": "bnb",
+     "error": null, "error_type": null,
+     "seconds": 0.004, "cached": false}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..algorithms.problem import Objective
+from ..algorithms.registry import solve
+from ..core.application import ForkApplication
+from ..core.exceptions import ReproError
+from ..serialization import mapping_to_dict, spec_from_dict
+from .spec import CampaignSpec, Task
+
+__all__ = [
+    "VOLATILE_FIELDS",
+    "strip_volatile",
+    "CampaignResult",
+    "execute_tasks",
+    "run_campaign",
+    "save_rows",
+    "load_rows",
+]
+
+#: Row fields that legitimately differ between runs (timing, cache state).
+#: Everything else is deterministic and must be identical serial vs parallel.
+VOLATILE_FIELDS = ("seconds", "cached")
+
+
+def strip_volatile(row: dict) -> dict:
+    """The deterministic part of a result row."""
+    return {k: v for k, v in row.items() if k not in VOLATILE_FIELDS}
+
+
+# ----------------------------------------------------------------------
+# per-task solving (runs inside workers; must stay importable/top-level)
+# ----------------------------------------------------------------------
+def _dispatch(spec, task: Task):
+    objective = Objective(task.objective)
+    cfg = task.solver
+    mode = cfg.get("mode", "auto")
+    if mode == "auto":
+        return solve(
+            spec,
+            objective,
+            period_bound=task.period_bound,
+            latency_bound=task.latency_bound,
+            exact_fallback=cfg.get("exact_fallback", False),
+            engine=cfg.get("engine", "bnb"),
+        )
+    if mode == "exact":
+        from ..algorithms.brute_force import optimal
+
+        return optimal(
+            spec,
+            objective,
+            period_bound=task.period_bound,
+            latency_bound=task.latency_bound,
+            engine=cfg.get("engine", "bnb"),
+        )
+    if mode == "heuristic":
+        if task.period_bound is not None or task.latency_bound is not None:
+            raise ReproError("heuristic mode does not support bounds")
+        app, platform = spec.application, spec.platform
+        if isinstance(app, ForkApplication):
+            if objective is not Objective.LATENCY:
+                raise ReproError(
+                    "fork heuristic (LPT) only targets latency"
+                )
+            from ..heuristics import fork_latency_lpt
+
+            return fork_latency_lpt(app, platform)
+        if objective is not Objective.PERIOD:
+            raise ReproError(
+                "pipeline heuristic (portfolio) only targets period"
+            )
+        from ..heuristics import pipeline_period_portfolio
+
+        return pipeline_period_portfolio(
+            app, platform, random.Random(cfg.get("seed", 0))
+        )
+    if mode == "random":
+        from ..heuristics import best_of_random
+
+        return best_of_random(
+            spec.application,
+            spec.platform,
+            random.Random(cfg.get("seed", 0)),
+            objective,
+            samples=cfg.get("samples", 64),
+            allow_data_parallel=spec.allow_data_parallel,
+            period_bound=task.period_bound,
+            latency_bound=task.latency_bound,
+        )
+    raise ReproError(f"unknown solver mode {mode!r}")
+
+
+def solve_task(task: Task) -> tuple[dict, float]:
+    """Solve one task; returns ``(payload, seconds)``.
+
+    The payload is the deterministic, cacheable part of the result row.
+    Every exception is converted into an error payload — failure isolation
+    lives here, as close to the solve as possible.
+    """
+    t0 = time.perf_counter()
+    try:
+        spec = spec_from_dict(task.instance)
+        solution = _dispatch(spec, task)
+        payload = {
+            "status": "ok",
+            "period": solution.period,
+            "latency": solution.latency,
+            "value": solution.objective_value(Objective(task.objective)),
+            "mapping": mapping_to_dict(solution.mapping),
+            "algorithm": solution.meta.get("algorithm"),
+            "error": None,
+            "error_type": None,
+        }
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        payload = {
+            "status": "error",
+            "period": None,
+            "latency": None,
+            "value": None,
+            "mapping": None,
+            "algorithm": None,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            # only deterministic failures (model/solver semantics, all
+            # ReproError subclasses) may be cached; a transient error
+            # (MemoryError, OSError, ...) must be retried on the next run
+            "_cacheable": isinstance(exc, ReproError),
+        }
+    return payload, time.perf_counter() - t0
+
+
+def _run_chunk(tasks: list[Task]) -> list[tuple[int, dict, float]]:
+    """Worker entry point: solve a contiguous chunk of tasks."""
+    out = []
+    for task in tasks:
+        payload, seconds = solve_task(task)
+        out.append((task.index, payload, seconds))
+    return out
+
+
+# ----------------------------------------------------------------------
+# orchestration (parent process only)
+# ----------------------------------------------------------------------
+def _compose_row(task: Task, payload: dict, seconds: float,
+                 cached: bool) -> dict:
+    row = {
+        "index": task.index,
+        "instance_id": task.instance_id,
+        "key": task.key,
+        "objective": task.objective,
+        "period_bound": task.period_bound,
+        "latency_bound": task.latency_bound,
+        "solver": task.solver.get("name"),
+    }
+    row.update(payload)
+    row["seconds"] = seconds
+    row["cached"] = cached
+    return row
+
+
+def execute_tasks(
+    tasks: list[Task],
+    cache=None,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    progress=None,
+) -> list[dict]:
+    """Execute a task list; returns result rows in task order.
+
+    ``workers=0`` (or 1) runs serially in-process — the reference
+    execution every parallel run must reproduce bit-identically (up to
+    :data:`VOLATILE_FIELDS`).  ``cache`` is an optional
+    :class:`~repro.campaign.cache.ResultCache`; hits skip the solve
+    entirely, misses are written back after collection.  ``progress`` is
+    an optional ``callable(done, total)``.
+    """
+    rows: dict[int, dict] = {}
+    misses: list[Task] = []
+    for task in tasks:
+        payload = cache.get(task.key) if cache is not None else None
+        if payload is not None:
+            rows[task.index] = _compose_row(task, payload, 0.0, True)
+        else:
+            misses.append(task)
+    done = len(rows)
+    if progress is not None and done:
+        progress(done, len(tasks))
+
+    by_index = {task.index: task for task in misses}
+
+    # rows are written back (and progress reported) as each chunk lands,
+    # never deferred to the end — an interrupted campaign keeps every
+    # completed solve in the cache, so the re-run resumes where it died
+    def consume(chunk_result) -> None:
+        nonlocal done
+        for index, payload, seconds in chunk_result:
+            task = by_index[index]
+            cacheable = payload.pop("_cacheable", True)
+            rows[index] = _compose_row(task, payload, seconds, False)
+            if cache is not None and cacheable:
+                cache.put(task.key, payload)
+        done += len(chunk_result)
+        if progress is not None:
+            progress(done, len(tasks))
+
+    if misses:
+        if workers <= 1:
+            for task in misses:
+                consume(_run_chunk([task]))
+        else:
+            if chunk_size is None:
+                chunk_size = max(1, math.ceil(len(misses) / (workers * 4)))
+            chunks = [
+                misses[i:i + chunk_size]
+                for i in range(0, len(misses), chunk_size)
+            ]
+            executor = ProcessPoolExecutor(max_workers=workers)
+            try:
+                futures = [executor.submit(_run_chunk, c) for c in chunks]
+                for future in as_completed(futures):
+                    consume(future.result())
+            finally:
+                executor.shutdown()
+    return [rows[task.index] for task in tasks]
+
+
+@dataclass
+class CampaignResult:
+    """Ordered result rows of one campaign run, plus run statistics."""
+
+    name: str
+    rows: list[dict]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok_rows(self) -> list[dict]:
+        return [r for r in self.rows if r["status"] == "ok"]
+
+    @property
+    def error_rows(self) -> list[dict]:
+        return [r for r in self.rows if r["status"] == "error"]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    cache=None,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    progress=None,
+) -> CampaignResult:
+    """Expand a :class:`CampaignSpec` and execute its full grid."""
+    tasks = spec.tasks()
+    t0 = time.perf_counter()
+    rows = execute_tasks(
+        tasks, cache=cache, workers=workers,
+        chunk_size=chunk_size, progress=progress,
+    )
+    wall = time.perf_counter() - t0
+    stats = {
+        "tasks": len(tasks),
+        "ok": sum(1 for r in rows if r["status"] == "ok"),
+        "errors": sum(1 for r in rows if r["status"] == "error"),
+        "cache_hits": sum(1 for r in rows if r["cached"]),
+        "workers": workers,
+        "seconds": wall,
+    }
+    return CampaignResult(name=spec.name, rows=rows, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# result persistence (JSONL: one meta line, then one line per row)
+# ----------------------------------------------------------------------
+def save_rows(path: str | Path, result: CampaignResult) -> None:
+    """Write a campaign result to a JSONL file (meta line first)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        meta = {
+            "kind": "campaign-result",
+            "name": result.name,
+            "stats": result.stats,
+        }
+        fh.write(json.dumps(meta, separators=(",", ":")) + "\n")
+        for row in result.rows:
+            fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+
+
+def load_rows(path: str | Path) -> CampaignResult:
+    """Read a campaign result written by :func:`save_rows`."""
+    path = Path(path)
+    with path.open() as fh:
+        first = fh.readline()
+        meta = json.loads(first) if first.strip() else {}
+        if meta.get("kind") != "campaign-result":
+            raise ReproError(f"{path} is not a campaign result file")
+        rows = [json.loads(line) for line in fh if line.strip()]
+    return CampaignResult(
+        name=meta.get("name", "campaign"),
+        rows=rows,
+        stats=meta.get("stats", {}),
+    )

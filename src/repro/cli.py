@@ -14,6 +14,25 @@ Commands
 ``simulate``
     Solve an instance, then stream data sets through the discrete-event
     simulator and report measured period/latency.
+``campaign``
+    Run a declarative experiment campaign (``campaign run``) through the
+    sharded multiprocessing runner and result cache, or aggregate a saved
+    result file (``campaign report``).  See :mod:`repro.campaign`.
+
+Accepted ``--file`` shapes (see :mod:`repro.serialization`)
+-----------------------------------------------------------
+``solve`` / ``simulate`` read any of these JSON documents:
+
+* ``{"kind": "pipeline" | "fork" | "fork-join", ...}`` — an application
+  only; processor speeds must come from ``--speeds``;
+* ``{"kind": "instance", "application": {...}, "platform": {...},
+  "allow_data_parallel": ...}`` — a full problem instance; ``--speeds``
+  is optional and overrides the embedded platform, ``--data-parallel``
+  force-enables data-parallelism;
+* ``{"kind": "mapping", "application": {...}, "platform": {...},
+  "groups": [...]}`` — a mapping document; its application and platform
+  halves are re-solved (the stored groups are ignored), with the same
+  override rules as ``"instance"``.
 
 Examples
 --------
@@ -24,14 +43,19 @@ Examples
         --data-parallel --objective latency
     python -m repro solve --graph fork --root-work 2 --works 5,5,5,5 \\
         --speeds 1,2,4 --objective period
+    python -m repro solve --file instance.json --objective latency
     python -m repro scenario master-slave-fork --objective period
     python -m repro simulate --graph pipeline --works 6,2,8 --speeds 2,1 \\
         --objective period --data-sets 500
+    python -m repro campaign run --spec campaign.json --workers 4 \\
+        --cache-dir .repro-cache --out results.jsonl
+    python -m repro campaign report --results results.jsonl --baseline exact
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
@@ -61,8 +85,9 @@ def _floats(text: str) -> list[float]:
 def _add_instance_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--file", default=None,
-        help="JSON application file (see repro.serialization); overrides "
-             "--graph/--works/--root-work/--join-work",
+        help="JSON document (application, instance or mapping — see the "
+             "module docstring); overrides --graph/--works/--root-work/"
+             "--join-work, and --speeds too when it carries a platform",
     )
     parser.add_argument(
         "--graph", choices=("pipeline", "fork", "forkjoin"), default="pipeline"
@@ -75,8 +100,9 @@ def _add_instance_flags(parser: argparse.ArgumentParser) -> None:
                         help="fork/fork-join root work w0")
     parser.add_argument("--join-work", type=float, default=1.0,
                         help="fork-join join work")
-    parser.add_argument("--speeds", type=_floats, required=True,
-                        help="comma-separated processor speeds")
+    parser.add_argument("--speeds", type=_floats, default=None,
+                        help="comma-separated processor speeds (required "
+                             "unless --file carries a platform)")
     parser.add_argument("--data-parallel", action="store_true",
                         help="allow data-parallel stages")
     parser.add_argument(
@@ -87,13 +113,27 @@ def _add_instance_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_spec(args) -> ProblemSpec:
+    platform = None
+    allow_dp = args.data_parallel
     if args.file is not None:
-        import json
-
-        from .serialization import application_from_dict
+        from .serialization import application_from_dict, platform_from_dict
 
         with open(args.file) as fh:
-            app = application_from_dict(json.load(fh))
+            doc = json.load(fh)
+        kind = doc.get("kind")
+        if kind in ("instance", "mapping"):
+            app = application_from_dict(doc["application"])
+            platform = platform_from_dict(doc["platform"])
+            allow_dp = allow_dp or bool(doc.get("allow_data_parallel", False))
+            if kind == "mapping":
+                # a mapping that uses data-parallel groups implies the
+                # strategy was allowed for this instance
+                allow_dp = allow_dp or any(
+                    g.get("assignment") == "data-parallel"
+                    for g in doc.get("groups", ())
+                )
+        else:
+            app = application_from_dict(doc)
     elif args.works is None:
         raise ReproError("provide --works or --file")
     elif args.graph == "pipeline":
@@ -104,8 +144,14 @@ def _build_spec(args) -> ProblemSpec:
         app = ForkJoinApplication.from_works(
             args.root_work, args.works, args.join_work
         )
-    platform = Platform.heterogeneous(args.speeds)
-    return ProblemSpec(app, platform, allow_data_parallel=args.data_parallel)
+    if args.speeds is not None:
+        platform = Platform.heterogeneous(args.speeds)
+    elif platform is None:
+        raise ReproError(
+            "provide --speeds or a platform-bearing --file "
+            "(an 'instance' or 'mapping' document)"
+        )
+    return ProblemSpec(app, platform, allow_data_parallel=allow_dp)
 
 
 def _objective(args) -> Objective:
@@ -196,6 +242,60 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _cmd_campaign(args, out) -> int:
+    from .campaign import (
+        CampaignSpec,
+        ResultCache,
+        heuristic_gap,
+        load_rows,
+        run_campaign,
+        save_rows,
+        summarize,
+    )
+
+    if args.campaign_command == "run":
+        with open(args.spec) as fh:
+            spec = CampaignSpec.from_dict(json.load(fh))
+        cache = (
+            ResultCache(args.cache_dir) if args.cache_dir is not None else None
+        )
+        result = run_campaign(
+            spec, cache=cache, workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+        if args.out is not None:
+            save_rows(args.out, result)
+            print(f"[rows -> {args.out}]", file=out)
+        print(summarize(result, title=f"campaign {spec.name!r}"), file=out)
+        s = result.stats
+        cache_note = (
+            f", {s['cache_hits']} from cache" if cache is not None else ""
+        )
+        print(
+            f"{s['tasks']} tasks in {s['seconds']:.3f}s "
+            f"({s['workers']} workers): {s['ok']} ok, "
+            f"{s['errors']} errors{cache_note}",
+            file=out,
+        )
+        return 0
+    # report
+    result = load_rows(args.results)
+    print(summarize(result, title=f"campaign {result.name!r}"), file=out)
+    if args.baseline is not None:
+        _, text = heuristic_gap(result, baseline=args.baseline)
+        print(text, file=out)
+    errors = result.error_rows
+    if errors:
+        print(f"{len(errors)} error rows, e.g.:", file=out)
+        for row in errors[:5]:
+            print(
+                f"  {row['instance_id']} [{row['solver']}/{row['objective']}]"
+                f" {row['error_type']}: {row['error']}",
+                file=out,
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,6 +338,31 @@ def build_parser() -> argparse.ArgumentParser:
                        default="bnb")
     p_sim.add_argument("--heuristic", action="store_true")
     p_sim.add_argument("--data-sets", type=int, default=500)
+
+    p_camp = sub.add_parser(
+        "campaign", help="run / aggregate experiment campaigns"
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+    p_run = camp_sub.add_parser(
+        "run", help="execute a campaign spec through the sharded runner"
+    )
+    p_run.add_argument("--spec", required=True,
+                       help="campaign spec JSON file (see repro.campaign)")
+    p_run.add_argument("--workers", type=int, default=0,
+                       help="process-pool size; 0 = serial reference mode")
+    p_run.add_argument("--chunk-size", type=int, default=None,
+                       help="tasks per worker chunk (default: auto)")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="content-addressed result cache directory")
+    p_run.add_argument("--out", default=None,
+                       help="write result rows to this JSONL file")
+    p_rep = camp_sub.add_parser(
+        "report", help="aggregate a saved campaign result file"
+    )
+    p_rep.add_argument("--results", required=True,
+                       help="JSONL rows written by 'campaign run --out'")
+    p_rep.add_argument("--baseline", default=None,
+                       help="solver name to compute gap ratios against")
     return parser
 
 
@@ -246,6 +371,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "scenario": _cmd_scenario,
     "simulate": _cmd_simulate,
+    "campaign": _cmd_campaign,
 }
 
 
@@ -255,7 +381,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args, out)
-    except ReproError as exc:
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=out)
         return 2
 

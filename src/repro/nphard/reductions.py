@@ -127,17 +127,29 @@ class Thm5Reduction:
             return subset
         return None
 
-    def schedule_meets_bound(self, objective: Objective) -> bool:
-        """Decide the scheduling bound exactly (brute force; small m only)."""
-        from ..algorithms import brute_force
+    def schedule_meets_bound(
+        self, objective: Objective, engine: str = "bnb"
+    ) -> bool:
+        """Decide the scheduling bound exactly.
 
+        ``engine`` selects the exact search: the pruned branch-and-bound
+        default handles noticeably larger ``m`` than the historical flat
+        enumeration (``"enumerate"``), which remains available as the
+        oracle for cross-checks.
+        """
         threshold = (
             self.period_threshold
             if objective is Objective.PERIOD
             else self.latency_threshold
         )
-        best = brute_force.optimal(self.spec, objective)
+        best = _exact_optimal(self.spec, objective, engine)
         return best.objective_value(objective) <= threshold * (1 + FLOAT_TOL)
+
+
+def _exact_optimal(spec: ProblemSpec, objective: Objective, engine: str):
+    from ..algorithms import brute_force
+
+    return brute_force.optimal(spec, objective, engine=engine)
 
 
 # ======================================================================
@@ -452,15 +464,17 @@ class Thm13Reduction:
             return subset
         return None
 
-    def schedule_meets_bound(self, objective: Objective) -> bool:
-        from ..algorithms import brute_force
-
+    def schedule_meets_bound(
+        self, objective: Objective, engine: str = "bnb"
+    ) -> bool:
+        """Decide the scheduling bound exactly (see :class:`Thm5Reduction`:
+        the ``engine`` knob lifts the old flat-enumeration size limit)."""
         threshold = (
             self.period_threshold
             if objective is Objective.PERIOD
             else self.latency_threshold
         )
-        best = brute_force.optimal(self.spec, objective)
+        best = _exact_optimal(self.spec, objective, engine)
         return best.objective_value(objective) <= threshold * (1 + FLOAT_TOL)
 
 

@@ -12,13 +12,27 @@ Format (versioned, one top-level ``kind`` discriminator)::
     {"kind": "fork-join", "root_work": w0, "branch_works": [...],
      "join_work": wj}
     {"kind": "platform", "speeds": [...], "bandwidth": b | null}
+    {"kind": "instance", "application": {...}, "platform": {...},
+     "allow_data_parallel": true | false}
     {"kind": "mapping", "application": {...}, "platform": {...},
      "groups": [{"stages": [...], "processors": [...],
                  "assignment": "replicated" | "data-parallel"}]}
+
+Canonical hashing
+-----------------
+The campaign subsystem (:mod:`repro.campaign`) keys its persistent result
+cache on :func:`content_hash` of canonical documents.  Canonicalization
+(:func:`canonical_instance_dict`) round-trips a document through the model
+classes (normalizing ints vs floats and dropping empty optional fields) and
+sorts the permutation-invariant parts — platform speeds and fork/fork-join
+branch works — so that permuted-equivalent constructions of the *same*
+instance hash identically, while any change to an actual model field
+changes the hash.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from .core.application import (
@@ -41,10 +55,17 @@ __all__ = [
     "application_from_dict",
     "platform_to_dict",
     "platform_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
     "mapping_to_dict",
     "mapping_from_dict",
     "dumps",
     "loads",
+    "canonical_json",
+    "content_hash",
+    "normalized_instance_dict",
+    "canonical_instance_dict",
+    "instance_digest",
 ]
 
 
@@ -127,6 +148,30 @@ def platform_from_dict(data: dict) -> Platform:
     )
 
 
+# ---------------------------------------------------------------- instances
+def spec_to_dict(spec) -> dict:
+    """Serialize a :class:`~repro.algorithms.problem.ProblemSpec`."""
+    return {
+        "kind": "instance",
+        "application": application_to_dict(spec.application),
+        "platform": platform_to_dict(spec.platform),
+        "allow_data_parallel": bool(spec.allow_data_parallel),
+    }
+
+
+def spec_from_dict(data: dict):
+    """Deserialize an ``{"kind": "instance", ...}`` document."""
+    from .algorithms.problem import ProblemSpec
+
+    if data.get("kind") != "instance":
+        raise ReproError(f"not an instance document: {data.get('kind')!r}")
+    return ProblemSpec(
+        application=application_from_dict(data["application"]),
+        platform=platform_from_dict(data["platform"]),
+        allow_data_parallel=bool(data.get("allow_data_parallel", False)),
+    )
+
+
 # ---------------------------------------------------------------- mappings
 def mapping_to_dict(mapping) -> dict:
     return {
@@ -186,4 +231,84 @@ def loads(text: str):
         return platform_from_dict(data)
     if kind == "mapping":
         return mapping_from_dict(data)
+    if kind == "instance":
+        return spec_from_dict(data)
     return application_from_dict(data)
+
+
+# ---------------------------------------------------------------- hashing
+def canonical_json(data) -> str:
+    """Deterministic JSON text: sorted keys, compact separators.
+
+    Python's ``repr``-based float formatting is itself deterministic, so
+    equal documents always produce byte-identical text.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def normalized_instance_dict(data: dict) -> dict:
+    """Normal form of an application / platform / instance document.
+
+    The document is round-tripped through the model classes, coercing ints
+    to the floats the model stores and dropping empty optional fields —
+    so hand-written and model-generated documents of the *same* instance
+    normalize to byte-identical JSON.  Index order is preserved: mappings
+    built against the original document stay valid against the normal
+    form.  This is the form the campaign cache keys on.
+    """
+    kind = data.get("kind")
+    if kind == "instance":
+        return {
+            "kind": "instance",
+            "application": normalized_instance_dict(data["application"]),
+            "platform": normalized_instance_dict(data["platform"]),
+            "allow_data_parallel": bool(data.get("allow_data_parallel", False)),
+        }
+    if kind == "platform":
+        return platform_to_dict(platform_from_dict(data))
+    return application_to_dict(application_from_dict(data))
+
+
+def canonical_instance_dict(data: dict) -> dict:
+    """Like :func:`normalized_instance_dict`, plus permutation invariance.
+
+    The permutation-invariant parts are additionally sorted:
+
+    * platform ``speeds`` — processors are interchangeable up to speed;
+    * fork / fork-join ``branch_works`` — branches are independent, so any
+      reordering describes the same instance.
+
+    Pipeline ``works`` (and ``data_sizes`` / ``dp_overheads``) keep their
+    order: stage order is structural for a pipeline.
+
+    NOTE: sorting re-indexes processors/branches, so this form identifies
+    instances *up to renumbering* — right for value-level identity
+    (:func:`instance_digest`, dedup, analysis), wrong as a key for cached
+    artifacts that carry processor or branch indices (a mapping solved for
+    ``speeds [1, 3]`` must not be served for ``speeds [3, 1]``); the
+    campaign cache keys on :func:`normalized_instance_dict` instead.
+    """
+    doc = normalized_instance_dict(data)
+    kind = doc.get("kind")
+    if kind == "instance":
+        doc["application"] = canonical_instance_dict(doc["application"])
+        doc["platform"] = canonical_instance_dict(doc["platform"])
+    elif kind == "platform":
+        doc["speeds"] = sorted(doc["speeds"], reverse=True)
+    elif kind in ("fork", "fork-join"):
+        doc["branch_works"] = sorted(doc["branch_works"], reverse=True)
+    return doc
+
+
+def instance_digest(data: dict) -> str:
+    """Content hash of the canonical form of an instance-shaped document.
+
+    Permutation-invariant: equivalent constructions of one instance (any
+    processor or branch ordering) digest identically.
+    """
+    return content_hash(canonical_instance_dict(data))

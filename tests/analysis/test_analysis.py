@@ -43,6 +43,42 @@ class TestPareto:
         assert front[0].period == pytest.approx(best_period)
         assert front[-1].latency == pytest.approx(best_latency)
 
+    def _np_hard_spec(self):
+        # het pipeline on het platform, no DP: period is NP-hard (Thm 9)
+        return repro.ProblemSpec(
+            repro.PipelineApplication.from_works([9, 2, 7]),
+            repro.Platform.heterogeneous([3, 1]),
+        )
+
+    def test_np_hard_without_fallback_raises(self):
+        with pytest.raises(repro.NPHardError):
+            pareto_front(self._np_hard_spec(), num_points=4)
+
+    def test_engine_knob_fronts_agree(self):
+        spec = self._np_hard_spec()
+        bnb = pareto_front(spec, num_points=6, exact_fallback=True)
+        enum = pareto_front(spec, num_points=6, exact_fallback=True,
+                            engine="enumerate")
+        assert [(s.period, s.latency) for s in bnb] == \
+            [(s.period, s.latency) for s in enum]
+
+    def test_cache_and_workers_reproduce_serial_front(self, tmp_path):
+        from repro.campaign import ResultCache
+
+        app = repro.PipelineApplication.from_works([14, 4, 2, 4])
+        spec = repro.ProblemSpec(
+            app, repro.Platform.homogeneous(4, 1.0), allow_data_parallel=True
+        )
+        plain = pareto_front(spec, num_points=10)
+        cache = ResultCache(tmp_path)
+        parallel = pareto_front(spec, num_points=10, cache=cache, workers=2)
+        cached = pareto_front(spec, num_points=10, cache=cache)
+        points = [(s.period, s.latency) for s in plain]
+        assert [(s.period, s.latency) for s in parallel] == points
+        assert [(s.period, s.latency) for s in cached] == points
+        # the second traversal came entirely from the cache
+        assert cache.hits >= 12
+
 
 class TestTable1:
     def test_render_contains_all_rows(self):

@@ -1,0 +1,58 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+from repro.campaign import CACHE_VERSION, ResultCache
+
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "ab" + "0" * 62
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"status": "ok", "value": 1.5})
+        assert cache.get(KEY_A) == {"status": "ok", "value": 1.5}
+        assert cache.stats == {"hits": 1, "misses": 1, "puts": 1}
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(KEY_A, {"value": 2.0})
+        again = ResultCache(tmp_path)
+        assert again.get(KEY_A) == {"value": 2.0}
+        assert KEY_A in again
+        assert KEY_B not in again
+
+    def test_sharding_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_B, {"value": 2})
+        assert (tmp_path / "aa.jsonl").exists()
+        assert (tmp_path / "ab.jsonl").exists()
+        assert len(cache) == 2
+
+    def test_last_put_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_A, {"value": 2})
+        assert ResultCache(tmp_path).get(KEY_A) == {"value": 2}
+
+    def test_corrupt_lines_degrade_to_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"value": 1})
+        shard = tmp_path / "aa.jsonl"
+        shard.write_text(
+            "not json at all\n"
+            + json.dumps({"version": CACHE_VERSION - 1, "key": KEY_A,
+                          "row": {"value": "stale"}}) + "\n"
+            + json.dumps({"wrong": "shape"}) + "\n"
+        )
+        assert ResultCache(tmp_path).get(KEY_A) is None
+
+    def test_returned_rows_are_copies(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"value": 1})
+        row = cache.get(KEY_A)
+        row["value"] = 99
+        assert cache.get(KEY_A) == {"value": 1}

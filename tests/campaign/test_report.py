@@ -1,0 +1,93 @@
+"""Tests for campaign aggregation: summaries, gaps, Pareto comparisons."""
+
+import pytest
+
+import repro
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    heuristic_gap,
+    pareto_comparison,
+    run_campaign,
+    summarize,
+)
+from repro.core import ReproError
+
+
+def quality_result():
+    spec = CampaignSpec(
+        name="quality",
+        instances=(
+            {"type": "random", "graph": "pipeline", "count": 4, "seed": 21,
+             "n": [4, 6], "p": [4, 5], "work_high": 9, "speed_high": 4},
+        ),
+        objectives=("period",),
+        solvers=(
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+            {"name": "portfolio", "mode": "heuristic", "seed": 1},
+            {"name": "random", "mode": "random", "seed": 2, "samples": 4},
+        ),
+    )
+    return run_campaign(spec, workers=0)
+
+
+class TestSummarize:
+    def test_counts_and_columns(self):
+        result = quality_result()
+        text = summarize(result, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "exact" in text and "portfolio" in text and "random" in text
+        # every solver row reports 4 tasks, 4 ok, 0 errors
+        for line in text.splitlines()[2:]:
+            cells = [c.strip() for c in line.split("|")]
+            if cells[0] in ("exact", "portfolio", "random"):
+                assert cells[2:5] == ["4", "4", "0"]
+
+    def test_accepts_plain_row_lists(self):
+        result = quality_result()
+        assert summarize(result.rows) == summarize(result)
+
+
+class TestHeuristicGap:
+    def test_ratios_at_least_one(self):
+        stats, text = heuristic_gap(quality_result(), baseline="exact")
+        assert set(stats) == {"portfolio", "random"}
+        for solver_stats in stats.values():
+            assert solver_stats["count"] == 4
+            # exact is optimal for the period objective: ratios >= 1
+            assert solver_stats["mean"] >= 1.0 - 1e-9
+            assert solver_stats["max"] >= solver_stats["median"] >= 1.0 - 1e-9
+        assert "mean ratio" in text
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ReproError):
+            heuristic_gap(quality_result(), baseline="nope")
+
+
+class TestParetoComparison:
+    def test_fronts_and_table(self, tmp_path):
+        app = repro.PipelineApplication.from_works([14.0, 4.0, 2.0, 4.0])
+        instances = [
+            ("p3", repro.ProblemSpec(app, repro.Platform.homogeneous(3, 1.0),
+                                     allow_data_parallel=True)),
+            ("p4", repro.ProblemSpec(app, repro.Platform.homogeneous(4, 1.0),
+                                     allow_data_parallel=True)),
+        ]
+        cache = ResultCache(tmp_path)
+        fronts, text = pareto_comparison(
+            instances, num_points=8, cache=cache
+        )
+        assert set(fronts) == {"p3", "p4"}
+        for front in fronts.values():
+            assert front
+            for a, b in zip(front, front[1:]):
+                assert a.period <= b.period + 1e-9
+                assert a.latency >= b.latency - 1e-9
+        # more processors cannot worsen the best period
+        assert fronts["p4"][0].period <= fronts["p3"][0].period + 1e-9
+        assert "p3" in text and "p4" in text
+        # the comparison populated the shared cache
+        assert cache.puts > 0
+        fronts2, _ = pareto_comparison(instances, num_points=8, cache=cache)
+        assert [(s.period, s.latency) for s in fronts2["p3"]] == \
+            [(s.period, s.latency) for s in fronts["p3"]]

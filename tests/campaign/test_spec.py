@@ -1,0 +1,201 @@
+"""Tests for campaign specs: round-trips, expansion, task keys."""
+
+import pytest
+
+from repro.core import ReproError
+from repro.campaign import CampaignSpec, SolverConfig
+from repro.campaign.spec import canonical_solver_dict
+
+PIPE = {"kind": "pipeline", "works": [3.0, 5.0, 2.0]}
+PLAT = {"kind": "platform", "speeds": [2.0, 1.0]}
+
+
+def small_spec(**overrides):
+    fields = dict(
+        name="t",
+        instances=(
+            {"type": "explicit", "application": PIPE, "platform": PLAT,
+             "id": "one"},
+        ),
+        objectives=("period",),
+        solvers=({"name": "auto"},),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestSolverConfig:
+    def test_roundtrip(self):
+        cfg = SolverConfig(name="x", mode="random", seed=3, samples=9)
+        assert SolverConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ReproError):
+            SolverConfig(name="x", mode="quantum")
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ReproError):
+            SolverConfig(name="x", engine="dfs")
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ReproError):
+            SolverConfig.from_dict({"name": "x", "threads": 4})
+
+    def test_requires_name(self):
+        with pytest.raises(ReproError):
+            SolverConfig.from_dict({"mode": "auto"})
+
+
+class TestCampaignSpec:
+    def test_json_roundtrip_preserves_tasks(self):
+        spec = small_spec(
+            objectives=("period", {"objective": "latency",
+                                   "period_bound": 4.0}),
+            solvers=({"name": "a"}, {"name": "b", "mode": "random"}),
+        )
+        back = CampaignSpec.loads(spec.dumps())
+        assert [t.to_dict() for t in back.tasks()] == \
+            [t.to_dict() for t in spec.tasks()]
+
+    def test_version_check(self):
+        with pytest.raises(ReproError):
+            small_spec(version=99)
+        doc = small_spec().to_dict()
+        doc["version"] = 99
+        with pytest.raises(ReproError):
+            CampaignSpec.from_dict(doc)
+
+    def test_not_a_campaign_document(self):
+        with pytest.raises(ReproError):
+            CampaignSpec.from_dict({"kind": "pipeline"})
+
+    def test_needs_instances_and_solvers(self):
+        with pytest.raises(ReproError):
+            small_spec(instances=())
+        with pytest.raises(ReproError):
+            small_spec(solvers=())
+
+    def test_duplicate_solver_names_rejected(self):
+        with pytest.raises(ReproError):
+            small_spec(solvers=({"name": "a"}, {"name": "a", "seed": 1}))
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ReproError):
+            small_spec(objectives=("throughput",))
+
+    def test_random_source_is_deterministic(self):
+        src = {"type": "random", "graph": "fork", "count": 5, "seed": 11,
+               "n": [2, 4], "p": 3}
+        a = small_spec(instances=(src,)).expand_instances()
+        b = small_spec(instances=(src,)).expand_instances()
+        assert a == b
+        assert len(a) == 5
+        assert len({iid for iid, _ in a}) == 5
+
+    def test_typoed_source_field_rejected(self):
+        # "works_high" is a typo for "work_high": must fail loudly, not
+        # silently run a different experiment
+        with pytest.raises(ReproError, match="works_high"):
+            small_spec(instances=(
+                {"type": "random", "graph": "pipeline", "count": 2,
+                 "seed": 1, "works_high": 9},
+            )).expand_instances()
+        with pytest.raises(ReproError, match="nam"):
+            small_spec(instances=(
+                {"type": "scenario", "nam": "scatter-gather"},
+            )).expand_instances()
+
+    def test_random_source_requires_seed(self):
+        with pytest.raises(ReproError):
+            small_spec(
+                instances=({"type": "random", "graph": "pipeline"},)
+            ).expand_instances()
+
+    def test_scenario_source(self):
+        spec = small_spec(
+            instances=({"type": "scenario", "name": "scatter-gather"},)
+        )
+        [(iid, doc)] = spec.expand_instances()
+        assert iid == "scatter-gather"
+        assert doc["kind"] == "instance"
+        assert doc["application"]["kind"] == "fork-join"
+
+    def test_unknown_source_type(self):
+        with pytest.raises(ReproError):
+            small_spec(instances=({"type": "warp"},)).expand_instances()
+
+    def test_duplicate_instance_ids_disambiguated(self):
+        src = {"type": "scenario", "name": "scatter-gather"}
+        ids = [iid for iid, _ in
+               small_spec(instances=(src, src)).expand_instances()]
+        assert len(set(ids)) == 2
+
+    def test_grid_order_and_indices(self):
+        spec = small_spec(
+            objectives=("period", "latency"),
+            solvers=({"name": "a"}, {"name": "b", "mode": "random"}),
+        )
+        tasks = spec.tasks()
+        assert [t.index for t in tasks] == list(range(4))
+        assert [(t.objective, t.solver["name"]) for t in tasks] == [
+            ("period", "a"), ("period", "b"),
+            ("latency", "a"), ("latency", "b"),
+        ]
+
+
+class TestTaskKeys:
+    def task(self, **overrides):
+        tasks = small_spec(**overrides).tasks()
+        return tasks[0]
+
+    def test_key_stable_across_processes(self):
+        # pure function of content: recomputing gives the same hex digest
+        t = self.task()
+        assert t.key == self.task().key
+        assert len(t.key) == 64
+
+    def test_key_ignores_solver_name_and_irrelevant_knobs(self):
+        base = self.task()
+        renamed = self.task(solvers=({"name": "zzz"},))
+        assert base.key == renamed.key
+        # 'samples' cannot affect an auto solve
+        assert canonical_solver_dict({"name": "a", "samples": 9}) == \
+            canonical_solver_dict({"name": "b", "samples": 4})
+
+    def test_key_changes_with_result_relevant_fields(self):
+        base = self.task()
+        variants = [
+            self.task(objectives=("latency",)),
+            self.task(objectives=({"objective": "period",
+                                   "period_bound": None,
+                                   "latency_bound": 9.0},)),
+            self.task(solvers=({"name": "auto", "exact_fallback": True},)),
+            self.task(solvers=({"name": "auto", "mode": "random"},)),
+        ]
+        keys = {base.key} | {v.key for v in variants}
+        assert len(keys) == 5
+
+    def test_key_normalizes_int_float_documents(self):
+        int_doc = {"kind": "pipeline", "works": [3, 5, 2]}
+        int_plat = {"kind": "platform", "speeds": [2, 1]}
+        a = self.task()
+        b = self.task(instances=(
+            {"type": "explicit", "application": int_doc,
+             "platform": int_plat, "id": "one"},
+        ))
+        assert a.key == b.key
+
+    def test_key_distinguishes_speed_permutations(self):
+        # a cached mapping's processor indices must match the instance it
+        # is served for, so permuted platforms get distinct keys (value-
+        # level identity is instance_digest's job, not the cache key's)
+        from repro.serialization import instance_digest
+
+        plat2 = {"kind": "platform", "speeds": [1.0, 2.0]}
+        a = self.task()
+        b = self.task(instances=(
+            {"type": "explicit", "application": PIPE, "platform": plat2,
+             "id": "one"},
+        ))
+        assert a.key != b.key
+        assert instance_digest(a.instance) == instance_digest(b.instance)

@@ -105,6 +105,68 @@ class TestSolveCommand:
         assert code == 0
         assert "period=8" in text
 
+    def test_file_instance_document_needs_no_speeds(self, tmp_path):
+        import json
+
+        path = tmp_path / "instance.json"
+        path.write_text(json.dumps({
+            "kind": "instance",
+            "application": {"kind": "pipeline", "works": [14, 4, 2, 4]},
+            "platform": {"kind": "platform", "speeds": [1, 1, 1]},
+            "allow_data_parallel": True,
+        }))
+        code, text = run_cli(
+            "solve", "--file", str(path), "--objective", "latency",
+        )
+        assert code == 0
+        assert "with data-parallelism" in text
+        assert "latency=17" in text
+
+    def test_file_mapping_document(self, tmp_path):
+        import repro
+        from repro.serialization import dumps as ser_dumps
+
+        spec = repro.ProblemSpec(
+            repro.PipelineApplication.from_works([14, 4, 2, 4]),
+            repro.Platform.homogeneous(3, 1.0),
+            allow_data_parallel=True,
+        )
+        sol = repro.solve(spec, repro.Objective.LATENCY)
+        path = tmp_path / "mapping.json"
+        path.write_text(ser_dumps(sol.mapping))
+        code, text = run_cli(
+            "solve", "--file", str(path), "--objective", "latency",
+        )
+        assert code == 0
+        # data-parallel groups in the document imply the DP strategy
+        assert "with data-parallelism" in text
+        assert "latency=17" in text
+
+    def test_file_speeds_flag_overrides_platform(self, tmp_path):
+        import json
+
+        path = tmp_path / "instance.json"
+        path.write_text(json.dumps({
+            "kind": "instance",
+            "application": {"kind": "pipeline", "works": [14, 4, 2, 4]},
+            "platform": {"kind": "platform", "speeds": [1, 1, 1]},
+        }))
+        code, text = run_cli(
+            "solve", "--file", str(path), "--speeds", "2,2,2",
+            "--objective", "period",
+        )
+        assert code == 0
+        assert "period=4" in text
+
+    def test_file_application_without_speeds_errors(self, tmp_path):
+        import json
+
+        path = tmp_path / "app.json"
+        path.write_text(json.dumps({"kind": "pipeline", "works": [1, 2]}))
+        code, text = run_cli("solve", "--file", str(path))
+        assert code == 2
+        assert "platform-bearing" in text
+
     def test_missing_works(self):
         code, text = run_cli("solve", "--speeds", "1,1")
         assert code == 2
@@ -122,6 +184,122 @@ class TestScenarioCommand:
         code, text = run_cli("scenario", "nope")
         assert code == 2
         assert "error" in text
+
+
+class TestCampaignCommand:
+    CAMPAIGN = {
+        "kind": "campaign",
+        "version": 1,
+        "name": "cli-e2e",
+        "instances": [
+            {"type": "random", "graph": "pipeline", "count": 4, "seed": 5,
+             "n": [3, 4], "p": 3},
+        ],
+        "objectives": ["period"],
+        "solvers": [
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+            {"name": "random", "mode": "random", "seed": 2, "samples": 8},
+        ],
+    }
+
+    def _write_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self.CAMPAIGN))
+        return path
+
+    def test_run_then_report_end_to_end(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        rows = tmp_path / "rows.jsonl"
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec),
+            "--workers", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(rows),
+        )
+        assert code == 0
+        assert "8 tasks" in text and "8 ok" in text
+        assert rows.exists()
+
+        code, text = run_cli(
+            "campaign", "report", "--results", str(rows),
+            "--baseline", "exact",
+        )
+        assert code == 0
+        assert "campaign 'cli-e2e'" in text
+        assert "mean ratio" in text
+
+    def test_second_run_hits_cache(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        cache = tmp_path / "cache"
+        code, _ = run_cli(
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(cache),
+        )
+        assert code == 0
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(cache),
+        )
+        assert code == 0
+        assert "8 from cache" in text
+
+    def test_report_shows_error_rows(self, tmp_path):
+        import json
+
+        doc = dict(self.CAMPAIGN)
+        doc["instances"] = [
+            {"type": "explicit", "id": "bad",
+             "application": {"kind": "pipeline", "works": [-1.0]},
+             "platform": {"kind": "platform", "speeds": [1.0]}},
+        ]
+        doc["solvers"] = [{"name": "auto"}]
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps(doc))
+        rows = tmp_path / "rows.jsonl"
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec), "--out", str(rows),
+        )
+        assert code == 0
+        assert "1 errors" in text
+        code, text = run_cli("campaign", "report", "--results", str(rows))
+        assert code == 0
+        assert "1 error rows" in text
+        assert "InvalidApplicationError" in text
+
+    def test_bad_spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"kind": "pipeline"}))
+        code, text = run_cli("campaign", "run", "--spec", str(path))
+        assert code == 2
+        assert "error" in text
+
+    def test_missing_spec_file_no_traceback(self, tmp_path):
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_malformed_json_no_traceback(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code, text = run_cli("campaign", "run", "--spec", str(path))
+        assert code == 2
+        assert text.startswith("error:")
+        code, text = run_cli("campaign", "report", "--results", str(path))
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_missing_solve_file_no_traceback(self, tmp_path):
+        code, text = run_cli(
+            "solve", "--file", str(tmp_path / "absent.json"),
+            "--speeds", "1,1",
+        )
+        assert code == 2
+        assert text.startswith("error:")
 
 
 class TestSimulateCommand:

@@ -10,12 +10,18 @@ from repro.heuristics import random_fork_mapping, random_pipeline_mapping
 from repro.serialization import (
     application_from_dict,
     application_to_dict,
+    canonical_instance_dict,
+    canonical_json,
+    content_hash,
     dumps,
+    instance_digest,
     loads,
     mapping_from_dict,
     mapping_to_dict,
     platform_from_dict,
     platform_to_dict,
+    spec_from_dict,
+    spec_to_dict,
 )
 
 
@@ -95,3 +101,140 @@ class TestMappings:
             repro.Platform.homogeneous(2)
         app = repro.ForkApplication.homogeneous(2)
         assert loads(dumps(app)) == app
+
+
+def _sample_applications():
+    return {
+        "pipeline": repro.PipelineApplication.from_works(
+            [3, 5, 2], data_sizes=[1, 2, 3, 4], dp_overheads=[0.5, 0, 1.0]
+        ),
+        "fork": repro.ForkApplication.from_works(2.0, [1, 4, 2]),
+        "fork-join": repro.ForkJoinApplication.from_works(2.0, [1, 4], 3.0),
+    }
+
+
+class TestEveryKindRoundTrips:
+    """One document kind, one round-trip, for every ``kind`` value."""
+
+    @pytest.mark.parametrize("kind", ["pipeline", "fork", "fork-join"])
+    def test_application_kinds(self, kind):
+        app = _sample_applications()[kind]
+        doc = application_to_dict(app)
+        assert doc["kind"] == kind
+        assert application_from_dict(doc) == app
+
+    @pytest.mark.parametrize("bandwidth", [None, 4.0])
+    def test_platform_kind(self, bandwidth):
+        plat = (
+            repro.Platform.heterogeneous([3, 1, 2])
+            if bandwidth is None
+            else repro.Platform.homogeneous(3, 2.0, bandwidth=bandwidth)
+        )
+        doc = platform_to_dict(plat)
+        assert doc["kind"] == "platform"
+        assert ("bandwidth" in doc) == (bandwidth is not None)
+        back = platform_from_dict(doc)
+        assert back.speeds == plat.speeds
+        if bandwidth is not None:
+            assert back.interconnect.link(0, 1) == bandwidth
+
+    def test_nonuniform_interconnect_rejected(self):
+        from repro.core.platform import Interconnect
+
+        inter = Interconnect.uniform(2, 4.0)
+        rows = [list(r) for r in inter.bandwidth]
+        rows[0][1] = 8.0
+        plat = repro.Platform.heterogeneous(
+            [1.0, 2.0],
+            interconnect=Interconnect(
+                bandwidth=tuple(tuple(r) for r in rows),
+                in_bandwidths=inter.in_bandwidths,
+                out_bandwidths=inter.out_bandwidths,
+            ),
+        )
+        with pytest.raises(ReproError):
+            platform_to_dict(plat)
+
+    @pytest.mark.parametrize("kind", ["pipeline", "fork", "fork-join"])
+    def test_instance_kind(self, kind):
+        spec = repro.ProblemSpec(
+            _sample_applications()[kind],
+            repro.Platform.heterogeneous([2, 1]),
+            allow_data_parallel=(kind == "pipeline"),
+        )
+        doc = spec_to_dict(spec)
+        assert doc["kind"] == "instance"
+        assert spec_from_dict(doc) == spec
+        assert loads(dumps(spec.application))  # applications still dispatch
+
+    def test_instance_loads_dispatch(self):
+        import json
+
+        spec = repro.ProblemSpec(
+            repro.PipelineApplication.from_works([1, 2]),
+            repro.Platform.homogeneous(2),
+        )
+        assert loads(json.dumps(spec_to_dict(spec))) == spec
+
+    def test_wrong_kind_errors(self):
+        with pytest.raises(ReproError):
+            spec_from_dict({"kind": "platform"})
+        with pytest.raises(ReproError):
+            platform_from_dict({"kind": "instance"})
+        with pytest.raises(ReproError):
+            mapping_from_dict({"kind": "instance"})
+
+
+class TestCanonicalHash:
+    def spec_doc(self, works=(3, 5, 2), speeds=(1, 3, 2), dp=True):
+        return {
+            "kind": "instance",
+            "application": {"kind": "pipeline", "works": list(works)},
+            "platform": {"kind": "platform", "speeds": list(speeds)},
+            "allow_data_parallel": dp,
+        }
+
+    def test_canonical_json_is_deterministic(self):
+        assert canonical_json({"b": 1, "a": [1.5, 2]}) == \
+            canonical_json({"a": [1.5, 2], "b": 1})
+        assert content_hash({"a": 1}) == content_hash({"a": 1})
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+    def test_permuted_speeds_same_hash(self):
+        assert instance_digest(self.spec_doc(speeds=(1, 3, 2))) == \
+            instance_digest(self.spec_doc(speeds=(3, 2, 1)))
+
+    def test_permuted_branches_same_hash(self):
+        a = {"kind": "fork", "root_work": 2, "branch_works": [1, 4, 2]}
+        b = {"kind": "fork", "root_work": 2.0, "branch_works": [4.0, 2, 1]}
+        assert instance_digest(a) == instance_digest(b)
+
+    def test_int_float_equivalent_construction_same_hash(self):
+        assert instance_digest(self.spec_doc(works=(3, 5, 2))) == \
+            instance_digest(self.spec_doc(works=(3.0, 5.0, 2.0)))
+
+    def test_pipeline_stage_order_matters(self):
+        assert instance_digest(self.spec_doc(works=(3, 5, 2))) != \
+            instance_digest(self.spec_doc(works=(2, 5, 3)))
+
+    def test_any_field_change_changes_hash(self):
+        base = instance_digest(self.spec_doc())
+        assert base != instance_digest(self.spec_doc(works=(3, 5, 2.5)))
+        assert base != instance_digest(self.spec_doc(speeds=(1, 3, 2.5)))
+        assert base != instance_digest(self.spec_doc(dp=False))
+
+    def test_equivalent_model_constructions_same_hash(self):
+        # built via the model classes vs hand-written doc: same digest
+        spec = repro.ProblemSpec(
+            repro.PipelineApplication.from_works([3, 5, 2]),
+            repro.Platform.heterogeneous([2, 3, 1]),
+            allow_data_parallel=True,
+        )
+        assert instance_digest(spec_to_dict(spec)) == \
+            instance_digest(self.spec_doc())
+
+    def test_canonical_dict_drops_empty_optionals(self):
+        doc = {"kind": "pipeline", "works": [1, 2],
+               "data_sizes": [0, 0, 0], "dp_overheads": [0, 0]}
+        canon = canonical_instance_dict(doc)
+        assert "data_sizes" not in canon and "dp_overheads" not in canon

@@ -58,6 +58,22 @@ class TestThm5:
         assert extracted is not None
         assert sum(YES_INST.values[i] for i in extracted) * 2 == YES_INST.total
 
+    def test_engine_knob_agrees(self):
+        # bnb (default) and the flat-enumeration oracle decide identically
+        for inst in (YES_INST, NO_INST):
+            red = Thm5Reduction(inst)
+            for objective in (Objective.PERIOD, Objective.LATENCY):
+                assert red.schedule_meets_bound(objective) == \
+                    red.schedule_meets_bound(objective, engine="enumerate")
+
+    def test_bnb_engine_reaches_past_enumeration_sizes(self):
+        # m=8 processors: hopeless for flat enumeration, fine for bnb
+        inst = TwoPartitionInstance((3, 5, 6, 9, 10, 11, 12, 16))  # S=72
+        red = Thm5Reduction(inst)
+        want = inst.is_yes()
+        assert red.schedule_meets_bound(Objective.LATENCY) == want
+        assert red.schedule_meets_bound(Objective.PERIOD) == want
+
     def test_side_condition_enforcement(self):
         with pytest.raises(ReproError):
             Thm5Reduction(NO_EVEN)  # one value equals S/2
