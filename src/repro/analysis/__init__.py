@@ -1,11 +1,13 @@
 """Analysis tools: Table 1 regeneration, Pareto fronts, reporting."""
 
-from .pareto import pareto_front
+from .pareto import non_dominated, pareto_front, threshold_grid
 from .report import format_table
 from .table1 import CellValidation, regenerate_table1, render_table1, validate_cell
 
 __all__ = [
     "pareto_front",
+    "non_dominated",
+    "threshold_grid",
     "format_table",
     "CellValidation",
     "regenerate_table1",

@@ -21,7 +21,42 @@ from ..core.costs import FLOAT_TOL
 from ..core.exceptions import InfeasibleProblemError, ReproError
 from ..serialization import mapping_from_dict, spec_to_dict
 
-__all__ = ["pareto_front"]
+__all__ = ["pareto_front", "threshold_grid", "non_dominated"]
+
+
+def threshold_grid(k_min: float, k_max: float, num_points: int) -> list[float]:
+    """Geometric period-threshold grid from ``k_min`` to ``k_max``.
+
+    Each point is computed directly as ``k_min * ratio**i`` (never by
+    repeated multiplication, which accumulates float error over the
+    grid) and the final threshold is pinned to exactly ``k_max`` — the
+    sweep must always include the min-latency extreme, even for extreme
+    ``k_max / k_min`` ratios where ``ratio**(n-1)`` rounds short.
+    """
+    if k_max <= k_min * (1 + FLOAT_TOL):
+        return [k_min]
+    num_points = max(2, num_points)
+    ratio = (k_max / k_min) ** (1.0 / (num_points - 1))
+    grid = [k_min * ratio ** i for i in range(num_points - 1)]
+    grid.append(k_max)
+    return grid
+
+
+def non_dominated(solutions) -> list[Solution]:
+    """The (period, latency) non-dominated subset, sorted by period.
+
+    A solution is kept iff no other has (period <=, latency <=) with at
+    least one strictly smaller (beyond :data:`FLOAT_TOL`).  Ties collapse
+    to a single representative.  The result has strictly increasing
+    period and strictly decreasing latency — a true staircase front.
+    """
+    front: list[Solution] = []
+    best_latency = float("inf")
+    for sol in sorted(solutions, key=lambda s: (s.period, s.latency)):
+        if sol.latency < best_latency - FLOAT_TOL:
+            front.append(sol)
+            best_latency = sol.latency
+    return front
 
 
 def _solution_from_row(row: dict) -> Solution:
@@ -95,16 +130,8 @@ def pareto_front(
             _raise_row_error(row)
     lo, hi = (_solution_from_row(row) for row in extremes)
 
-    thresholds: list[float] = []
-    k_min, k_max = lo.period, max(hi.period, lo.period)
-    if k_max <= k_min * (1 + FLOAT_TOL):
-        thresholds = [k_min]
-    else:
-        ratio = (k_max / k_min) ** (1.0 / max(1, num_points - 1))
-        value = k_min
-        for _ in range(num_points):
-            thresholds.append(value)
-            value *= ratio
+    thresholds = threshold_grid(lo.period, max(hi.period, lo.period),
+                                num_points)
 
     sweep = execute_tasks(
         [
@@ -114,14 +141,15 @@ def pareto_front(
         cache=cache, workers=workers,
     )
 
-    front: list[Solution] = []
+    candidates: list[Solution] = [lo, hi]
     for row in sweep:
         if row["status"] != "ok":
             if row.get("error_type") == "InfeasibleProblemError":
                 continue
             _raise_row_error(row)
-        sol = _solution_from_row(row)
-        if front and sol.latency >= front[-1].latency - FLOAT_TOL:
-            continue
-        front.append(sol)
-    return front
+        candidates.append(_solution_from_row(row))
+    # a full non-domination pass over every candidate: filtering against
+    # front[-1] alone is wrong — a later (larger) threshold can admit a
+    # solution with both smaller period and smaller latency than an
+    # earlier point, which must then be evicted from the front
+    return non_dominated(candidates)

@@ -5,15 +5,20 @@ Turns "solve one instance" into "run an experiment campaign":
 * :mod:`repro.campaign.spec` — versioned, JSON-round-trippable
   :class:`CampaignSpec` describing instances x objectives x solvers;
 * :mod:`repro.campaign.cache` — content-addressed persistent
-  :class:`ResultCache` (sharded JSONL), keyed by canonical instance+config
-  hashes so re-runs and overlapping campaigns re-use every solve;
+  :class:`ResultCache` with pluggable storage backends (sharded JSONL or
+  a single sqlite database), keyed by canonical instance+config hashes
+  so re-runs and overlapping campaigns re-use every solve; superseded
+  records are reclaimed by ``compact()``;
 * :mod:`repro.campaign.runner` — process-pool executor with chunked
   fan-out, per-task failure isolation and deterministic result rows
   (``workers=0`` serial mode is the bit-identical reference);
+  ``retry_errors=True`` resumes a partially-failed campaign re-solving
+  only the cached error rows;
 * :mod:`repro.campaign.report` — summary tables, heuristic-gap statistics
   and multi-instance Pareto comparisons over result rows.
 
-Exposed on the CLI as ``python -m repro campaign run / report``.
+Exposed on the CLI as ``python -m repro campaign run / report / pareto /
+cache``.
 
 Quick start::
 
@@ -30,7 +35,14 @@ Quick start::
     result = run_campaign(spec, cache=ResultCache(".repro-cache"), workers=4)
 """
 
-from .cache import CACHE_VERSION, ResultCache
+from .cache import (
+    CACHE_BACKENDS,
+    CACHE_VERSION,
+    CacheBackend,
+    JsonlBackend,
+    ResultCache,
+    SqliteBackend,
+)
 from .report import heuristic_gap, pareto_comparison, summarize
 from .runner import (
     VOLATILE_FIELDS,
@@ -46,9 +58,13 @@ from .spec import SPEC_VERSION, CampaignSpec, SolverConfig, Task
 __all__ = [
     "SPEC_VERSION",
     "CACHE_VERSION",
+    "CACHE_BACKENDS",
     "CampaignSpec",
     "SolverConfig",
     "Task",
+    "CacheBackend",
+    "JsonlBackend",
+    "SqliteBackend",
     "ResultCache",
     "CampaignResult",
     "VOLATILE_FIELDS",

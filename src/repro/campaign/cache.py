@@ -1,42 +1,100 @@
-"""Content-addressed persistent result cache (sharded JSONL).
+"""Content-addressed persistent result cache with pluggable backends.
 
-Rows are keyed by the :class:`~repro.campaign.spec.Task` content hash and
-stored under ``root/`` in 256 JSONL shards named by the first two hex
-characters of the key, e.g. ``root/a3.jsonl``.  Each line is one
-``{"version": 1, "key": ..., "row": {...}}`` record; a shard is loaded
-into memory on first access and appended to on every put, so re-runs and
-overlapping campaigns resolve repeat keys without re-solving.
+Rows are keyed by the :class:`~repro.campaign.spec.Task` content hash.
+:class:`ResultCache` is the public surface the runner talks to; the
+actual storage lives in a backend selected by name:
 
-The runner is the single writer (workers return rows to the parent
-process, which writes), so no cross-process locking is needed.  Unreadable
-lines and records with a different format version are skipped on load —
-a corrupt or stale shard degrades to cache misses, never to an error.
-A duplicate key keeps the *latest* appended record, making re-puts an
-overwrite.
+``"jsonl"`` (default)
+    256 append-only JSONL shards under ``root/`` named by the first two
+    hex characters of the key, e.g. ``root/a3.jsonl``.  Each line is one
+    ``{"version": 1, "key": ..., "row": {...}}`` record; a shard is
+    loaded into memory on first access and appended to on every put, so
+    re-runs and overlapping campaigns resolve repeat keys without
+    re-solving.  A duplicate key keeps the *latest* appended record,
+    making re-puts an overwrite; :meth:`ResultCache.compact` rewrites the
+    shards dropping the superseded lines.
+
+``"sqlite"``
+    A single ``root/cache.sqlite`` database with one row per key
+    (``INSERT OR REPLACE``), for long-lived or shared cache directories
+    where 256 growing shard files are unwieldy.  Same keys, same record
+    version, same semantics — the two backends are interchangeable and
+    pass one contract test suite.
+
+Both degrade gracefully: unreadable lines and records with a different
+format version are skipped on load — a corrupt or stale record is a
+cache miss, never an error.  The runner is the single writer (workers
+return rows to the parent process, which writes), so no cross-process
+locking is needed.
+
+Rows returned by :meth:`ResultCache.get` are owned by the caller: they
+never alias the store's internal state, so mutating a hit (or the dict
+passed to :meth:`ResultCache.put`) cannot poison later hits for the same
+key.
 """
 
 from __future__ import annotations
 
+import copy
 import json
+import sqlite3
 from pathlib import Path
 
-__all__ = ["CACHE_VERSION", "ResultCache"]
+from ..core.exceptions import ReproError
+
+__all__ = [
+    "CACHE_VERSION",
+    "CACHE_BACKENDS",
+    "CacheBackend",
+    "JsonlBackend",
+    "SqliteBackend",
+    "ResultCache",
+]
 
 #: Version of the on-disk cache record format.  Bump to invalidate
 #: everything previously stored (old records are skipped on load).
 CACHE_VERSION = 1
 
 
-class ResultCache:
-    """Sharded JSONL store mapping content hashes to result rows."""
+class CacheBackend:
+    """Storage protocol behind :class:`ResultCache`.
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    Implementations map content-hash keys to JSON-serializable row
+    dicts.  ``load`` must return a row the caller owns (no aliasing with
+    any internal state) or ``None``; ``store`` must not keep a live
+    reference to the caller's dict.  ``compact`` reclaims space left by
+    superseded or stale records and reports what it did.
+    """
+
+    name: str
+
+    def load(self, key: str) -> dict | None:
+        raise NotImplementedError
+
+    def store(self, key: str, row: dict) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+    def storage_stats(self) -> dict:
+        raise NotImplementedError
+
+    def compact(self) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class JsonlBackend(CacheBackend):
+    """Sharded append-only JSONL store (the original cache format)."""
+
+    name = "jsonl"
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
         self._shards: dict[str, dict[str, dict]] = {}
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
 
     # -------------------------------------------------------------- shards
     def _shard_name(self, key: str) -> str:
@@ -45,62 +103,268 @@ class ResultCache:
     def _shard_path(self, name: str) -> Path:
         return self.root / f"{name}.jsonl"
 
-    def _load(self, name: str) -> dict[str, dict]:
+    def _read_records(self, path: Path):
+        """Yield ``(key, row)`` for every well-formed line of a shard."""
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or record.get("version") != CACHE_VERSION
+                    or "key" not in record
+                    or "row" not in record
+                ):
+                    continue
+                yield record["key"], record["row"]
+
+    def _load_shard(self, name: str) -> dict[str, dict]:
         shard = self._shards.get(name)
         if shard is not None:
             return shard
         shard = {}
         path = self._shard_path(name)
         if path.exists():
-            with path.open() as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if (
-                        not isinstance(record, dict)
-                        or record.get("version") != CACHE_VERSION
-                        or "key" not in record
-                        or "row" not in record
-                    ):
-                        continue
-                    shard[record["key"]] = record["row"]
+            for key, row in self._read_records(path):
+                shard[key] = row
         self._shards[name] = shard
         return shard
 
     # -------------------------------------------------------------- api
+    def load(self, key: str) -> dict | None:
+        row = self._load_shard(self._shard_name(key)).get(key)
+        # deep copy: the caller owns the result, the in-memory shard row
+        # must stay pristine for later hits of the same key
+        return copy.deepcopy(row) if row is not None else None
+
+    def store(self, key: str, row: dict) -> None:
+        name = self._shard_name(key)
+        record = {"version": CACHE_VERSION, "key": key, "row": row}
+        line = json.dumps(record, separators=(",", ":"))
+        # parse our own serialization back: the in-memory row can never
+        # alias the caller's dict, and memory matches what a cold reload
+        # of the shard would see
+        self._load_shard(name)[key] = json.loads(line)["row"]
+        with self._shard_path(name).open("a") as fh:
+            fh.write(line + "\n")
+
+    def keys(self) -> list[str]:
+        out: list[str] = []
+        for path in sorted(self.root.glob("*.jsonl")):
+            out.extend(self._load_shard(path.stem))
+        return out
+
+    def storage_stats(self) -> dict:
+        shards = lines = live = stale = size = 0
+        for path in sorted(self.root.glob("*.jsonl")):
+            shards += 1
+            size += path.stat().st_size
+            with path.open() as fh:
+                lines += sum(1 for line in fh if line.strip())
+            live += len(self._load_shard(path.stem))
+        # superseded duplicates plus corrupt / version-mismatched records
+        stale = lines - live
+        return {
+            "backend": self.name,
+            "keys": live,
+            "files": shards,
+            "bytes": size,
+            "stale_records": stale,
+        }
+
+    def compact(self) -> dict:
+        """Rewrite every shard keeping one line per key; report savings."""
+        before = after = dropped = 0
+        for path in sorted(self.root.glob("*.jsonl")):
+            before += path.stat().st_size
+            with path.open() as fh:
+                total_lines = sum(1 for line in fh if line.strip())
+            live = self._load_shard(path.stem)
+            dropped += total_lines - len(live)
+            tmp = path.with_suffix(".jsonl.tmp")
+            with tmp.open("w") as fh:
+                for key, row in live.items():
+                    record = {"version": CACHE_VERSION, "key": key,
+                              "row": row}
+                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            tmp.replace(path)
+            after += path.stat().st_size
+        return {
+            "backend": self.name,
+            "bytes_before": before,
+            "bytes_after": after,
+            "bytes_reclaimed": before - after,
+            "records_dropped": dropped,
+        }
+
+
+class SqliteBackend(CacheBackend):
+    """Single-file sqlite store: one row per key, re-puts replace."""
+
+    name = "sqlite"
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.path = root / "cache.sqlite"
+        self._db = sqlite3.connect(self.path)
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS rows ("
+            " key TEXT PRIMARY KEY,"
+            " version INTEGER NOT NULL,"
+            " row TEXT NOT NULL)"
+        )
+        self._db.commit()
+
+    def load(self, key: str) -> dict | None:
+        cur = self._db.execute(
+            "SELECT row FROM rows WHERE key = ? AND version = ?",
+            (key, CACHE_VERSION),
+        )
+        hit = cur.fetchone()
+        if hit is None:
+            return None
+        try:
+            row = json.loads(hit[0])
+        except ValueError:
+            return None  # corrupt record degrades to a miss
+        return row if isinstance(row, dict) else None
+
+    def store(self, key: str, row: dict) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO rows (key, version, row) VALUES (?, ?, ?)",
+            (key, CACHE_VERSION, json.dumps(row, separators=(",", ":"))),
+        )
+        # commit per put: an interrupted campaign keeps every completed
+        # solve, mirroring the JSONL backend's append-per-put durability
+        self._db.commit()
+
+    def keys(self) -> list[str]:
+        cur = self._db.execute(
+            "SELECT key FROM rows WHERE version = ? ORDER BY key",
+            (CACHE_VERSION,),
+        )
+        return [key for (key,) in cur.fetchall()]
+
+    def storage_stats(self) -> dict:
+        live = self._db.execute(
+            "SELECT COUNT(*) FROM rows WHERE version = ?", (CACHE_VERSION,)
+        ).fetchone()[0]
+        total = self._db.execute("SELECT COUNT(*) FROM rows").fetchone()[0]
+        return {
+            "backend": self.name,
+            "keys": live,
+            "files": 1,
+            "bytes": self.path.stat().st_size,
+            "stale_records": total - live,
+        }
+
+    def compact(self) -> dict:
+        """Drop stale-version rows and VACUUM; report bytes reclaimed."""
+        before = self.path.stat().st_size
+        cur = self._db.execute(
+            "DELETE FROM rows WHERE version != ?", (CACHE_VERSION,)
+        )
+        dropped = cur.rowcount
+        self._db.commit()
+        self._db.execute("VACUUM")
+        after = self.path.stat().st_size
+        return {
+            "backend": self.name,
+            "bytes_before": before,
+            "bytes_after": after,
+            "bytes_reclaimed": before - after,
+            "records_dropped": dropped,
+        }
+
+    def close(self) -> None:
+        self._db.close()
+
+
+#: Registered backend names -> constructors (``root: Path`` argument).
+CACHE_BACKENDS = {
+    JsonlBackend.name: JsonlBackend,
+    SqliteBackend.name: SqliteBackend,
+}
+
+
+class ResultCache:
+    """Content-addressed store mapping content hashes to result rows.
+
+    ``backend`` selects the storage format (see :data:`CACHE_BACKENDS`);
+    an already-constructed :class:`CacheBackend` is also accepted.  The
+    cache counts hits/misses/puts and guarantees that returned rows never
+    alias internal state.
+    """
+
+    def __init__(self, root: str | Path, backend: str | CacheBackend = "jsonl") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if isinstance(backend, CacheBackend):
+            self._backend = backend
+        else:
+            try:
+                factory = CACHE_BACKENDS[backend]
+            except KeyError:
+                raise ReproError(
+                    f"unknown cache backend {backend!r}; "
+                    f"choose from {sorted(CACHE_BACKENDS)}"
+                ) from None
+            self._backend = factory(self.root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @property
+    def backend(self) -> str:
+        """Name of the storage backend in use."""
+        return self._backend.name
+
+    # -------------------------------------------------------------- api
     def get(self, key: str) -> dict | None:
-        """The cached row for ``key``, or ``None`` (counts hit/miss)."""
-        row = self._load(self._shard_name(key)).get(key)
+        """The cached row for ``key``, or ``None`` (counts hit/miss).
+
+        The returned dict (including any nested containers) is owned by
+        the caller — mutating it cannot affect later hits.
+        """
+        row = self._backend.load(key)
         if row is None:
             self.misses += 1
             return None
         self.hits += 1
-        return dict(row)
+        return row
 
     def put(self, key: str, row: dict) -> None:
-        """Store ``row`` under ``key`` (appended to disk immediately)."""
-        name = self._shard_name(key)
-        self._load(name)[key] = dict(row)
-        record = {"version": CACHE_VERSION, "key": key, "row": row}
-        with self._shard_path(name).open("a") as fh:
-            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        """Store ``row`` under ``key`` (written to disk immediately)."""
+        self._backend.store(key, row)
         self.puts += 1
 
     def __contains__(self, key: str) -> bool:
-        return self._load(self._shard_name(key)).get(key) is not None
+        return self._backend.load(key) is not None
 
     def __len__(self) -> int:
-        """Number of distinct keys currently on disk (loads all shards)."""
-        total = 0
-        for path in self.root.glob("*.jsonl"):
-            total += len(self._load(path.stem))
-        return total
+        """Number of distinct keys currently stored."""
+        return len(self._backend.keys())
+
+    def keys(self) -> list[str]:
+        return self._backend.keys()
 
     @property
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    # -------------------------------------------------------------- ops
+    def storage_stats(self) -> dict:
+        """On-disk shape: key count, files, bytes, stale records."""
+        return self._backend.storage_stats()
+
+    def compact(self) -> dict:
+        """Reclaim space held by superseded / stale records."""
+        return self._backend.compact()
+
+    def close(self) -> None:
+        self._backend.close()

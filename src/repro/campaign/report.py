@@ -32,8 +32,24 @@ def _group_key(row: dict) -> tuple:
 # ----------------------------------------------------------------------
 # summary table
 # ----------------------------------------------------------------------
+def _resolution_of(row: dict) -> str:
+    """The row's resolution, derived for rows saved before the field."""
+    resolution = row.get("resolution")
+    if resolution is not None:
+        return resolution
+    if row.get("cached"):
+        return "cached-ok" if row["status"] == "ok" else "cached-error"
+    return "solved"
+
+
 def summarize(result_or_rows, title: str = "campaign summary") -> str:
-    """One line per (solver, objective): counts, values, time, cache use."""
+    """One line per (solver, objective): counts, values, time, cache use.
+
+    The ``cached-ok / cached-err / solved / retried`` columns break the
+    task count down by how each row was obtained — on a resumed
+    ``retry_errors`` run this is the at-a-glance answer to "what was
+    re-solved and what came from the cache".
+    """
     rows = _rows_of(result_or_rows)
     groups: dict[tuple, list[dict]] = {}
     for row in rows:
@@ -43,20 +59,24 @@ def summarize(result_or_rows, title: str = "campaign summary") -> str:
         ok = [r for r in members if r["status"] == "ok"]
         values = [r["value"] for r in ok]
         seconds = sum(r["seconds"] for r in members)
-        cached = sum(1 for r in members if r.get("cached"))
+        resolutions = [_resolution_of(r) for r in members]
         table.append([
             solver,
             objective,
             str(len(members)),
             str(len(ok)),
             str(len(members) - len(ok)),
-            str(cached),
+            str(resolutions.count("cached-ok")),
+            str(resolutions.count("cached-error")),
+            str(resolutions.count("solved")),
+            str(resolutions.count("retried")),
             f"{statistics.mean(values):.4g}" if values else "-",
             f"{statistics.median(values):.4g}" if values else "-",
             f"{seconds:.3f}",
         ])
     return format_table(
-        ["solver", "objective", "tasks", "ok", "errors", "cached",
+        ["solver", "objective", "tasks", "ok", "errors", "cached-ok",
+         "cached-err", "solved", "retried",
          "mean value", "median value", "solve (s)"],
         table,
         title=title,

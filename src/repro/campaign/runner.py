@@ -27,7 +27,17 @@ Result rows are plain JSON dicts::
      "period": 1.5, "latency": 9.0, "value": 1.5,
      "mapping": {...}, "algorithm": "bnb",
      "error": null, "error_type": null,
-     "seconds": 0.004, "cached": false}
+     "seconds": 0.004, "cached": false,
+     "resolution": "cached-ok" | "cached-error" | "solved" | "retried"}
+
+``resolution`` records *how* the row was obtained on this run:
+
+* ``"cached-ok"`` / ``"cached-error"`` — served from the result cache
+  (an ok row, or a previously cached deterministic failure);
+* ``"solved"`` — computed fresh (cache miss or no cache);
+* ``"retried"`` — the cache held an error row for this key but
+  ``retry_errors`` forced a re-solve (resuming a partially-failed
+  campaign after e.g. a solver fix; the re-put overwrites the old row).
 """
 
 from __future__ import annotations
@@ -59,7 +69,7 @@ __all__ = [
 
 #: Row fields that legitimately differ between runs (timing, cache state).
 #: Everything else is deterministic and must be identical serial vs parallel.
-VOLATILE_FIELDS = ("seconds", "cached")
+VOLATILE_FIELDS = ("seconds", "cached", "resolution")
 
 
 def strip_volatile(row: dict) -> dict:
@@ -182,7 +192,7 @@ def _run_chunk(tasks: list[Task]) -> list[tuple[int, dict, float]]:
 # orchestration (parent process only)
 # ----------------------------------------------------------------------
 def _compose_row(task: Task, payload: dict, seconds: float,
-                 cached: bool) -> dict:
+                 cached: bool, resolution: str) -> dict:
     row = {
         "index": task.index,
         "instance_id": task.instance_id,
@@ -195,6 +205,7 @@ def _compose_row(task: Task, payload: dict, seconds: float,
     row.update(payload)
     row["seconds"] = seconds
     row["cached"] = cached
+    row["resolution"] = resolution
     return row
 
 
@@ -204,6 +215,7 @@ def execute_tasks(
     workers: int = 0,
     chunk_size: int | None = None,
     progress=None,
+    retry_errors: bool = False,
 ) -> list[dict]:
     """Execute a task list; returns result rows in task order.
 
@@ -213,13 +225,29 @@ def execute_tasks(
     :class:`~repro.campaign.cache.ResultCache`; hits skip the solve
     entirely, misses are written back after collection.  ``progress`` is
     an optional ``callable(done, total)``.
+
+    ``retry_errors`` resumes a partially-failed campaign: cached rows
+    with ``status="error"`` are treated as misses and re-solved (the
+    re-put overwrites the old row).  Deterministic ``ReproError`` rows
+    are re-run too — a solver fix can change the verdict — while ok rows
+    keep coming from the cache.
     """
     rows: dict[int, dict] = {}
     misses: list[Task] = []
+    retrying: set[int] = set()
     for task in tasks:
         payload = cache.get(task.key) if cache is not None else None
+        if payload is not None and retry_errors \
+                and payload.get("status") == "error":
+            retrying.add(task.index)
+            payload = None
         if payload is not None:
-            rows[task.index] = _compose_row(task, payload, 0.0, True)
+            resolution = (
+                "cached-ok" if payload.get("status") == "ok"
+                else "cached-error"
+            )
+            rows[task.index] = _compose_row(task, payload, 0.0, True,
+                                            resolution)
         else:
             misses.append(task)
     done = len(rows)
@@ -236,7 +264,9 @@ def execute_tasks(
         for index, payload, seconds in chunk_result:
             task = by_index[index]
             cacheable = payload.pop("_cacheable", True)
-            rows[index] = _compose_row(task, payload, seconds, False)
+            resolution = "retried" if index in retrying else "solved"
+            rows[index] = _compose_row(task, payload, seconds, False,
+                                       resolution)
             if cache is not None and cacheable:
                 cache.put(task.key, payload)
         done += len(chunk_result)
@@ -287,6 +317,7 @@ def run_campaign(
     workers: int = 0,
     chunk_size: int | None = None,
     progress=None,
+    retry_errors: bool = False,
 ) -> CampaignResult:
     """Expand a :class:`CampaignSpec` and execute its full grid."""
     tasks = spec.tasks()
@@ -294,6 +325,7 @@ def run_campaign(
     rows = execute_tasks(
         tasks, cache=cache, workers=workers,
         chunk_size=chunk_size, progress=progress,
+        retry_errors=retry_errors,
     )
     wall = time.perf_counter() - t0
     stats = {
@@ -301,6 +333,7 @@ def run_campaign(
         "ok": sum(1 for r in rows if r["status"] == "ok"),
         "errors": sum(1 for r in rows if r["status"] == "error"),
         "cache_hits": sum(1 for r in rows if r["cached"]),
+        "retried": sum(1 for r in rows if r["resolution"] == "retried"),
         "workers": workers,
         "seconds": wall,
     }

@@ -15,9 +15,18 @@ Commands
     Solve an instance, then stream data sets through the discrete-event
     simulator and report measured period/latency.
 ``campaign``
-    Run a declarative experiment campaign (``campaign run``) through the
-    sharded multiprocessing runner and result cache, or aggregate a saved
-    result file (``campaign report``).  See :mod:`repro.campaign`.
+    The experiment service (see :mod:`repro.campaign`):
+
+    * ``campaign run`` — execute a declarative campaign through the
+      multiprocessing runner and result cache; ``--retry-errors``
+      resumes a partially-failed campaign re-solving only error rows,
+      ``--cache-backend {jsonl,sqlite}`` selects the cache storage;
+    * ``campaign report`` — aggregate a saved result file;
+    * ``campaign pareto`` — trace (period, latency) Pareto fronts of one
+      or more instances (``--file`` / ``--scenario``) through the
+      runner, sharing the cache/workers/engine knobs;
+    * ``campaign cache stats`` / ``campaign cache compact`` — inspect a
+      cache directory, or rewrite it dropping superseded records.
 
 Accepted ``--file`` shapes (see :mod:`repro.serialization`)
 -----------------------------------------------------------
@@ -49,7 +58,14 @@ Examples
         --objective period --data-sets 500
     python -m repro campaign run --spec campaign.json --workers 4 \\
         --cache-dir .repro-cache --out results.jsonl
+    python -m repro campaign run --spec campaign.json --cache-dir .repro-cache \\
+        --cache-backend sqlite --retry-errors
     python -m repro campaign report --results results.jsonl --baseline exact
+    python -m repro campaign pareto --scenario image-pipeline --points 16
+    python -m repro campaign pareto --file instance.json --exact --workers 4 \\
+        --cache-dir .repro-cache
+    python -m repro campaign cache stats --cache-dir .repro-cache
+    python -m repro campaign cache compact --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -112,26 +128,36 @@ def _add_instance_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--latency-bound", type=float, default=None)
 
 
+def _instance_doc_parts(doc: dict, allow_dp: bool):
+    """``(application, platform, allow_dp)`` of an instance/mapping doc.
+
+    Mapping documents never carry an ``allow_data_parallel`` field; a
+    mapping that uses data-parallel groups implies the strategy was
+    allowed for its instance.
+    """
+    from .serialization import application_from_dict, platform_from_dict
+
+    app = application_from_dict(doc["application"])
+    platform = platform_from_dict(doc["platform"])
+    allow_dp = allow_dp or bool(doc.get("allow_data_parallel", False))
+    if doc.get("kind") == "mapping":
+        allow_dp = allow_dp or any(
+            g.get("assignment") == "data-parallel"
+            for g in doc.get("groups", ())
+        )
+    return app, platform, allow_dp
+
+
 def _build_spec(args) -> ProblemSpec:
     platform = None
     allow_dp = args.data_parallel
     if args.file is not None:
-        from .serialization import application_from_dict, platform_from_dict
+        from .serialization import application_from_dict
 
         with open(args.file) as fh:
             doc = json.load(fh)
-        kind = doc.get("kind")
-        if kind in ("instance", "mapping"):
-            app = application_from_dict(doc["application"])
-            platform = platform_from_dict(doc["platform"])
-            allow_dp = allow_dp or bool(doc.get("allow_data_parallel", False))
-            if kind == "mapping":
-                # a mapping that uses data-parallel groups implies the
-                # strategy was allowed for this instance
-                allow_dp = allow_dp or any(
-                    g.get("assignment") == "data-parallel"
-                    for g in doc.get("groups", ())
-                )
+        if doc.get("kind") in ("instance", "mapping"):
+            app, platform, allow_dp = _instance_doc_parts(doc, allow_dp)
         else:
             app = application_from_dict(doc)
     elif args.works is None:
@@ -242,43 +268,49 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
-def _cmd_campaign(args, out) -> int:
-    from .campaign import (
-        CampaignSpec,
-        ResultCache,
-        heuristic_gap,
-        load_rows,
-        run_campaign,
-        save_rows,
-        summarize,
-    )
+def _open_cache(args):
+    from .campaign import ResultCache
 
-    if args.campaign_command == "run":
-        with open(args.spec) as fh:
-            spec = CampaignSpec.from_dict(json.load(fh))
-        cache = (
-            ResultCache(args.cache_dir) if args.cache_dir is not None else None
-        )
-        result = run_campaign(
-            spec, cache=cache, workers=args.workers,
-            chunk_size=args.chunk_size,
-        )
-        if args.out is not None:
-            save_rows(args.out, result)
-            print(f"[rows -> {args.out}]", file=out)
-        print(summarize(result, title=f"campaign {spec.name!r}"), file=out)
-        s = result.stats
-        cache_note = (
-            f", {s['cache_hits']} from cache" if cache is not None else ""
-        )
-        print(
-            f"{s['tasks']} tasks in {s['seconds']:.3f}s "
-            f"({s['workers']} workers): {s['ok']} ok, "
-            f"{s['errors']} errors{cache_note}",
-            file=out,
-        )
-        return 0
-    # report
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    return ResultCache(args.cache_dir,
+                       backend=getattr(args, "cache_backend", "jsonl"))
+
+
+def _cmd_campaign_run(args, out) -> int:
+    from .campaign import CampaignSpec, run_campaign, save_rows, summarize
+
+    with open(args.spec) as fh:
+        spec = CampaignSpec.from_dict(json.load(fh))
+    cache = _open_cache(args)
+    if args.retry_errors and cache is None:
+        raise ReproError("--retry-errors needs --cache-dir (the error rows "
+                         "to retry live in the cache)")
+    result = run_campaign(
+        spec, cache=cache, workers=args.workers,
+        chunk_size=args.chunk_size, retry_errors=args.retry_errors,
+    )
+    if args.out is not None:
+        save_rows(args.out, result)
+        print(f"[rows -> {args.out}]", file=out)
+    print(summarize(result, title=f"campaign {spec.name!r}"), file=out)
+    s = result.stats
+    cache_note = (
+        f", {s['cache_hits']} from cache" if cache is not None else ""
+    )
+    retry_note = f", {s['retried']} retried" if args.retry_errors else ""
+    print(
+        f"{s['tasks']} tasks in {s['seconds']:.3f}s "
+        f"({s['workers']} workers): {s['ok']} ok, "
+        f"{s['errors']} errors{cache_note}{retry_note}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_campaign_report(args, out) -> int:
+    from .campaign import heuristic_gap, load_rows, summarize
+
     result = load_rows(args.results)
     print(summarize(result, title=f"campaign {result.name!r}"), file=out)
     if args.baseline is not None:
@@ -294,6 +326,97 @@ def _cmd_campaign(args, out) -> int:
                 file=out,
             )
     return 0
+
+
+def _pareto_instances(args) -> list[tuple[str, ProblemSpec]]:
+    """The (instance_id, spec) pairs named by --file / --scenario."""
+    from pathlib import Path
+
+    instances: list[tuple[str, ProblemSpec]] = []
+    for path in args.file or ():
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("kind") not in ("instance", "mapping"):
+            raise ReproError(
+                f"{path}: campaign pareto needs an 'instance' or 'mapping' "
+                f"document (got kind={doc.get('kind')!r}); bare applications "
+                "carry no platform"
+            )
+        app, platform, allow_dp = _instance_doc_parts(
+            doc, args.data_parallel
+        )
+        spec = ProblemSpec(app, platform, allow_data_parallel=allow_dp)
+        instances.append((Path(path).stem, spec))
+    for name in args.scenario or ():
+        from .generators import get_scenario
+
+        sc = get_scenario(name)
+        spec = ProblemSpec(
+            sc.application, sc.platform,
+            allow_data_parallel=sc.allow_data_parallel or args.data_parallel,
+        )
+        instances.append((sc.name, spec))
+    if not instances:
+        raise ReproError(
+            "campaign pareto needs at least one --file or --scenario"
+        )
+    return instances
+
+
+def _cmd_campaign_pareto(args, out) -> int:
+    from .campaign import pareto_comparison
+
+    fronts, table = pareto_comparison(
+        _pareto_instances(args),
+        num_points=args.points,
+        exact_fallback=args.exact,
+        engine=args.engine,
+        cache=_open_cache(args),
+        workers=args.workers,
+    )
+    print(table, file=out)
+    for iid, front in fronts.items():
+        print(f"\nfront {iid!r} ({len(front)} points):", file=out)
+        for sol in front:
+            # repr: shortest round-trippable form — downstream tooling can
+            # parse the printed points back to the exact float values
+            print(f"  period={sol.period!r} latency={sol.latency!r}",
+                  file=out)
+    return 0
+
+
+def _cmd_campaign_cache(args, out) -> int:
+    cache = _open_cache(args)
+    if cache is None:
+        raise ReproError("campaign cache needs --cache-dir")
+    if args.cache_command == "stats":
+        info = cache.storage_stats()
+        print(f"cache {args.cache_dir} [{info['backend']}]", file=out)
+        print(f"  keys          : {info['keys']}", file=out)
+        print(f"  files         : {info['files']}", file=out)
+        print(f"  bytes         : {info['bytes']}", file=out)
+        print(f"  stale records : {info['stale_records']}", file=out)
+        return 0
+    # compact
+    info = cache.compact()
+    print(
+        f"compacted {args.cache_dir} [{info['backend']}]: "
+        f"{info['bytes_before']} -> {info['bytes_after']} bytes "
+        f"({info['bytes_reclaimed']} reclaimed, "
+        f"{info['records_dropped']} superseded records dropped)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_campaign(args, out) -> int:
+    handlers = {
+        "run": _cmd_campaign_run,
+        "report": _cmd_campaign_report,
+        "pareto": _cmd_campaign_pareto,
+        "cache": _cmd_campaign_cache,
+    }
+    return handlers[args.campaign_command](args, out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -340,9 +463,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--data-sets", type=int, default=500)
 
     p_camp = sub.add_parser(
-        "campaign", help="run / aggregate experiment campaigns"
+        "campaign", help="run / resume / aggregate experiment campaigns"
     )
     camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_cache_flags(p, required: bool = False) -> None:
+        p.add_argument("--cache-dir", default=None, required=required,
+                       help="content-addressed result cache directory")
+        p.add_argument("--cache-backend", choices=("jsonl", "sqlite"),
+                       default="jsonl",
+                       help="cache storage format: 256 append-only JSONL "
+                            "shards (default) or a single sqlite database")
+
     p_run = camp_sub.add_parser(
         "run", help="execute a campaign spec through the sharded runner"
     )
@@ -352,10 +484,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size; 0 = serial reference mode")
     p_run.add_argument("--chunk-size", type=int, default=None,
                        help="tasks per worker chunk (default: auto)")
-    p_run.add_argument("--cache-dir", default=None,
-                       help="content-addressed result cache directory")
+    _add_cache_flags(p_run)
+    p_run.add_argument("--retry-errors", action="store_true",
+                       help="re-solve cached error rows (resume a "
+                            "partially-failed campaign after a fix); ok "
+                            "rows still come from the cache")
     p_run.add_argument("--out", default=None,
                        help="write result rows to this JSONL file")
+
     p_rep = camp_sub.add_parser(
         "report", help="aggregate a saved campaign result file"
     )
@@ -363,6 +499,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL rows written by 'campaign run --out'")
     p_rep.add_argument("--baseline", default=None,
                        help="solver name to compute gap ratios against")
+
+    p_par = camp_sub.add_parser(
+        "pareto",
+        help="trace (period, latency) Pareto fronts through the runner",
+    )
+    p_par.add_argument("--file", action="append", default=None,
+                       help="instance/mapping JSON document (repeatable)")
+    p_par.add_argument("--scenario", action="append", default=None,
+                       help="named scenario (repeatable)")
+    p_par.add_argument("--points", type=int, default=16,
+                       help="period-threshold grid size (default 16)")
+    p_par.add_argument("--data-parallel", action="store_true",
+                       help="allow data-parallel stages")
+    p_par.add_argument("--exact", action="store_true",
+                       help="exponential exact fallback for NP-hard cells")
+    p_par.add_argument("--engine", choices=("bnb", "enumerate"),
+                       default="bnb")
+    p_par.add_argument("--workers", type=int, default=0,
+                       help="process-pool size for the threshold sweep")
+    _add_cache_flags(p_par)
+
+    p_cache = camp_sub.add_parser(
+        "cache", help="inspect / compact a result cache directory"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser(
+        "stats", help="key count, file count, bytes, stale records"
+    )
+    _add_cache_flags(p_stats, required=True)
+    p_compact = cache_sub.add_parser(
+        "compact",
+        help="drop superseded duplicate-key records; report bytes reclaimed",
+    )
+    _add_cache_flags(p_compact, required=True)
     return parser
 
 

@@ -5,9 +5,26 @@ import random
 import pytest
 
 import repro
-from repro.analysis import format_table, pareto_front, render_table1
+from repro.analysis import (
+    format_table,
+    non_dominated,
+    pareto_front,
+    render_table1,
+    threshold_grid,
+)
 from repro.analysis.table1 import regenerate_table1, validate_cell
+from repro.algorithms.problem import Solution
 from repro.algorithms.registry import Criterion
+
+
+def assert_no_dominated_pairs(points):
+    for i, (p1, l1) in enumerate(points):
+        for j, (p2, l2) in enumerate(points):
+            if i == j:
+                continue
+            assert not (p2 <= p1 + 1e-12 and l2 <= l1 + 1e-12
+                        and (p2 < p1 - 1e-9 or l2 < l1 - 1e-9)), \
+                f"({p1}, {l1}) is dominated by ({p2}, {l2})"
 
 
 class TestFormatTable:
@@ -78,6 +95,140 @@ class TestPareto:
         assert [(s.period, s.latency) for s in cached] == points
         # the second traversal came entirely from the cache
         assert cache.hits >= 12
+
+
+class TestThresholdGrid:
+    def test_endpoints_exact_and_monotone(self):
+        grid = threshold_grid(1.0, 1e12, 64)
+        assert len(grid) == 64
+        assert grid[0] == 1.0
+        assert grid[-1] == 1e12  # pinned exactly, never ratio**(n-1)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    @pytest.mark.parametrize("k_min,k_max,n", [
+        (1.0, 1e12, 64),        # accumulation undershoots k_max here
+        (3.7e-8, 9.1e11, 128),  # ... and overshoots here
+        (2.0, 7.0, 33),
+        (1e-9, 1e9, 7),
+    ])
+    def test_extreme_ratios_hit_k_max(self, k_min, k_max, n):
+        # regression: `value *= ratio` accumulated float error over
+        # num_points multiplies, so the last threshold drifted off k_max
+        # and the sweep could miss the min-latency extreme
+        grid = threshold_grid(k_min, k_max, n)
+        assert len(grid) == n
+        assert grid[0] == k_min
+        assert grid[-1] == k_max
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_degenerate_range_collapses(self):
+        assert threshold_grid(5.0, 5.0, 10) == [5.0]
+        assert threshold_grid(5.0, 4.0, 10) == [5.0]
+
+    def test_tiny_point_counts(self):
+        assert threshold_grid(1.0, 2.0, 1) == [1.0, 2.0]
+        assert threshold_grid(1.0, 2.0, 2) == [1.0, 2.0]
+
+
+class TestNonDominated:
+    def _sols(self, points):
+        return [Solution(mapping=None, period=p, latency=lat)
+                for p, lat in points]
+
+    def test_evicts_dominated_points(self):
+        front = non_dominated(self._sols(
+            [(2.0, 24.0), (3.2, 20.0), (5.04, 16.0), (3.0, 12.0)]
+        ))
+        assert [(s.period, s.latency) for s in front] == \
+            [(2.0, 24.0), (3.0, 12.0)]
+
+    def test_collapses_ties(self):
+        front = non_dominated(self._sols(
+            [(2.0, 10.0), (2.0, 10.0), (3.0, 10.0), (2.0, 12.0)]
+        ))
+        assert [(s.period, s.latency) for s in front] == [(2.0, 10.0)]
+
+    def test_staircase_shape(self):
+        rng = random.Random(7)
+        pts = [(rng.uniform(1, 9), rng.uniform(1, 9)) for _ in range(60)]
+        front = non_dominated(self._sols(pts))
+        assert front
+        for a, b in zip(front, front[1:]):
+            assert a.period < b.period
+            assert a.latency > b.latency
+        assert_no_dominated_pairs([(s.period, s.latency) for s in front])
+
+
+class TestParetoDominanceRegression:
+    def test_dominated_sweep_points_are_evicted(self, tmp_path):
+        # Regression for the old filter, which only compared each sweep
+        # solution against front[-1].latency: a larger period threshold
+        # that admits a solution with BOTH smaller period and smaller
+        # latency left earlier dominated points in the returned "front".
+        # Exact bounded solves cannot produce that shape (latency(K) is
+        # monotone), so drive the filter through the cache: pre-populate
+        # the exact task keys pareto_front will look up with a crafted
+        # dominated sweep, then check the returned front.
+        from repro.campaign import ResultCache
+        from repro.campaign.spec import Task
+        from repro.core.costs import FLOAT_TOL
+        from repro.serialization import mapping_to_dict, spec_to_dict
+
+        app = repro.PipelineApplication.from_works([14, 4, 2, 4])
+        plat = repro.Platform.homogeneous(4, 1.0)
+        spec = repro.ProblemSpec(app, plat, allow_data_parallel=True)
+        mapping_doc = mapping_to_dict(
+            repro.solve(spec, repro.Objective.PERIOD).mapping
+        )
+        instance = spec_to_dict(spec)
+        solver = {"name": "pareto", "mode": "auto",
+                  "exact_fallback": False, "engine": "bnb"}
+
+        def key(objective, period_bound=None):
+            return Task(index=0, instance_id="pareto", instance=instance,
+                        objective=objective, period_bound=period_bound,
+                        latency_bound=None, solver=solver).key
+
+        def row(period, latency):
+            return {"status": "ok", "period": period, "latency": latency,
+                    "value": latency, "mapping": mapping_doc,
+                    "algorithm": "crafted", "error": None,
+                    "error_type": None}
+
+        cache = ResultCache(tmp_path)
+        cache.put(key("period"), row(2.0, 24.0))    # min-period extreme
+        cache.put(key("latency"), row(8.0, 10.0))   # min-latency extreme
+        grid = threshold_grid(2.0, 8.0, 4)
+        # the last (largest) threshold admits (3.0, 12.0), which
+        # dominates the two middle points the old filter kept
+        crafted = [(2.0, 24.0), (3.2, 20.0), (5.04, 16.0), (3.0, 12.0)]
+        for bound, (p, lat) in zip(grid, crafted):
+            cache.put(key("latency", bound * (1 + FLOAT_TOL)), row(p, lat))
+
+        front = pareto_front(spec, num_points=4, cache=cache)
+        assert cache.misses == 0  # every solve came from the crafted cache
+        points = [(s.period, s.latency) for s in front]
+        assert points == [(2.0, 24.0), (3.0, 12.0), (8.0, 10.0)]
+        assert (3.2, 20.0) not in points and (5.04, 16.0) not in points
+        assert_no_dominated_pairs(points)
+
+    def test_random_instance_fronts_have_no_dominated_pairs(self):
+        from repro.generators import random_pipeline, random_platform
+
+        rng = random.Random(2007)
+        for _ in range(6):
+            app = random_pipeline(rng, rng.randint(3, 5), low=1, high=9)
+            plat = random_platform(rng, rng.randint(3, 4), low=1, high=6)
+            spec = repro.ProblemSpec(app, plat,
+                                     allow_data_parallel=rng.random() < 0.5)
+            try:
+                front = pareto_front(spec, num_points=6,
+                                     exact_fallback=True)
+            except repro.ReproError:
+                continue
+            assert_no_dominated_pairs(
+                [(s.period, s.latency) for s in front]
+            )
 
 
 class TestTable1:

@@ -1,29 +1,117 @@
-"""Tests for the content-addressed result cache."""
+"""Contract tests for the result cache, run against every backend.
+
+The parametrized ``cache`` fixture makes each contract test execute once
+per registered backend (jsonl, sqlite) — the two storage formats must be
+behaviourally interchangeable.  Backend-specific on-disk details (shard
+files, append-only duplicates, sqlite version rows) get their own
+classes below.
+"""
 
 import json
+import sqlite3
 
-from repro.campaign import CACHE_VERSION, ResultCache
+import pytest
+
+from repro.campaign import CACHE_BACKENDS, CACHE_VERSION, ResultCache
+from repro.core import ReproError
 
 
 KEY_A = "aa" + "0" * 62
 KEY_B = "ab" + "0" * 62
 
 
-class TestResultCache:
-    def test_miss_then_hit(self, tmp_path):
-        cache = ResultCache(tmp_path)
+@pytest.fixture(params=sorted(CACHE_BACKENDS))
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def cache(tmp_path, backend):
+    return ResultCache(tmp_path, backend=backend)
+
+
+class TestResultCacheContract:
+    def test_miss_then_hit(self, cache):
         assert cache.get(KEY_A) is None
         cache.put(KEY_A, {"status": "ok", "value": 1.5})
         assert cache.get(KEY_A) == {"status": "ok", "value": 1.5}
         assert cache.stats == {"hits": 1, "misses": 1, "puts": 1}
 
-    def test_persists_across_instances(self, tmp_path):
-        ResultCache(tmp_path).put(KEY_A, {"value": 2.0})
-        again = ResultCache(tmp_path)
+    def test_persists_across_instances(self, tmp_path, backend):
+        ResultCache(tmp_path, backend=backend).put(KEY_A, {"value": 2.0})
+        again = ResultCache(tmp_path, backend=backend)
         assert again.get(KEY_A) == {"value": 2.0}
         assert KEY_A in again
         assert KEY_B not in again
 
+    def test_last_put_wins(self, tmp_path, cache, backend):
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_A, {"value": 2})
+        assert cache.get(KEY_A) == {"value": 2}
+        assert ResultCache(tmp_path, backend=backend).get(KEY_A) == \
+            {"value": 2}
+
+    def test_len_and_keys(self, cache):
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_B, {"value": 2})
+        cache.put(KEY_A, {"value": 3})  # overwrite, not a new key
+        assert len(cache) == 2
+        assert sorted(cache.keys()) == [KEY_A, KEY_B]
+
+    def test_returned_rows_are_copies(self, cache):
+        cache.put(KEY_A, {"value": 1})
+        row = cache.get(KEY_A)
+        row["value"] = 99
+        assert cache.get(KEY_A) == {"value": 1}
+
+    def test_hits_never_alias_nested_state(self, cache):
+        # regression: `get` used to return a *shallow* copy, so callers
+        # shared the nested "mapping" dict with the in-memory shard —
+        # mutating one hit poisoned every later hit for the same key
+        cache.put(KEY_A, {"status": "ok",
+                          "mapping": {"groups": [{"stages": [0, 1]}]}})
+        first = cache.get(KEY_A)
+        first["mapping"]["groups"][0]["stages"].append(99)
+        first["mapping"]["poisoned"] = True
+        second = cache.get(KEY_A)
+        assert second == {"status": "ok",
+                          "mapping": {"groups": [{"stages": [0, 1]}]}}
+
+    def test_put_does_not_alias_callers_dict(self, cache):
+        row = {"status": "ok", "mapping": {"groups": [1, 2]}}
+        cache.put(KEY_A, row)
+        row["mapping"]["groups"].append(3)
+        assert cache.get(KEY_A)["mapping"]["groups"] == [1, 2]
+
+    def test_storage_stats_shape(self, cache, backend):
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_B, {"value": 2})
+        info = cache.storage_stats()
+        assert info["backend"] == backend
+        assert info["keys"] == 2
+        assert info["files"] >= 1
+        assert info["bytes"] > 0
+        assert info["stale_records"] == 0
+
+    def test_compact_preserves_every_row(self, tmp_path, cache, backend):
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_A, {"value": 2})
+        cache.put(KEY_B, {"value": 9})
+        info = cache.compact()
+        assert info["backend"] == backend
+        assert info["bytes_reclaimed"] >= 0
+        assert cache.get(KEY_A) == {"value": 2}
+        assert cache.get(KEY_B) == {"value": 9}
+        reloaded = ResultCache(tmp_path, backend=backend)
+        assert reloaded.get(KEY_A) == {"value": 2}
+        assert len(reloaded) == 2
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, backend="cloud")
+
+
+class TestJsonlBackend:
     def test_sharding_by_key_prefix(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(KEY_A, {"value": 1})
@@ -31,12 +119,6 @@ class TestResultCache:
         assert (tmp_path / "aa.jsonl").exists()
         assert (tmp_path / "ab.jsonl").exists()
         assert len(cache) == 2
-
-    def test_last_put_wins(self, tmp_path):
-        cache = ResultCache(tmp_path)
-        cache.put(KEY_A, {"value": 1})
-        cache.put(KEY_A, {"value": 2})
-        assert ResultCache(tmp_path).get(KEY_A) == {"value": 2}
 
     def test_corrupt_lines_degrade_to_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -50,9 +132,79 @@ class TestResultCache:
         )
         assert ResultCache(tmp_path).get(KEY_A) is None
 
-    def test_returned_rows_are_copies(self, tmp_path):
+    def test_compact_drops_superseded_duplicate_lines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"value": 0, "mapping": {"big": "x" * 200}})
+        for i in range(20):  # 20 superseded re-puts of the same key
+            cache.put(KEY_A, {"value": i + 1, "mapping": {"big": "x" * 200}})
+        shard = tmp_path / "aa.jsonl"
+        before = shard.stat().st_size
+        assert cache.storage_stats()["stale_records"] == 20
+        info = cache.compact()
+        assert info["records_dropped"] == 20
+        assert info["bytes_reclaimed"] > 0
+        assert shard.stat().st_size < before
+        assert sum(1 for line in shard.open() if line.strip()) == 1
+        assert ResultCache(tmp_path).get(KEY_A)["value"] == 20
+        # a second compact is a no-op
+        assert cache.compact()["records_dropped"] == 0
+
+    def test_compact_drops_corrupt_and_stale_version_lines(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(KEY_A, {"value": 1})
-        row = cache.get(KEY_A)
-        row["value"] = 99
-        assert cache.get(KEY_A) == {"value": 1}
+        shard = tmp_path / "aa.jsonl"
+        with shard.open("a") as fh:
+            fh.write("garbage line\n")
+            fh.write(json.dumps({"version": CACHE_VERSION + 1,
+                                 "key": KEY_B, "row": {}}) + "\n")
+        fresh = ResultCache(tmp_path)
+        assert fresh.storage_stats()["stale_records"] == 2
+        assert fresh.compact()["records_dropped"] == 2
+        assert ResultCache(tmp_path).get(KEY_A) == {"value": 1}
+
+
+class TestSqliteBackend:
+    def test_single_database_file(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_B, {"value": 2})
+        assert (tmp_path / "cache.sqlite").exists()
+        assert not list(tmp_path.glob("*.jsonl"))
+        assert cache.storage_stats()["files"] == 1
+
+    def test_durable_without_close(self, tmp_path):
+        # every put commits: a killed campaign loses nothing
+        ResultCache(tmp_path, backend="sqlite").put(KEY_A, {"value": 7})
+        db = sqlite3.connect(tmp_path / "cache.sqlite")
+        rows = db.execute("SELECT key, row FROM rows").fetchall()
+        db.close()
+        assert rows == [(KEY_A, '{"value":7}')]
+
+    def test_stale_version_rows_skipped_and_compacted(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        cache.put(KEY_A, {"value": 1})
+        db = sqlite3.connect(tmp_path / "cache.sqlite")
+        db.execute(
+            "INSERT OR REPLACE INTO rows (key, version, row) "
+            "VALUES (?, ?, ?)",
+            (KEY_B, CACHE_VERSION + 1, '{"value": "future"}'),
+        )
+        db.commit()
+        db.close()
+        fresh = ResultCache(tmp_path, backend="sqlite")
+        assert fresh.get(KEY_B) is None
+        assert fresh.storage_stats()["stale_records"] == 1
+        assert fresh.compact()["records_dropped"] == 1
+        assert fresh.storage_stats()["stale_records"] == 0
+        assert fresh.get(KEY_A) == {"value": 1}
+        fresh.close()
+
+    def test_corrupt_row_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        cache.put(KEY_A, {"value": 1})
+        db = sqlite3.connect(tmp_path / "cache.sqlite")
+        db.execute("UPDATE rows SET row = 'not json' WHERE key = ?",
+                   (KEY_A,))
+        db.commit()
+        db.close()
+        assert ResultCache(tmp_path, backend="sqlite").get(KEY_A) is None

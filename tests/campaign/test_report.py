@@ -47,6 +47,36 @@ class TestSummarize:
         result = quality_result()
         assert summarize(result.rows) == summarize(result)
 
+    def test_resolution_breakdown_columns(self, tmp_path):
+        spec = CampaignSpec(
+            name="res",
+            instances=(
+                {"type": "explicit", "id": "np",
+                 "application": {"kind": "pipeline",
+                                 "works": [9.0, 2.0, 7.0]},
+                 "platform": {"kind": "platform", "speeds": [3.0, 1.0]}},
+            ),
+            objectives=("period",),
+            solvers=({"name": "auto"},),
+        )
+        cache = ResultCache(tmp_path)
+        run_campaign(spec, cache=cache, workers=0)
+        resumed = run_campaign(spec, cache=cache, workers=0,
+                               retry_errors=True)
+        text = summarize(resumed)
+        header = [c.strip() for c in text.splitlines()[1].split("|")]
+        assert header[5:9] == ["cached-ok", "cached-err", "solved",
+                               "retried"]
+        row = [c.strip() for c in text.splitlines()[3].split("|")]
+        assert row[5:9] == ["0", "0", "0", "1"]
+
+    def test_legacy_rows_without_resolution_field(self):
+        # rows saved before the resolution field existed still summarize
+        result = quality_result()
+        legacy = [{k: v for k, v in r.items() if k != "resolution"}
+                  for r in result.rows]
+        assert summarize(legacy) == summarize(result)
+
 
 class TestHeuristicGap:
     def test_ratios_at_least_one(self):

@@ -255,6 +255,148 @@ class TestModes:
             [strip_volatile(r) for r in b.rows]
 
 
+class TestRetryErrors:
+    def mixed_spec(self, ok_count=3):
+        # NP-hard cell without fallback -> deterministic cached error rows
+        return grid_spec(
+            instances=(
+                {"type": "explicit", "id": "np",
+                 "application": {"kind": "pipeline",
+                                 "works": [9.0, 2.0, 7.0]},
+                 "platform": {"kind": "platform", "speeds": [3.0, 1.0]}},
+                {"type": "random", "graph": "pipeline", "count": ok_count,
+                 "seed": 11, "n": 3, "p": 3, "homogeneous_app": True,
+                 "homogeneous_platform": True},
+            ),
+            objectives=("period",),
+            solvers=({"name": "auto"},),
+        )
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_serial_parallel_identical_with_error_rows(self, workers,
+                                                       tmp_path):
+        spec = grid_spec(
+            instances=(
+                POISON,
+                {"type": "explicit", "id": "np",
+                 "application": {"kind": "pipeline",
+                                 "works": [9.0, 2.0, 7.0]},
+                 "platform": {"kind": "platform", "speeds": [3.0, 1.0]}},
+                {"type": "random", "graph": "pipeline", "count": 3,
+                 "seed": 3, "n": 3, "p": 3},
+            ),
+            objectives=("period",),
+            solvers=({"name": "auto"},),
+        )
+        serial = run_campaign(spec, workers=0)
+        assert serial.stats["errors"] >= 2
+        other = run_campaign(spec, cache=ResultCache(tmp_path),
+                             workers=workers, chunk_size=2,
+                             retry_errors=True)
+        assert [strip_volatile(r) for r in serial.rows] == \
+            [strip_volatile(r) for r in other.rows]
+
+    def test_retry_resolves_only_error_and_missing_rows(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.campaign import runner as runner_mod
+
+        spec = self.mixed_spec(ok_count=3)
+        cache = ResultCache(tmp_path)
+        first = run_campaign(spec, cache=cache, workers=0)
+        assert first.stats == {**first.stats, "ok": 3, "errors": 1,
+                               "retried": 0}
+
+        solved_keys = []
+        real_solve = runner_mod.solve_task
+        monkeypatch.setattr(
+            runner_mod, "solve_task",
+            lambda task: solved_keys.append(task.key) or real_solve(task),
+        )
+
+        # plain re-run: everything (even the error row) is served cached
+        second = run_campaign(spec, cache=cache, workers=0)
+        assert solved_keys == []
+        assert second.stats["cache_hits"] == second.stats["tasks"]
+
+        # --retry-errors: exactly the one error row is re-solved
+        third = run_campaign(spec, cache=cache, workers=0,
+                             retry_errors=True)
+        errors = [r for r in first.rows if r["status"] == "error"]
+        assert solved_keys == [r["key"] for r in errors]
+        assert third.stats["retried"] == 1
+        assert third.stats["cache_hits"] == 3
+
+        # a grid extension re-solves errors + the genuinely new rows only
+        solved_keys.clear()
+        bigger = self.mixed_spec(ok_count=5)
+        fourth = run_campaign(bigger, cache=cache, workers=0,
+                              retry_errors=True)
+        old_keys = {r["key"] for r in first.rows}
+        fresh = [r["key"] for r in fourth.rows if r["key"] not in old_keys]
+        assert sorted(solved_keys) == sorted([errors[0]["key"], *fresh])
+        assert len(fresh) == 2
+
+    def test_resolution_field_values(self, tmp_path):
+        spec = self.mixed_spec()
+        cache = ResultCache(tmp_path)
+        first = run_campaign(spec, cache=cache, workers=0)
+        assert {r["resolution"] for r in first.rows} == {"solved"}
+        second = run_campaign(spec, cache=cache, workers=0)
+        by_status = {r["status"]: r["resolution"] for r in second.rows}
+        assert by_status == {"ok": "cached-ok", "error": "cached-error"}
+        third = run_campaign(spec, cache=cache, workers=0,
+                             retry_errors=True)
+        assert sorted(r["resolution"] for r in third.rows) == \
+            ["cached-ok"] * 3 + ["retried"]
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_solver_fix_changes_cached_verdict(self, tmp_path, backend):
+        # simulate "a solver fix changes the verdict": overwrite the ok
+        # rows with error payloads, as if the first run predated the fix
+        spec = grid_spec(objectives=("period",),
+                         solvers=({"name": "exact", "mode": "auto",
+                                   "exact_fallback": True},))
+        cache = ResultCache(tmp_path, backend=backend)
+        first = run_campaign(spec, cache=cache, workers=0)
+        assert first.stats["errors"] == 0
+        broken = dict(first.rows[0])
+        for field_name in ("index", "instance_id", "key", "objective",
+                          "period_bound", "latency_bound", "solver",
+                          "seconds", "cached", "resolution"):
+            broken.pop(field_name)
+        broken.update(status="error", period=None, latency=None, value=None,
+                      mapping=None, algorithm=None,
+                      error="pre-fix solver crash", error_type="ReproError")
+        for row in first.rows:
+            cache.put(row["key"], broken)
+
+        stale = run_campaign(spec, cache=cache, workers=0)
+        assert stale.stats["errors"] == stale.stats["tasks"]
+
+        fixed = run_campaign(spec, cache=cache, workers=0,
+                             retry_errors=True)
+        assert fixed.stats["errors"] == 0
+        assert fixed.stats["retried"] == fixed.stats["tasks"]
+        assert [strip_volatile(r) for r in fixed.rows] == \
+            [strip_volatile(r) for r in first.rows]
+        # the re-puts overwrote the cache: a plain re-run is all ok again
+        healed = run_campaign(spec, cache=cache, workers=0)
+        assert healed.stats["errors"] == 0
+        assert healed.stats["cache_hits"] == healed.stats["tasks"]
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_retry_serial_parallel_equivalent(self, tmp_path, workers):
+        spec = self.mixed_spec()
+        cache = ResultCache(tmp_path)
+        reference = run_campaign(spec, workers=0)
+        run_campaign(spec, cache=cache, workers=0)
+        resumed = run_campaign(spec, cache=cache, workers=workers,
+                               chunk_size=1, retry_errors=True)
+        assert [strip_volatile(r) for r in resumed.rows] == \
+            [strip_volatile(r) for r in reference.rows]
+
+
 class TestPersistence:
     def test_save_load_roundtrip(self, tmp_path):
         result = run_campaign(grid_spec(), workers=0)

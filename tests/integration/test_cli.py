@@ -267,6 +267,59 @@ class TestCampaignCommand:
         assert "1 error rows" in text
         assert "InvalidApplicationError" in text
 
+    def test_sqlite_backend_run_and_resume(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        cache = tmp_path / "cache"
+        code, _ = run_cli(
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(cache), "--cache-backend", "sqlite",
+        )
+        assert code == 0
+        assert (cache / "cache.sqlite").exists()
+        assert not list(cache.glob("*.jsonl"))
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(cache), "--cache-backend", "sqlite",
+        )
+        assert code == 0
+        assert "8 from cache" in text
+
+    def test_retry_errors_flag(self, tmp_path):
+        import json
+
+        doc = dict(self.CAMPAIGN)
+        doc["instances"] = list(doc["instances"]) + [
+            {"type": "explicit", "id": "poisoned",
+             "application": {"kind": "pipeline", "works": [-1.0]},
+             "platform": {"kind": "platform", "speeds": [1.0]}},
+        ]
+        doc["solvers"] = [
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+        ]
+        spec = tmp_path / "campaign.json"
+        spec.write_text(json.dumps(doc))
+        cache = tmp_path / "cache"
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec), "--cache-dir", str(cache),
+        )
+        assert code == 0
+        assert "1 errors" in text
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec), "--cache-dir", str(cache),
+            "--retry-errors",
+        )
+        assert code == 0
+        assert "1 retried" in text
+        assert "4 from cache" in text
+
+    def test_retry_errors_needs_cache_dir(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        code, text = run_cli(
+            "campaign", "run", "--spec", str(spec), "--retry-errors",
+        )
+        assert code == 2
+        assert "cache-dir" in text
+
     def test_bad_spec_file(self, tmp_path):
         import json
 
@@ -300,6 +353,156 @@ class TestCampaignCommand:
         )
         assert code == 2
         assert text.startswith("error:")
+
+
+class TestCampaignParetoCommand:
+    def _instance_doc(self):
+        return {
+            "kind": "instance",
+            "application": {"kind": "pipeline",
+                            "works": [14.0, 4.0, 2.0, 4.0]},
+            "platform": {"kind": "platform",
+                         "speeds": [1.0, 1.0, 1.0, 1.0]},
+            "allow_data_parallel": True,
+        }
+
+    def _parse_points(self, text, iid):
+        points, collecting = [], False
+        for line in text.splitlines():
+            if line.startswith(f"front {iid!r}"):
+                collecting = True
+                continue
+            if collecting:
+                if not line.startswith("  period="):
+                    break
+                period, latency = line.split()
+                points.append((float(period.split("=")[1]),
+                               float(latency.split("=")[1])))
+        return points
+
+    def test_matches_analysis_pareto_front(self, tmp_path):
+        import json
+
+        import repro
+        from repro.analysis import pareto_front
+
+        doc = self._instance_doc()
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(doc))
+        code, text = run_cli(
+            "campaign", "pareto", "--file", str(path), "--points", "8",
+        )
+        assert code == 0
+        assert "'inst'" in text  # comparison table row, named by file stem
+
+        spec = repro.ProblemSpec(
+            repro.PipelineApplication.from_works(doc["application"]["works"]),
+            repro.Platform.heterogeneous(doc["platform"]["speeds"]),
+            allow_data_parallel=True,
+        )
+        expected = [(s.period, s.latency)
+                    for s in pareto_front(spec, num_points=8)]
+        assert self._parse_points(text, "inst") == expected
+
+    def test_scenario_and_shared_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        code, text = run_cli(
+            "campaign", "pareto", "--scenario", "image-pipeline",
+            "--points", "5", "--exact", "--cache-dir", str(cache),
+        )
+        assert code == 0
+        first = self._parse_points(text, "image-pipeline")
+        assert first
+        code, text = run_cli(
+            "campaign", "pareto", "--scenario", "image-pipeline",
+            "--points", "5", "--exact", "--cache-dir", str(cache),
+        )
+        assert code == 0
+        assert self._parse_points(text, "image-pipeline") == first
+
+    def test_mapping_document_infers_data_parallel(self, tmp_path):
+        # a mapping doc carries no allow_data_parallel field: like
+        # `solve --file`, data-parallel groups must imply the strategy
+        import repro
+        from repro.analysis import pareto_front
+        from repro.serialization import dumps as ser_dumps
+
+        spec = repro.ProblemSpec(
+            repro.PipelineApplication.from_works([14, 4, 2, 4]),
+            repro.Platform.homogeneous(4, 1.0),
+            allow_data_parallel=True,
+        )
+        sol = repro.solve(spec, repro.Objective.LATENCY)
+        assert any(g.kind.name == "DATA_PARALLEL"
+                   for g in sol.mapping.groups)
+        path = tmp_path / "mapping.json"
+        path.write_text(ser_dumps(sol.mapping))
+        code, text = run_cli(
+            "campaign", "pareto", "--file", str(path), "--points", "6",
+        )
+        assert code == 0
+        expected = [(s.period, s.latency)
+                    for s in pareto_front(spec, num_points=6)]
+        assert self._parse_points(text, "mapping") == expected
+
+    def test_needs_an_instance(self):
+        code, text = run_cli("campaign", "pareto")
+        assert code == 2
+        assert "at least one" in text
+
+    def test_rejects_platformless_document(self, tmp_path):
+        import json
+
+        path = tmp_path / "app.json"
+        path.write_text(json.dumps({"kind": "pipeline",
+                                    "works": [1.0, 2.0]}))
+        code, text = run_cli("campaign", "pareto", "--file", str(path))
+        assert code == 2
+        assert "instance" in text
+
+
+class TestCampaignCacheCommand:
+    def _populate(self, tmp_path, backend):
+        from repro.campaign import ResultCache
+
+        cache = ResultCache(tmp_path / "cache", backend=backend)
+        key = "aa" + "0" * 62
+        cache.put(key, {"status": "ok", "value": 1.0,
+                        "mapping": {"pad": "x" * 100}})
+        for i in range(10):  # superseded re-puts
+            cache.put(key, {"status": "ok", "value": float(i),
+                            "mapping": {"pad": "x" * 100}})
+        cache.close()
+        return tmp_path / "cache"
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_stats_then_compact(self, tmp_path, backend):
+        cache_dir = self._populate(tmp_path, backend)
+        code, text = run_cli(
+            "campaign", "cache", "stats", "--cache-dir", str(cache_dir),
+            "--cache-backend", backend,
+        )
+        assert code == 0
+        assert f"[{backend}]" in text
+        assert "keys          : 1" in text
+        if backend == "jsonl":
+            assert "stale records : 10" in text
+
+        code, text = run_cli(
+            "campaign", "cache", "compact", "--cache-dir", str(cache_dir),
+            "--cache-backend", backend,
+        )
+        assert code == 0
+        assert "compacted" in text
+        if backend == "jsonl":
+            assert "10 superseded records dropped" in text
+
+        code, text = run_cli(
+            "campaign", "cache", "stats", "--cache-dir", str(cache_dir),
+            "--cache-backend", backend,
+        )
+        assert code == 0
+        assert "stale records : 0" in text
 
 
 class TestSimulateCommand:
