@@ -5,10 +5,11 @@ Turns "solve one instance" into "run an experiment campaign":
 * :mod:`repro.campaign.spec` — versioned, JSON-round-trippable
   :class:`CampaignSpec` describing instances x objectives x solvers;
 * :mod:`repro.campaign.cache` — content-addressed persistent
-  :class:`ResultCache` with pluggable storage backends (sharded JSONL or
-  a single sqlite database), keyed by canonical instance+config hashes
-  so re-runs and overlapping campaigns re-use every solve; superseded
-  records are reclaimed by ``compact()``;
+  :class:`ResultCache` with pluggable storage backends (sharded JSONL,
+  a single sqlite database, or a remote solver service over HTTP),
+  keyed by canonical instance+config hashes so re-runs and overlapping
+  campaigns re-use every solve; superseded records are reclaimed by
+  ``compact()``, which also takes age/size eviction policies;
 * :mod:`repro.campaign.runner` — process-pool executor with chunked
   fan-out, per-task failure isolation and deterministic result rows
   (``workers=0`` serial mode is the bit-identical reference);
@@ -39,11 +40,19 @@ from .cache import (
     CACHE_BACKENDS,
     CACHE_VERSION,
     CacheBackend,
+    HttpCacheBackend,
     JsonlBackend,
     ResultCache,
     SqliteBackend,
 )
-from .report import heuristic_gap, pareto_comparison, summarize
+from .report import (
+    heuristic_gap,
+    load_pareto_fronts,
+    pareto_comparison,
+    pareto_fronts_doc,
+    save_pareto_fronts,
+    summarize,
+)
 from .runner import (
     VOLATILE_FIELDS,
     CampaignResult,
@@ -65,6 +74,7 @@ __all__ = [
     "CacheBackend",
     "JsonlBackend",
     "SqliteBackend",
+    "HttpCacheBackend",
     "ResultCache",
     "CampaignResult",
     "VOLATILE_FIELDS",
@@ -76,4 +86,7 @@ __all__ = [
     "summarize",
     "heuristic_gap",
     "pareto_comparison",
+    "pareto_fronts_doc",
+    "save_pareto_fronts",
+    "load_pareto_fronts",
 ]

@@ -18,14 +18,27 @@ actual storage lives in a backend selected by name:
     A single ``root/cache.sqlite`` database with one row per key
     (``INSERT OR REPLACE``), for long-lived or shared cache directories
     where 256 growing shard files are unwieldy.  Same keys, same record
-    version, same semantics — the two backends are interchangeable and
+    version, same semantics — the local backends are interchangeable and
     pass one contract test suite.
 
-Both degrade gracefully: unreadable lines and records with a different
-format version are skipped on load — a corrupt or stale record is a
-cache miss, never an error.  The runner is the single writer (workers
-return rows to the parent process, which writes), so no cross-process
-locking is needed.
+``"http"``
+    A remote cache: every ``load``/``store`` is a ``GET``/``PUT`` against
+    a running solver service (``python -m repro serve``, see
+    :mod:`repro.service`), so many campaign runners on a shared cluster
+    share one warm cache.  Construct with
+    ``ResultCache(url="http://host:port", backend="http")`` — no local
+    directory is involved; storage and eviction happen server-side.
+
+The local backends degrade gracefully: unreadable lines and records with
+a different format version are skipped on load — a corrupt or stale
+record is a cache miss, never an error.  The runner is the single writer
+(workers return rows to the parent process, which writes), so no
+cross-process locking is needed.  Every stored record carries a write
+timestamp, which :meth:`ResultCache.compact` can use for eviction
+policies: ``max_age_days`` drops records older than the horizon (records
+written before timestamps existed count as infinitely old), ``max_bytes``
+evicts oldest-first until the store fits the budget (exact line sizes for
+JSONL; stored-text length plus a fixed per-record overhead for sqlite).
 
 Rows returned by :meth:`ResultCache.get` are owned by the caller: they
 never alias the store's internal state, so mutating a hit (or the dict
@@ -38,6 +51,7 @@ from __future__ import annotations
 import copy
 import json
 import sqlite3
+import time
 from pathlib import Path
 
 from ..core.exceptions import ReproError
@@ -48,12 +62,22 @@ __all__ = [
     "CacheBackend",
     "JsonlBackend",
     "SqliteBackend",
+    "HttpCacheBackend",
     "ResultCache",
 ]
 
 #: Version of the on-disk cache record format.  Bump to invalidate
 #: everything previously stored (old records are skipped on load).
 CACHE_VERSION = 1
+
+#: Estimated per-record sqlite overhead (key text + row/index bookkeeping)
+#: used by the ``max_bytes`` eviction budget.
+_SQLITE_RECORD_OVERHEAD = 64
+
+
+def _now() -> float:
+    """Record-timestamp clock (a seam so tests can pin time)."""
+    return time.time()
 
 
 class CacheBackend:
@@ -80,7 +104,8 @@ class CacheBackend:
     def storage_stats(self) -> dict:
         raise NotImplementedError
 
-    def compact(self) -> dict:
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial default
@@ -95,6 +120,10 @@ class JsonlBackend(CacheBackend):
     def __init__(self, root: Path) -> None:
         self.root = root
         self._shards: dict[str, dict[str, dict]] = {}
+        self._stamps: dict[str, dict[str, float]] = {}
+        # non-empty on-disk lines per loaded shard, maintained
+        # incrementally so storage_stats() never has to re-read files
+        self._line_counts: dict[str, int] = {}
 
     # -------------------------------------------------------------- shards
     def _shard_name(self, key: str) -> str:
@@ -103,36 +132,39 @@ class JsonlBackend(CacheBackend):
     def _shard_path(self, name: str) -> Path:
         return self.root / f"{name}.jsonl"
 
-    def _read_records(self, path: Path):
-        """Yield ``(key, row)`` for every well-formed line of a shard."""
-        with path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue
-                if (
-                    not isinstance(record, dict)
-                    or record.get("version") != CACHE_VERSION
-                    or "key" not in record
-                    or "row" not in record
-                ):
-                    continue
-                yield record["key"], record["row"]
-
     def _load_shard(self, name: str) -> dict[str, dict]:
         shard = self._shards.get(name)
         if shard is not None:
             return shard
         shard = {}
+        stamps: dict[str, float] = {}
+        lines = 0
         path = self._shard_path(name)
         if path.exists():
-            for key, row in self._read_records(path):
-                shard[key] = row
+            with path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    lines += 1
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if (
+                        not isinstance(record, dict)
+                        or record.get("version") != CACHE_VERSION
+                        or "key" not in record
+                        or "row" not in record
+                    ):
+                        continue
+                    shard[record["key"]] = record["row"]
+                    # pre-timestamp records read as age 0.0 ("infinitely
+                    # old"): under an age policy they are evicted first
+                    stamps[record["key"]] = record.get("ts", 0.0)
         self._shards[name] = shard
+        self._stamps[name] = stamps
+        self._line_counts[name] = lines
         return shard
 
     # -------------------------------------------------------------- api
@@ -144,12 +176,15 @@ class JsonlBackend(CacheBackend):
 
     def store(self, key: str, row: dict) -> None:
         name = self._shard_name(key)
-        record = {"version": CACHE_VERSION, "key": key, "row": row}
+        ts = _now()
+        record = {"version": CACHE_VERSION, "key": key, "row": row, "ts": ts}
         line = json.dumps(record, separators=(",", ":"))
         # parse our own serialization back: the in-memory row can never
         # alias the caller's dict, and memory matches what a cold reload
         # of the shard would see
         self._load_shard(name)[key] = json.loads(line)["row"]
+        self._stamps[name][key] = ts
+        self._line_counts[name] += 1
         with self._shard_path(name).open("a") as fh:
             fh.write(line + "\n")
 
@@ -164,9 +199,12 @@ class JsonlBackend(CacheBackend):
         for path in sorted(self.root.glob("*.jsonl")):
             shards += 1
             size += path.stat().st_size
-            with path.open() as fh:
-                lines += sum(1 for line in fh if line.strip())
+            # the line count is maintained in memory (set on first load,
+            # bumped per put): repeated stats polls — e.g. a monitor
+            # hitting a service's /v1/stats — cost stat() calls, not a
+            # full re-read of every shard
             live += len(self._load_shard(path.stem))
+            lines += self._line_counts[path.stem]
         # superseded duplicates plus corrupt / version-mismatched records
         stale = lines - live
         return {
@@ -177,22 +215,72 @@ class JsonlBackend(CacheBackend):
             "stale_records": stale,
         }
 
-    def compact(self) -> dict:
-        """Rewrite every shard keeping one line per key; report savings."""
-        before = after = dropped = 0
-        for path in sorted(self.root.glob("*.jsonl")):
-            before += path.stat().st_size
-            with path.open() as fh:
-                total_lines = sum(1 for line in fh if line.strip())
-            live = self._load_shard(path.stem)
-            dropped += total_lines - len(live)
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        """Rewrite shards keeping one line per key; optionally evict.
+
+        ``max_age_days`` drops records older than the horizon;
+        ``max_bytes`` then evicts oldest-first until the rewritten store
+        fits the budget.  Reports superseded/stale lines dropped and
+        policy evictions separately.
+        """
+        before = after = dropped = evicted = 0
+        names = [path.stem for path in sorted(self.root.glob("*.jsonl"))]
+        for name in names:
+            before += self._shard_path(name).stat().st_size
+            self._load_shard(name)
+            dropped += self._line_counts[name] - len(self._shards[name])
+
+        def _record_line(name: str, key: str) -> str:
+            return json.dumps(
+                {"version": CACHE_VERSION, "key": key,
+                 "row": self._shards[name][key],
+                 "ts": self._stamps[name].get(key, 0.0)},
+                separators=(",", ":"),
+            )
+
+        def _evict(name: str, key: str) -> None:
+            nonlocal evicted
+            del self._shards[name][key]
+            self._stamps[name].pop(key, None)
+            evicted += 1
+
+        if max_age_days is not None:
+            cutoff = _now() - max_age_days * 86400.0
+            for name in names:
+                stale = [key for key, ts in self._stamps[name].items()
+                         if ts < cutoff]
+                for key in stale:
+                    _evict(name, key)
+        if max_bytes is not None:
+            # the budget needs the exact on-disk line sizes; keep only
+            # the integer sizes, never a second encoded copy of the store
+            sizes: dict[tuple[str, str], int] = {}
+            total = 0
+            for name in names:
+                for key in self._shards[name]:
+                    size = len(_record_line(name, key)) + 1
+                    sizes[(name, key)] = size
+                    total += size
+            oldest_first = sorted(
+                (self._stamps[name].get(key, 0.0), name, key)
+                for name in names for key in self._shards[name]
+            )
+            for _, name, key in oldest_first:
+                if total <= max_bytes:
+                    break
+                total -= sizes[(name, key)]
+                _evict(name, key)
+        # streaming rewrite, one shard at a time — peak memory stays one
+        # encoded line, not a serialized copy of the whole store
+        for name in names:
+            path = self._shard_path(name)
             tmp = path.with_suffix(".jsonl.tmp")
             with tmp.open("w") as fh:
-                for key, row in live.items():
-                    record = {"version": CACHE_VERSION, "key": key,
-                              "row": row}
-                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                for key in self._shards[name]:
+                    fh.write(_record_line(name, key) + "\n")
             tmp.replace(path)
+            self._line_counts[name] = len(self._shards[name])
             after += path.stat().st_size
         return {
             "backend": self.name,
@@ -200,6 +288,7 @@ class JsonlBackend(CacheBackend):
             "bytes_after": after,
             "bytes_reclaimed": before - after,
             "records_dropped": dropped,
+            "records_evicted": evicted,
         }
 
 
@@ -211,13 +300,24 @@ class SqliteBackend(CacheBackend):
     def __init__(self, root: Path) -> None:
         self.root = root
         self.path = root / "cache.sqlite"
-        self._db = sqlite3.connect(self.path)
+        # check_same_thread=False: the solver service calls the cache from
+        # handler/pool threads; every caller that shares a backend across
+        # threads (only the service today) serializes access with a lock
+        self._db = sqlite3.connect(self.path, check_same_thread=False)
         self._db.execute(
             "CREATE TABLE IF NOT EXISTS rows ("
             " key TEXT PRIMARY KEY,"
             " version INTEGER NOT NULL,"
-            " row TEXT NOT NULL)"
+            " row TEXT NOT NULL,"
+            " ts REAL NOT NULL DEFAULT 0)"
         )
+        columns = {
+            info[1] for info in self._db.execute("PRAGMA table_info(rows)")
+        }
+        if "ts" not in columns:  # database from before record timestamps
+            self._db.execute(
+                "ALTER TABLE rows ADD COLUMN ts REAL NOT NULL DEFAULT 0"
+            )
         self._db.commit()
 
     def load(self, key: str) -> dict | None:
@@ -236,8 +336,10 @@ class SqliteBackend(CacheBackend):
 
     def store(self, key: str, row: dict) -> None:
         self._db.execute(
-            "INSERT OR REPLACE INTO rows (key, version, row) VALUES (?, ?, ?)",
-            (key, CACHE_VERSION, json.dumps(row, separators=(",", ":"))),
+            "INSERT OR REPLACE INTO rows (key, version, row, ts) "
+            "VALUES (?, ?, ?, ?)",
+            (key, CACHE_VERSION, json.dumps(row, separators=(",", ":")),
+             _now()),
         )
         # commit per put: an interrupted campaign keeps every completed
         # solve, mirroring the JSONL backend's append-per-put durability
@@ -263,13 +365,41 @@ class SqliteBackend(CacheBackend):
             "stale_records": total - live,
         }
 
-    def compact(self) -> dict:
-        """Drop stale-version rows and VACUUM; report bytes reclaimed."""
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        """Drop stale-version rows, apply eviction policies, VACUUM.
+
+        The ``max_bytes`` budget is estimated as stored-text length plus
+        :data:`_SQLITE_RECORD_OVERHEAD` per record (sqlite page layout is
+        not byte-exact the way JSONL lines are); eviction is oldest-first,
+        keeping the newest records that fit, mirroring the JSONL backend.
+        """
         before = self.path.stat().st_size
         cur = self._db.execute(
             "DELETE FROM rows WHERE version != ?", (CACHE_VERSION,)
         )
         dropped = cur.rowcount
+        evicted = 0
+        if max_age_days is not None:
+            cutoff = _now() - max_age_days * 86400.0
+            cur = self._db.execute(
+                "DELETE FROM rows WHERE ts < ?", (cutoff,)
+            )
+            evicted += cur.rowcount
+        if max_bytes is not None:
+            newest_first = self._db.execute(
+                "SELECT key, LENGTH(row) FROM rows ORDER BY ts DESC, key DESC"
+            ).fetchall()
+            total, cut = 0, None
+            for i, (_, size) in enumerate(newest_first):
+                total += size + _SQLITE_RECORD_OVERHEAD
+                if total > max_bytes:
+                    cut = i
+                    break
+            if cut is not None:
+                for key, _ in newest_first[cut:]:
+                    self._db.execute("DELETE FROM rows WHERE key = ?", (key,))
+                    evicted += 1
         self._db.commit()
         self._db.execute("VACUUM")
         after = self.path.stat().st_size
@@ -279,16 +409,70 @@ class SqliteBackend(CacheBackend):
             "bytes_after": after,
             "bytes_reclaimed": before - after,
             "records_dropped": dropped,
+            "records_evicted": evicted,
         }
 
     def close(self) -> None:
         self._db.close()
 
 
-#: Registered backend names -> constructors (``root: Path`` argument).
+class HttpCacheBackend(CacheBackend):
+    """Remote cache speaking the solver-service HTTP API.
+
+    ``url`` points at a running solver service (``python -m repro
+    serve``, :mod:`repro.service`); ``load``/``store`` become
+    ``GET``/``PUT`` requests against ``/v1/cache/<key>``, so a whole
+    fleet of campaign runners shares one warm server-side cache.  The
+    wrapped client retries transient transport errors with backoff; a
+    404 is a plain miss.  ``compact`` forwards the eviction policy to
+    the server, which applies it to its own storage backend.
+    """
+
+    name = "http"
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 retries: int = 3) -> None:
+        from ..service.client import ServiceClient
+
+        self._client = ServiceClient(url, timeout=timeout, retries=retries)
+        self.url = self._client.url
+
+    def load(self, key: str) -> dict | None:
+        return self._client.cache_get(key)
+
+    def store(self, key: str, row: dict) -> None:
+        self._client.cache_put(key, row)
+
+    def keys(self) -> list[str]:
+        return self._client.keys()
+
+    def storage_stats(self) -> dict:
+        remote = self._client.stats()["cache"]["storage"]
+        return {
+            "backend": self.name,
+            "url": self.url,
+            "remote_backend": remote.get("backend"),
+            "keys": remote.get("keys", 0),
+            "files": remote.get("files", 0),
+            "bytes": remote.get("bytes", 0),
+            "stale_records": remote.get("stale_records", 0),
+        }
+
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        info = self._client.compact(max_age_days=max_age_days,
+                                    max_bytes=max_bytes)
+        return {**info, "backend": self.name,
+                "remote_backend": info.get("backend")}
+
+
+#: Registered backend names -> constructors.  Local backends take the
+#: cache directory (``root: Path``); the ``"http"`` backend takes the
+#: solver-service URL instead (``ResultCache(url=..., backend="http")``).
 CACHE_BACKENDS = {
     JsonlBackend.name: JsonlBackend,
     SqliteBackend.name: SqliteBackend,
+    HttpCacheBackend.name: HttpCacheBackend,
 }
 
 
@@ -297,16 +481,34 @@ class ResultCache:
 
     ``backend`` selects the storage format (see :data:`CACHE_BACKENDS`);
     an already-constructed :class:`CacheBackend` is also accepted.  The
-    cache counts hits/misses/puts and guarantees that returned rows never
-    alias internal state.
+    local backends need ``root`` (the cache directory); the remote
+    ``"http"`` backend needs ``url`` instead (the solver-service
+    address).  The cache counts hits/misses/puts and guarantees that
+    returned rows never alias internal state.
     """
 
-    def __init__(self, root: str | Path, backend: str | CacheBackend = "jsonl") -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: str | Path | None = None,
+                 backend: str | CacheBackend = "jsonl",
+                 url: str | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
         if isinstance(backend, CacheBackend):
             self._backend = backend
+        elif backend == HttpCacheBackend.name:
+            if url is None:
+                raise ReproError(
+                    "the 'http' cache backend needs the solver-service "
+                    "url: ResultCache(url='http://host:port', "
+                    "backend='http')"
+                )
+            self._backend = HttpCacheBackend(url)
         else:
+            if url is not None:
+                raise ReproError(
+                    f"'url' only applies to the 'http' cache backend, "
+                    f"not {backend!r}"
+                )
             try:
                 factory = CACHE_BACKENDS[backend]
             except KeyError:
@@ -314,6 +516,10 @@ class ResultCache:
                     f"unknown cache backend {backend!r}; "
                     f"choose from {sorted(CACHE_BACKENDS)}"
                 ) from None
+            if self.root is None:
+                raise ReproError(
+                    f"the {backend!r} cache backend needs a root directory"
+                )
             self._backend = factory(self.root)
         self.hits = 0
         self.misses = 0
@@ -359,12 +565,28 @@ class ResultCache:
 
     # -------------------------------------------------------------- ops
     def storage_stats(self) -> dict:
-        """On-disk shape: key count, files, bytes, stale records."""
-        return self._backend.storage_stats()
+        """On-disk shape plus this cache's hit/miss/put counters.
 
-    def compact(self) -> dict:
-        """Reclaim space held by superseded / stale records."""
-        return self._backend.compact()
+        Every backend reports the same shape: ``backend`` / ``keys`` /
+        ``files`` / ``bytes`` / ``stale_records`` storage fields, and a
+        ``counters`` dict mirroring :attr:`stats` — the counters are
+        *this instance's* (in-process) counts, for all three backends
+        alike; a solver service reports its own cache's counters in
+        ``/v1/stats``.
+        """
+        return {**self._backend.storage_stats(),
+                "counters": dict(self.stats)}
+
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        """Reclaim superseded/stale records; optionally evict by policy.
+
+        ``max_age_days`` drops records older than the horizon (records
+        from before timestamps existed count as infinitely old);
+        ``max_bytes`` evicts oldest-first until the store fits.
+        """
+        return self._backend.compact(max_age_days=max_age_days,
+                                     max_bytes=max_bytes)
 
     def close(self) -> None:
         self._backend.close()

@@ -7,12 +7,25 @@ file), so reports can be regenerated without re-solving anything.
 
 from __future__ import annotations
 
+import json
 import statistics
+from pathlib import Path
 
 from ..analysis.report import format_table
 from ..core.exceptions import ReproError
 
-__all__ = ["summarize", "heuristic_gap", "pareto_comparison"]
+__all__ = [
+    "summarize",
+    "heuristic_gap",
+    "pareto_comparison",
+    "pareto_fronts_doc",
+    "save_pareto_fronts",
+    "load_pareto_fronts",
+]
+
+#: ``kind`` discriminator / format version of the Pareto-front artifact.
+PARETO_DOC_KIND = "pareto-fronts"
+PARETO_DOC_VERSION = 1
 
 
 def _rows_of(result_or_rows) -> list[dict]:
@@ -193,3 +206,56 @@ def pareto_comparison(
         title=title,
     )
     return fronts, text
+
+
+# ----------------------------------------------------------------------
+# machine-readable Pareto-front artifacts (for plotting pipelines)
+# ----------------------------------------------------------------------
+def pareto_fronts_doc(fronts: dict, num_points: int | None = None) -> dict:
+    """Serialize ``{instance_id: [Solution, ...]}`` fronts to a JSON doc.
+
+    Points keep full float precision (JSON round-trips Python floats
+    exactly) and carry the winning mapping document, so a plotting
+    pipeline can annotate points — or re-validate them — without
+    re-solving.
+    """
+    from ..serialization import mapping_to_dict
+
+    doc: dict = {"kind": PARETO_DOC_KIND, "version": PARETO_DOC_VERSION}
+    if num_points is not None:
+        doc["num_points"] = num_points
+    doc["fronts"] = {
+        iid: [
+            {
+                "period": sol.period,
+                "latency": sol.latency,
+                "algorithm": sol.meta.get("algorithm"),
+                "mapping": mapping_to_dict(sol.mapping),
+            }
+            for sol in front
+        ]
+        for iid, front in fronts.items()
+    }
+    return doc
+
+
+def save_pareto_fronts(path: str | Path, fronts: dict,
+                       num_points: int | None = None) -> dict:
+    """Write the fronts artifact to ``path``; returns the document."""
+    doc = pareto_fronts_doc(fronts, num_points=num_points)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def load_pareto_fronts(path: str | Path) -> dict:
+    """Read an artifact written by :func:`save_pareto_fronts`."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or doc.get("kind") != PARETO_DOC_KIND:
+        raise ReproError(f"{path} is not a {PARETO_DOC_KIND!r} document")
+    if doc.get("version") != PARETO_DOC_VERSION:
+        raise ReproError(
+            f"unsupported {PARETO_DOC_KIND} version {doc.get('version')!r} "
+            f"(this library reads version {PARETO_DOC_VERSION})"
+        )
+    return doc

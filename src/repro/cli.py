@@ -20,13 +20,26 @@ Commands
     * ``campaign run`` — execute a declarative campaign through the
       multiprocessing runner and result cache; ``--retry-errors``
       resumes a partially-failed campaign re-solving only error rows,
-      ``--cache-backend {jsonl,sqlite}`` selects the cache storage;
+      ``--cache-backend {jsonl,sqlite,http}`` selects the cache storage
+      (``http`` shares a remote solver-service cache via
+      ``--cache-url``);
     * ``campaign report`` — aggregate a saved result file;
     * ``campaign pareto`` — trace (period, latency) Pareto fronts of one
       or more instances (``--file`` / ``--scenario``) through the
-      runner, sharing the cache/workers/engine knobs;
+      runner, sharing the cache/workers/engine knobs; ``--out`` writes
+      the fronts as a machine-readable JSON artifact;
     * ``campaign cache stats`` / ``campaign cache compact`` — inspect a
-      cache directory, or rewrite it dropping superseded records.
+      cache, or rewrite it dropping superseded records;
+      ``compact --max-age-days / --max-bytes`` additionally evicts old
+      records / shrinks the store oldest-first to a byte budget.
+``serve``
+    Run the HTTP solver service (:mod:`repro.service`): a threaded
+    solve/cache server with single-flight request coalescing over a
+    local cache directory.  Clients share solves through
+    ``POST /v1/solve`` and the cache through ``GET/PUT /v1/cache/<key>``.
+``submit``
+    POST one instance (same flags as ``solve``) to a running solver
+    service and print the result.
 
 Accepted ``--file`` shapes (see :mod:`repro.serialization`)
 -----------------------------------------------------------
@@ -63,9 +76,16 @@ Examples
     python -m repro campaign report --results results.jsonl --baseline exact
     python -m repro campaign pareto --scenario image-pipeline --points 16
     python -m repro campaign pareto --file instance.json --exact --workers 4 \\
-        --cache-dir .repro-cache
+        --cache-dir .repro-cache --out fronts.json
     python -m repro campaign cache stats --cache-dir .repro-cache
-    python -m repro campaign cache compact --cache-dir .repro-cache
+    python -m repro campaign cache compact --cache-dir .repro-cache \\
+        --max-age-days 30 --max-bytes 10000000
+    python -m repro serve --port 8300 --cache-dir .repro-cache \\
+        --cache-backend sqlite --solve-workers 4
+    python -m repro submit --url http://127.0.0.1:8300 --graph pipeline \\
+        --works 14,4,2,4 --speeds 1,1,1 --objective period
+    python -m repro campaign run --spec campaign.json \\
+        --cache-backend http --cache-url http://127.0.0.1:8300
 """
 
 from __future__ import annotations
@@ -271,10 +291,26 @@ def _cmd_simulate(args, out) -> int:
 def _open_cache(args):
     from .campaign import ResultCache
 
-    if getattr(args, "cache_dir", None) is None:
+    backend = getattr(args, "cache_backend", "jsonl")
+    url = getattr(args, "cache_url", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if backend == "http" or url is not None:
+        if url is None:
+            raise ReproError("--cache-backend http needs --cache-url "
+                             "(the solver-service address)")
+        if backend != "http":
+            raise ReproError("--cache-url only applies to "
+                             "--cache-backend http")
+        if cache_dir is not None:
+            raise ReproError(
+                "--cache-dir does not apply to --cache-backend http "
+                "(the cache lives server-side); drop it or use a "
+                "local backend"
+            )
+        return ResultCache(url=url, backend="http")
+    if cache_dir is None:
         return None
-    return ResultCache(args.cache_dir,
-                       backend=getattr(args, "cache_backend", "jsonl"))
+    return ResultCache(cache_dir, backend=backend)
 
 
 def _cmd_campaign_run(args, out) -> int:
@@ -364,7 +400,7 @@ def _pareto_instances(args) -> list[tuple[str, ProblemSpec]]:
 
 
 def _cmd_campaign_pareto(args, out) -> int:
-    from .campaign import pareto_comparison
+    from .campaign import pareto_comparison, save_pareto_fronts
 
     fronts, table = pareto_comparison(
         _pareto_instances(args),
@@ -382,28 +418,37 @@ def _cmd_campaign_pareto(args, out) -> int:
             # parse the printed points back to the exact float values
             print(f"  period={sol.period!r} latency={sol.latency!r}",
                   file=out)
+    if args.out is not None:
+        save_pareto_fronts(args.out, fronts, num_points=args.points)
+        print(f"\n[fronts -> {args.out}]", file=out)
     return 0
 
 
 def _cmd_campaign_cache(args, out) -> int:
     cache = _open_cache(args)
     if cache is None:
-        raise ReproError("campaign cache needs --cache-dir")
+        raise ReproError("campaign cache needs --cache-dir (or "
+                         "--cache-backend http --cache-url URL)")
+    where = args.cache_dir if args.cache_dir is not None else args.cache_url
     if args.cache_command == "stats":
         info = cache.storage_stats()
-        print(f"cache {args.cache_dir} [{info['backend']}]", file=out)
+        print(f"cache {where} [{info['backend']}]", file=out)
+        if info.get("remote_backend"):
+            print(f"  remote backend: {info['remote_backend']}", file=out)
         print(f"  keys          : {info['keys']}", file=out)
         print(f"  files         : {info['files']}", file=out)
         print(f"  bytes         : {info['bytes']}", file=out)
         print(f"  stale records : {info['stale_records']}", file=out)
         return 0
     # compact
-    info = cache.compact()
+    info = cache.compact(max_age_days=args.max_age_days,
+                         max_bytes=args.max_bytes)
     print(
-        f"compacted {args.cache_dir} [{info['backend']}]: "
+        f"compacted {where} [{info['backend']}]: "
         f"{info['bytes_before']} -> {info['bytes_after']} bytes "
         f"({info['bytes_reclaimed']} reclaimed, "
-        f"{info['records_dropped']} superseded records dropped)",
+        f"{info['records_dropped']} superseded records dropped, "
+        f"{info.get('records_evicted', 0)} evicted by policy)",
         file=out,
     )
     return 0
@@ -417,6 +462,55 @@ def _cmd_campaign(args, out) -> int:
         "cache": _cmd_campaign_cache,
     }
     return handlers[args.campaign_command](args, out)
+
+
+def _cmd_serve(args, out) -> int:
+    from .service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
+        solve_workers=args.solve_workers,
+        verbose=args.verbose,
+        out=out,
+    )
+
+
+def _cmd_submit(args, out) -> int:
+    from .serialization import spec_to_dict
+    from .service import ServiceClient
+
+    spec = _build_spec(args)
+    request = {
+        "instance": spec_to_dict(spec),
+        "objective": args.objective,
+        "period_bound": args.period_bound,
+        "latency_bound": args.latency_bound,
+        "solver": {
+            "name": "cli-submit",
+            "mode": args.mode,
+            "exact_fallback": args.exact,
+            "engine": args.engine,
+            "seed": args.seed,
+            "samples": args.samples,
+        },
+    }
+    client = ServiceClient(args.url, timeout=args.timeout)
+    response = client.solve(request)
+    row = response["row"]
+    how = ("cache hit" if response["cached"]
+           else "coalesced" if response["coalesced"] else "solved")
+    print(f"service   : {client.url} ({how})", file=out)
+    print(f"key       : {response['key']}", file=out)
+    if row["status"] != "ok":
+        print(f"error     : {row['error_type']}: {row['error']}", file=out)
+        return 2
+    print(f"solution  : period={row['period']!r} "
+          f"latency={row['latency']!r} value={row['value']!r} "
+          f"[{row['algorithm']}]", file=out)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -467,13 +561,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
 
-    def _add_cache_flags(p, required: bool = False) -> None:
-        p.add_argument("--cache-dir", default=None, required=required,
-                       help="content-addressed result cache directory")
-        p.add_argument("--cache-backend", choices=("jsonl", "sqlite"),
+    def _add_cache_flags(p) -> None:
+        p.add_argument("--cache-dir", default=None,
+                       help="content-addressed result cache directory "
+                            "(jsonl/sqlite backends)")
+        p.add_argument("--cache-backend",
+                       choices=("jsonl", "sqlite", "http"),
                        default="jsonl",
-                       help="cache storage format: 256 append-only JSONL "
-                            "shards (default) or a single sqlite database")
+                       help="cache storage: 256 append-only JSONL shards "
+                            "(default), a single sqlite database, or a "
+                            "remote solver service (--cache-url)")
+        p.add_argument("--cache-url", default=None,
+                       help="solver-service address for "
+                            "--cache-backend http, e.g. "
+                            "http://127.0.0.1:8300")
 
     p_run = camp_sub.add_parser(
         "run", help="execute a campaign spec through the sharded runner"
@@ -518,21 +619,69 @@ def build_parser() -> argparse.ArgumentParser:
                        default="bnb")
     p_par.add_argument("--workers", type=int, default=0,
                        help="process-pool size for the threshold sweep")
+    p_par.add_argument("--out", default=None,
+                       help="write the fronts as a machine-readable JSON "
+                            "artifact (full float precision + mappings)")
     _add_cache_flags(p_par)
 
     p_cache = camp_sub.add_parser(
-        "cache", help="inspect / compact a result cache directory"
+        "cache", help="inspect / compact a result cache"
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_stats = cache_sub.add_parser(
         "stats", help="key count, file count, bytes, stale records"
     )
-    _add_cache_flags(p_stats, required=True)
+    _add_cache_flags(p_stats)
     p_compact = cache_sub.add_parser(
         "compact",
-        help="drop superseded duplicate-key records; report bytes reclaimed",
+        help="drop superseded duplicate-key records (and optionally evict "
+             "by age/size); report bytes reclaimed",
     )
-    _add_cache_flags(p_compact, required=True)
+    _add_cache_flags(p_compact)
+    p_compact.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="evict records older than this many days (records from "
+             "before timestamps existed count as infinitely old)")
+    p_compact.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest records until the store fits this byte budget")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP solve/cache server (repro.service)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8300,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--cache-dir", required=True,
+                         help="server-side result cache directory")
+    p_serve.add_argument("--cache-backend", choices=("jsonl", "sqlite"),
+                         default="jsonl",
+                         help="server-side cache storage format")
+    p_serve.add_argument("--solve-workers", type=int, default=4,
+                         help="solver thread-pool size")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every request to stderr")
+
+    p_submit = sub.add_parser(
+        "submit", help="POST one solve to a running solver service"
+    )
+    _add_instance_flags(p_submit)
+    p_submit.add_argument("--url", required=True,
+                          help="solver-service address, "
+                               "e.g. http://127.0.0.1:8300")
+    p_submit.add_argument("--mode",
+                          choices=("auto", "exact", "heuristic", "random"),
+                          default="auto", help="solver mode (SolverConfig)")
+    p_submit.add_argument("--exact", action="store_true",
+                          help="exact_fallback for --mode auto")
+    p_submit.add_argument("--engine", choices=("bnb", "enumerate"),
+                          default="bnb")
+    p_submit.add_argument("--seed", type=int, default=0,
+                          help="seed for heuristic/random modes")
+    p_submit.add_argument("--samples", type=int, default=64,
+                          help="sample count for --mode random")
+    p_submit.add_argument("--timeout", type=float, default=120.0,
+                          help="per-request timeout in seconds")
     return parser
 
 
@@ -542,6 +691,8 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "simulate": _cmd_simulate,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -1,0 +1,174 @@
+"""HTTP client for the solver service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` wraps the service API (:mod:`repro.service.server`)
+with per-request timeouts and bounded exponential-backoff retries on
+*transport* failures (connection refused/reset, timeouts, 502/503).
+Application-level responses are never retried: a 404 on a cache probe is
+a miss, a 400 is a caller error, and a solve that returns an error *row*
+is data — the service already ran it once, retrying cannot change a
+deterministic verdict.
+
+The client is stateless between calls (one ``urllib`` request each), so
+a single instance can be shared across threads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..core.exceptions import ReproError
+
+__all__ = ["ServiceError", "ServiceUnavailableError", "ServiceClient"]
+
+#: HTTP statuses treated as transient and retried with backoff.
+_RETRY_STATUSES = (502, 503, 504)
+
+
+class ServiceError(ReproError):
+    """The service answered, but with an application-level error."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceUnavailableError(ServiceError):
+    """No usable answer after every retry (transport-level failure)."""
+
+
+class ServiceClient:
+    """Typed access to a running solver service.
+
+    ``retries`` counts *additional* attempts after the first; backoff
+    sleeps ``backoff * 2**attempt`` seconds between them.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0, retries: int = 3,
+                 backoff: float = 0.2) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+
+    # -------------------------------------------------------------- http
+    def _request(self, method: str, path: str,
+                 doc: dict | None = None) -> tuple[int, dict]:
+        """One API call; returns ``(status, parsed-json-body)``.
+
+        Transport failures and retryable statuses are retried with
+        backoff; any other HTTP error status is returned to the caller
+        (the typed methods below decide what it means).
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if doc is not None:
+            data = json.dumps(doc).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.url + path, data=data, method=method, headers=headers
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return response.status, self._parse(response.read())
+            except urllib.error.HTTPError as exc:
+                body = self._parse(exc.read())
+                if exc.code in _RETRY_STATUSES and attempt < self.retries:
+                    last_error = exc
+                else:
+                    return exc.code, body
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    OSError) as exc:
+                last_error = exc
+                if attempt >= self.retries:
+                    break
+            time.sleep(self.backoff * 2 ** attempt)
+        raise ServiceUnavailableError(
+            f"solver service at {self.url} unreachable after "
+            f"{self.retries + 1} attempts: {last_error}"
+        )
+
+    @staticmethod
+    def _parse(body: bytes) -> dict:
+        try:
+            doc = json.loads(body) if body else {}
+        except ValueError:
+            doc = {"error": body.decode("utf-8", "replace")}
+        return doc if isinstance(doc, dict) else {"value": doc}
+
+    def _expect_ok(self, method: str, path: str,
+                   doc: dict | None = None) -> dict:
+        status, body = self._request(method, path, doc)
+        if status != 200:
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {status}: "
+                f"{body.get('error', body)}",
+                status=status,
+            )
+        return body
+
+    # -------------------------------------------------------------- api
+    def healthz(self) -> dict:
+        """The service health document (raises unless HTTP 200)."""
+        return self._expect_ok("GET", "/v1/healthz")
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> dict:
+        """Poll ``/v1/healthz`` until the service answers (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise ServiceUnavailableError(
+                        f"solver service at {self.url} not ready "
+                        f"within {timeout}s"
+                    ) from None
+            time.sleep(interval)
+
+    def solve(self, doc: dict) -> dict:
+        """POST a solve request document; returns the service response.
+
+        The response carries ``key`` / ``row`` / ``cached`` /
+        ``coalesced``; a ``row`` with ``status="error"`` is a valid
+        answer (the solve failed deterministically), not an exception.
+        """
+        return self._expect_ok("POST", "/v1/solve", doc)
+
+    def cache_get(self, key: str) -> dict | None:
+        """The cached row for ``key``, or ``None`` (404 is a miss)."""
+        status, body = self._request("GET", f"/v1/cache/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(
+                f"cache get for {key} failed with HTTP {status}: "
+                f"{body.get('error', body)}",
+                status=status,
+            )
+        return body.get("row")
+
+    def cache_put(self, key: str, row: dict) -> None:
+        self._expect_ok("PUT", f"/v1/cache/{key}", row)
+
+    def keys(self) -> list[str]:
+        return list(self._expect_ok("GET", "/v1/keys").get("keys", ()))
+
+    def stats(self) -> dict:
+        return self._expect_ok("GET", "/v1/stats")
+
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        doc: dict = {}
+        if max_age_days is not None:
+            doc["max_age_days"] = max_age_days
+        if max_bytes is not None:
+            doc["max_bytes"] = max_bytes
+        return self._expect_ok("POST", "/v1/compact", doc)

@@ -1,0 +1,388 @@
+"""Threaded HTTP solve/cache server with single-flight deduplication.
+
+The solver service turns the in-process library into a shared network
+resource: many clients (or a whole fleet of campaign runners pointed at
+it through ``--cache-backend http``) see one warm, content-addressed
+cache and one solver pool.  Stdlib only — ``http.server`` threads for
+transport, a ``ThreadPoolExecutor`` for the solves.
+
+API (all JSON)
+--------------
+``POST /v1/solve``
+    Body: ``{"instance": {...}, "objective": "period" | "latency",
+    "period_bound": K | null, "latency_bound": K | null,
+    "solver": {...SolverConfig fields...}}``.  The request is keyed
+    exactly like a campaign :class:`~repro.campaign.spec.Task` (same
+    normalized-instance + canonical-solver content hash), so service
+    solves and campaign rows share cache entries.  Response:
+    ``{"key", "row", "cached", "coalesced"}`` — a ``row`` with
+    ``status="error"`` is a deterministic solver verdict, not a
+    transport failure.
+``GET /v1/cache/<key>`` / ``PUT /v1/cache/<key>``
+    Raw cache access (404 = miss); this is the wire protocol behind
+    :class:`repro.campaign.cache.HttpCacheBackend`.
+``GET /v1/keys`` · ``GET /v1/stats`` · ``GET /v1/healthz`` ·
+``POST /v1/compact``
+    Key listing, service/cache statistics, liveness, and remote
+    ``compact`` with the age/size eviction policy.
+
+Single-flight coalescing
+------------------------
+N concurrent identical solve requests run the solver **once**: the first
+request submits the solve to the worker pool and registers the future
+under the task key; followers find the in-flight future and wait on it.
+Everyone gets the same payload (copies — cache rows never alias), and
+the ``coalesced`` counter records the requests that piggybacked.  The
+flight is deregistered only after the result is cached, so a request
+arriving later is a plain cache hit.
+
+All cache access goes through one lock (the backends themselves are not
+thread-safe); solves run outside the lock.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.exceptions import ReproError
+from ..campaign.cache import ResultCache
+from ..campaign.runner import solve_task
+from ..campaign.spec import SolverConfig, Task
+
+__all__ = [
+    "SERVICE_VERSION",
+    "task_from_doc",
+    "SolveService",
+    "SolverHTTPServer",
+    "make_server",
+    "serve",
+]
+
+#: Version of the service wire API (reported by ``/v1/healthz``).
+SERVICE_VERSION = 1
+
+_REQUEST_FIELDS = {"instance", "instance_id", "objective",
+                   "period_bound", "latency_bound", "solver"}
+
+
+def task_from_doc(doc: dict) -> Task:
+    """Validate a solve-request document into a campaign :class:`Task`.
+
+    The task is keyed identically to campaign tasks (normalized instance
+    + objective + bounds + canonical solver config), so the service and
+    any campaign share cache rows for the same work.  Unknown fields and
+    malformed values fail loudly — a typo must never silently solve (and
+    cache) something other than what the caller meant.
+    """
+    if not isinstance(doc, dict):
+        raise ReproError("solve request must be a JSON object")
+    unknown = set(doc) - _REQUEST_FIELDS
+    if unknown:
+        raise ReproError(
+            f"unknown solve request fields {sorted(unknown)} "
+            f"(known: {sorted(_REQUEST_FIELDS)})"
+        )
+    instance = doc.get("instance")
+    if not isinstance(instance, dict) or instance.get("kind") != "instance":
+        raise ReproError(
+            "solve request needs an 'instance' document "
+            '({"kind": "instance", ...})'
+        )
+    objective = doc.get("objective", "period")
+    if objective not in ("period", "latency"):
+        raise ReproError(
+            f"objective must be 'period' or 'latency', got {objective!r}"
+        )
+    for bound in ("period_bound", "latency_bound"):
+        value = doc.get(bound)
+        if value is not None and not isinstance(value, (int, float)):
+            raise ReproError(f"{bound} must be a number or null")
+    solver_doc = dict(doc.get("solver") or {})
+    solver_doc.setdefault("name", "service")
+    solver = SolverConfig.from_dict(solver_doc)
+    return Task(
+        index=0,
+        instance_id=str(doc.get("instance_id", "service")),
+        instance=instance,
+        objective=objective,
+        period_bound=doc.get("period_bound"),
+        latency_bound=doc.get("latency_bound"),
+        solver=solver.to_dict(),
+    )
+
+
+class SolveService:
+    """The service core: cache + worker pool + single-flight registry.
+
+    Thread-safe; transport-agnostic (the HTTP handler below is one
+    front, tests and benchmarks may call it directly).
+    """
+
+    def __init__(self, cache: ResultCache, solve_workers: int = 4) -> None:
+        self.cache = cache
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, solve_workers), thread_name_prefix="solve"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._counters = {
+            "requests": 0,
+            "solves": 0,
+            "coalesced": 0,
+            "served_from_cache": 0,
+            "errors": 0,
+        }
+
+    # -------------------------------------------------------------- solve
+    def solve(self, doc: dict) -> dict:
+        """Resolve one solve request: cache hit, new flight, or piggyback."""
+        task = task_from_doc(doc)
+        key = task.key
+        with self._lock:
+            self._counters["requests"] += 1
+            row = self.cache.get(key)
+            if row is not None:
+                self._counters["served_from_cache"] += 1
+                return {"key": key, "row": row,
+                        "cached": True, "coalesced": False}
+            future = self._inflight.get(key)
+            coalesced = future is not None
+            if coalesced:
+                self._counters["coalesced"] += 1
+            else:
+                future = self._pool.submit(self._solve_and_store, key, task)
+                self._inflight[key] = future
+        payload = future.result()
+        return {"key": key, "row": copy.deepcopy(payload),
+                "cached": False, "coalesced": coalesced}
+
+    def _solve_and_store(self, key: str, task: Task) -> dict:
+        """Worker-pool body of a flight: solve, cache, deregister."""
+        try:
+            payload, _seconds = solve_task(task)
+            cacheable = payload.pop("_cacheable", True)
+            with self._lock:
+                self._counters["solves"] += 1
+                if payload.get("status") == "error":
+                    self._counters["errors"] += 1
+                if cacheable:
+                    self.cache.put(key, payload)
+            return payload
+        finally:
+            # deregistered after the put: a request landing between the
+            # put and this pop sees either the flight or a cache hit,
+            # never a gap that would re-run the solver
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # -------------------------------------------------------------- cache
+    def cache_get(self, key: str) -> dict | None:
+        with self._lock:
+            return self.cache.get(key)
+
+    def cache_put(self, key: str, row: dict) -> None:
+        with self._lock:
+            self.cache.put(key, row)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return self.cache.keys()
+
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        with self._lock:
+            return self.cache.compact(max_age_days=max_age_days,
+                                      max_bytes=max_bytes)
+
+    def stats(self) -> dict:
+        with self._lock:
+            storage = self.cache.storage_stats()
+            return {
+                "service": {**self._counters,
+                            "inflight": len(self._inflight)},
+                "cache": {"counters": dict(self.cache.stats),
+                          "storage": storage},
+            }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        with self._lock:
+            self.cache.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-solver/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SolveService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------ helpers
+    def _send(self, status: int, doc: dict) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        if not body:
+            return {}
+        doc = json.loads(body)
+        if not isinstance(doc, dict):
+            raise ReproError("request body must be a JSON object")
+        return doc
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except (ValueError, ReproError) as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — a request must never
+            # kill the server; the client sees a 500 it can report
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _path(self) -> str:
+        return self.path.split("?", 1)[0]
+
+    # ------------------------------------------------------------ methods
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = self._path()
+        if path == "/v1/healthz":
+            self._send(200, {"status": "ok", "service": "repro-solver",
+                             "version": SERVICE_VERSION})
+        elif path == "/v1/stats":
+            self._dispatch(lambda: self._send(200, self.service.stats()))
+        elif path == "/v1/keys":
+            self._dispatch(
+                lambda: self._send(200, {"keys": self.service.keys()})
+            )
+        elif path.startswith("/v1/cache/"):
+            key = path[len("/v1/cache/"):]
+
+            def _get():
+                row = self.service.cache_get(key)
+                if row is None:
+                    self._send(404, {"error": f"no cached row for {key!r}"})
+                else:
+                    self._send(200, {"key": key, "row": row})
+
+            self._dispatch(_get)
+        else:
+            self._send(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        path = self._path()
+        if path == "/v1/solve":
+            self._dispatch(
+                lambda: self._send(200, self.service.solve(self._read_json()))
+            )
+        elif path == "/v1/compact":
+
+            def _compact():
+                doc = self._read_json()
+                self._send(200, self.service.compact(
+                    max_age_days=doc.get("max_age_days"),
+                    max_bytes=doc.get("max_bytes"),
+                ))
+
+            self._dispatch(_compact)
+        else:
+            self._send(404, {"error": f"unknown path {path!r}"})
+
+    def do_PUT(self) -> None:  # noqa: N802 — stdlib naming
+        path = self._path()
+        if path.startswith("/v1/cache/"):
+            key = path[len("/v1/cache/"):]
+
+            def _put():
+                row = self._read_json()
+                if not row:
+                    # an empty body would be stored as a live {} row and
+                    # served to the whole fleet as a (bogus) hit
+                    raise ReproError(
+                        "cache put needs a non-empty JSON object row"
+                    )
+                self.service.cache_put(key, row)
+                self._send(200, {"key": key, "stored": True})
+
+            self._dispatch(_put)
+        else:
+            self._send(404, {"error": f"unknown path {path!r}"})
+
+
+class SolverHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`SolveService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SolveService,
+                 verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: ResultCache | None = None,
+    cache_dir: str | None = None,
+    cache_backend: str = "jsonl",
+    solve_workers: int = 4,
+    verbose: bool = False,
+) -> SolverHTTPServer:
+    """Build a ready-to-run server (``port=0`` picks an ephemeral port).
+
+    Pass an open ``cache``, or ``cache_dir``/``cache_backend`` to have
+    one opened.  The server owns the service; run it with
+    ``serve_forever()`` (tests/benchmarks typically do so in a daemon
+    thread and read ``server.url``).
+    """
+    if cache is None:
+        if cache_dir is None:
+            raise ReproError("make_server needs a cache or a cache_dir")
+        cache = ResultCache(cache_dir, backend=cache_backend)
+    service = SolveService(cache, solve_workers=solve_workers)
+    return SolverHTTPServer((host, port), service, verbose=verbose)
+
+
+def serve(host: str, port: int, cache_dir: str, cache_backend: str = "jsonl",
+          solve_workers: int = 4, verbose: bool = False, out=None) -> int:
+    """Blocking CLI entry point: announce the URL, serve until SIGINT."""
+    server = make_server(host=host, port=port, cache_dir=cache_dir,
+                         cache_backend=cache_backend,
+                         solve_workers=solve_workers, verbose=verbose)
+    # flush=True: launcher scripts block on this line to learn the URL
+    print(f"solver service listening on {server.url} "
+          f"[{cache_backend} cache at {cache_dir}, "
+          f"{solve_workers} solve workers]", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+    return 0

@@ -1,23 +1,29 @@
 """Contract tests for the result cache, run against every backend.
 
 The parametrized ``cache`` fixture makes each contract test execute once
-per registered backend (jsonl, sqlite) — the two storage formats must be
-behaviourally interchangeable.  Backend-specific on-disk details (shard
-files, append-only duplicates, sqlite version rows) get their own
-classes below.
+per registered backend (jsonl, sqlite, http) — the storage formats must
+be behaviourally interchangeable.  The http backend runs against a live
+in-process solver service (jsonl-backed), so "persists across
+instances" means "persists server-side".  Backend-specific on-disk
+details (shard files, append-only duplicates, sqlite version rows,
+eviction clocks) get their own classes below.
 """
 
 import json
 import sqlite3
+import threading
+import time
 
 import pytest
 
+import repro.campaign.cache as cache_mod
 from repro.campaign import CACHE_BACKENDS, CACHE_VERSION, ResultCache
 from repro.core import ReproError
 
 
 KEY_A = "aa" + "0" * 62
 KEY_B = "ab" + "0" * 62
+LOCAL_BACKENDS = ("jsonl", "sqlite")
 
 
 @pytest.fixture(params=sorted(CACHE_BACKENDS))
@@ -26,8 +32,41 @@ def backend(request):
 
 
 @pytest.fixture
-def cache(tmp_path, backend):
-    return ResultCache(tmp_path, backend=backend)
+def make_cache(tmp_path, backend):
+    """Factory for :class:`ResultCache` instances over one shared store.
+
+    Local backends re-open the same ``tmp_path`` directory; the http
+    backend lazily starts one solver service per test and every instance
+    becomes a remote client of it.
+    """
+    state = {}
+
+    def factory():
+        if backend == "http":
+            if "server" not in state:
+                from repro.service.server import make_server
+
+                server = make_server(
+                    port=0, cache=ResultCache(tmp_path / "server")
+                )
+                threading.Thread(
+                    target=server.serve_forever, daemon=True
+                ).start()
+                state["server"] = server
+            return ResultCache(url=state["server"].url, backend="http")
+        return ResultCache(tmp_path, backend=backend)
+
+    yield factory
+    server = state.get("server")
+    if server is not None:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+
+
+@pytest.fixture
+def cache(make_cache):
+    return make_cache()
 
 
 class TestResultCacheContract:
@@ -37,19 +76,18 @@ class TestResultCacheContract:
         assert cache.get(KEY_A) == {"status": "ok", "value": 1.5}
         assert cache.stats == {"hits": 1, "misses": 1, "puts": 1}
 
-    def test_persists_across_instances(self, tmp_path, backend):
-        ResultCache(tmp_path, backend=backend).put(KEY_A, {"value": 2.0})
-        again = ResultCache(tmp_path, backend=backend)
+    def test_persists_across_instances(self, make_cache):
+        make_cache().put(KEY_A, {"value": 2.0})
+        again = make_cache()
         assert again.get(KEY_A) == {"value": 2.0}
         assert KEY_A in again
         assert KEY_B not in again
 
-    def test_last_put_wins(self, tmp_path, cache, backend):
+    def test_last_put_wins(self, make_cache, cache):
         cache.put(KEY_A, {"value": 1})
         cache.put(KEY_A, {"value": 2})
         assert cache.get(KEY_A) == {"value": 2}
-        assert ResultCache(tmp_path, backend=backend).get(KEY_A) == \
-            {"value": 2}
+        assert make_cache().get(KEY_A) == {"value": 2}
 
     def test_len_and_keys(self, cache):
         cache.put(KEY_A, {"value": 1})
@@ -93,22 +131,69 @@ class TestResultCacheContract:
         assert info["bytes"] > 0
         assert info["stale_records"] == 0
 
-    def test_compact_preserves_every_row(self, tmp_path, cache, backend):
+    def test_counters_reported_in_storage_stats(self, cache):
+        # the hit/miss/put counters must surface identically through
+        # storage_stats() on every backend (and through /v1/stats for a
+        # service — covered in tests/service/)
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"value": 1})
+        assert cache.get(KEY_A) == {"value": 1}
+        info = cache.storage_stats()
+        assert info["counters"] == {"hits": 1, "misses": 1, "puts": 1}
+        assert info["counters"] == cache.stats
+
+    def test_compact_preserves_every_row(self, make_cache, cache, backend):
         cache.put(KEY_A, {"value": 1})
         cache.put(KEY_A, {"value": 2})
         cache.put(KEY_B, {"value": 9})
         info = cache.compact()
         assert info["backend"] == backend
         assert info["bytes_reclaimed"] >= 0
+        assert info["records_evicted"] == 0
         assert cache.get(KEY_A) == {"value": 2}
         assert cache.get(KEY_B) == {"value": 9}
-        reloaded = ResultCache(tmp_path, backend=backend)
+        reloaded = make_cache()
         assert reloaded.get(KEY_A) == {"value": 2}
         assert len(reloaded) == 2
+
+    def test_compact_max_age_zero_evicts_everything(self, cache):
+        # max_age_days=0 puts the horizon at "now"; every record was
+        # written strictly before, so the policy empties the store
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_B, {"value": 2})
+        info = cache.compact(max_age_days=0)
+        assert info["records_evicted"] == 2
+        assert cache.get(KEY_A) is None
+        assert cache.get(KEY_B) is None
+        assert len(cache) == 0
+
+    def test_compact_max_bytes_keeps_newest(self, cache):
+        pad = "x" * 512
+        cache.put(KEY_A, {"value": 1, "pad": pad})
+        time.sleep(0.02)  # distinct write timestamps
+        cache.put(KEY_B, {"value": 2, "pad": pad})
+        # budget fits one ~600-byte record on every backend: the older
+        # KEY_A goes, the newer KEY_B survives
+        info = cache.compact(max_bytes=800)
+        assert info["records_evicted"] == 1
+        assert cache.get(KEY_A) is None
+        assert cache.get(KEY_B) == {"value": 2, "pad": pad}
 
     def test_unknown_backend_rejected(self, tmp_path):
         with pytest.raises(ReproError):
             ResultCache(tmp_path, backend="cloud")
+
+    def test_http_backend_needs_url(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, backend="http")
+
+    def test_url_rejected_for_local_backends(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, backend="jsonl", url="http://x")
+
+    def test_local_backend_needs_root(self):
+        with pytest.raises(ReproError):
+            ResultCache(backend="sqlite")
 
 
 class TestJsonlBackend:
@@ -208,3 +293,77 @@ class TestSqliteBackend:
         db.commit()
         db.close()
         assert ResultCache(tmp_path, backend="sqlite").get(KEY_A) is None
+
+
+class TestEvictionPolicies:
+    """Pinned-clock eviction behaviour of the local backends."""
+
+    @pytest.fixture(params=LOCAL_BACKENDS)
+    def local_backend(self, request):
+        return request.param
+
+    def test_age_horizon_is_precise(self, tmp_path, monkeypatch,
+                                    local_backend):
+        day = 86400.0
+        t0 = 1_000_000_000.0
+        monkeypatch.setattr(cache_mod, "_now", lambda: t0)
+        cache = ResultCache(tmp_path, backend=local_backend)
+        cache.put(KEY_A, {"value": "old"})
+        monkeypatch.setattr(cache_mod, "_now", lambda: t0 + 10 * day)
+        cache.put(KEY_B, {"value": "new"})
+        info = cache.compact(max_age_days=5)
+        assert info["records_evicted"] == 1
+        assert cache.get(KEY_A) is None
+        assert cache.get(KEY_B) == {"value": "new"}
+        # stamps survive the rewrite: a reload under a wider horizon
+        # keeps the young record
+        cache.close()
+        reloaded = ResultCache(tmp_path, backend=local_backend)
+        assert reloaded.compact(max_age_days=20)["records_evicted"] == 0
+        assert reloaded.get(KEY_B) == {"value": "new"}
+        reloaded.close()
+
+    def test_max_bytes_noop_when_under_budget(self, tmp_path, local_backend):
+        cache = ResultCache(tmp_path, backend=local_backend)
+        cache.put(KEY_A, {"value": 1})
+        info = cache.compact(max_bytes=10_000_000)
+        assert info["records_evicted"] == 0
+        assert cache.get(KEY_A) == {"value": 1}
+        cache.close()
+
+    def test_pre_timestamp_jsonl_records_evicted_first(self, tmp_path):
+        # a shard written before record timestamps existed: its records
+        # read as age 0.0 and fall to any age policy
+        shard = tmp_path / "aa.jsonl"
+        shard.write_text(json.dumps({
+            "version": CACHE_VERSION, "key": KEY_A,
+            "row": {"value": "ancient"},
+        }) + "\n")
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_B, {"value": "fresh"})
+        # one-year horizon: far older than the fresh record, far younger
+        # than the epoch the stamp-less record is pinned to
+        info = cache.compact(max_age_days=365)
+        assert info["records_evicted"] == 1
+        assert cache.get(KEY_A) is None
+        assert cache.get(KEY_B) == {"value": "fresh"}
+
+    def test_sqlite_schema_migration_adds_ts(self, tmp_path):
+        # databases created before the ts column must open cleanly; the
+        # migrated rows read as infinitely old
+        db = sqlite3.connect(tmp_path / "cache.sqlite")
+        db.execute(
+            "CREATE TABLE rows (key TEXT PRIMARY KEY,"
+            " version INTEGER NOT NULL, row TEXT NOT NULL)"
+        )
+        db.execute("INSERT INTO rows VALUES (?, ?, ?)",
+                   (KEY_A, CACHE_VERSION, '{"value":1}'))
+        db.commit()
+        db.close()
+        cache = ResultCache(tmp_path, backend="sqlite")
+        assert cache.get(KEY_A) == {"value": 1}
+        cache.put(KEY_B, {"value": 2})
+        assert cache.compact(max_age_days=365)["records_evicted"] == 1
+        assert cache.get(KEY_A) is None
+        assert cache.get(KEY_B) == {"value": 2}
+        cache.close()

@@ -121,3 +121,66 @@ class TestParetoComparison:
         fronts2, _ = pareto_comparison(instances, num_points=8, cache=cache)
         assert [(s.period, s.latency) for s in fronts2["p3"]] == \
             [(s.period, s.latency) for s in fronts["p3"]]
+
+
+class TestParetoFrontArtifact:
+    def _fronts(self):
+        spec = repro.ProblemSpec(
+            repro.PipelineApplication.from_works([6.0, 2.0, 8.0]),
+            repro.Platform.homogeneous(3, 2.0),
+            allow_data_parallel=True,
+        )
+        fronts, _text = pareto_comparison([("demo", spec)], num_points=6)
+        return fronts
+
+    def test_round_trip_is_exact(self, tmp_path):
+        from repro.campaign import (
+            load_pareto_fronts,
+            pareto_fronts_doc,
+            save_pareto_fronts,
+        )
+
+        fronts = self._fronts()
+        path = tmp_path / "fronts.json"
+        written = save_pareto_fronts(path, fronts, num_points=6)
+        loaded = load_pareto_fronts(path)
+        # bit-exact round trip: JSON preserves Python floats, so the
+        # reloaded document equals the in-memory one, including every
+        # period/latency float and the winning mapping documents
+        assert loaded == written
+        assert loaded == pareto_fronts_doc(fronts, num_points=6)
+        assert loaded["kind"] == "pareto-fronts"
+        assert loaded["num_points"] == 6
+        points = loaded["fronts"]["demo"]
+        assert [p["period"] for p in points] == \
+            [s.period for s in fronts["demo"]]
+        assert [p["latency"] for p in points] == \
+            [s.latency for s in fronts["demo"]]
+        assert all(p["mapping"]["kind"] == "mapping" for p in points)
+
+    def test_mappings_reload_and_revalidate(self, tmp_path):
+        from repro.campaign import load_pareto_fronts, save_pareto_fronts
+        from repro.core.costs import pipeline_latency, pipeline_period
+        from repro.serialization import mapping_from_dict
+
+        fronts = self._fronts()
+        path = tmp_path / "fronts.json"
+        save_pareto_fronts(path, fronts)
+        for point, sol in zip(load_pareto_fronts(path)["fronts"]["demo"],
+                              fronts["demo"]):
+            mapping = mapping_from_dict(point["mapping"])
+            assert pipeline_period(mapping) == sol.period
+            assert pipeline_latency(mapping) == sol.latency
+
+    def test_load_rejects_other_documents(self, tmp_path):
+        import json
+
+        from repro.campaign import load_pareto_fronts
+
+        path = tmp_path / "not-fronts.json"
+        path.write_text(json.dumps({"kind": "campaign"}))
+        with pytest.raises(ReproError):
+            load_pareto_fronts(path)
+        path.write_text(json.dumps({"kind": "pareto-fronts", "version": 99}))
+        with pytest.raises(ReproError):
+            load_pareto_fronts(path)

@@ -445,6 +445,31 @@ class TestCampaignParetoCommand:
                     for s in pareto_front(spec, num_points=6)]
         assert self._parse_points(text, "mapping") == expected
 
+    def test_out_artifact_round_trips_printed_points(self, tmp_path):
+        import json
+
+        from repro.campaign import load_pareto_fronts
+
+        doc = self._instance_doc()
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(doc))
+        out_path = tmp_path / "fronts.json"
+        code, text = run_cli(
+            "campaign", "pareto", "--file", str(path), "--points", "8",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert f"[fronts -> {out_path}]" in text
+        artifact = load_pareto_fronts(out_path)
+        assert artifact["num_points"] == 8
+        # the artifact carries exactly the printed points (the printed
+        # reprs round-trip to the stored full-precision floats)
+        assert [(p["period"], p["latency"])
+                for p in artifact["fronts"]["inst"]] == \
+            self._parse_points(text, "inst")
+        assert all(p["mapping"]["kind"] == "mapping"
+                   for p in artifact["fronts"]["inst"])
+
     def test_needs_an_instance(self):
         code, text = run_cli("campaign", "pareto")
         assert code == 2
@@ -503,6 +528,62 @@ class TestCampaignCacheCommand:
         )
         assert code == 0
         assert "stale records : 0" in text
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_compact_eviction_flags(self, tmp_path, backend):
+        cache_dir = self._populate(tmp_path, backend)
+        # generous budget: nothing evicted
+        code, text = run_cli(
+            "campaign", "cache", "compact", "--cache-dir", str(cache_dir),
+            "--cache-backend", backend, "--max-bytes", "10000000",
+        )
+        assert code == 0
+        assert "0 evicted by policy" in text
+        # zero-day horizon: the single live record is evicted
+        code, text = run_cli(
+            "campaign", "cache", "compact", "--cache-dir", str(cache_dir),
+            "--cache-backend", backend, "--max-age-days", "0",
+        )
+        assert code == 0
+        assert "1 evicted by policy" in text
+        code, text = run_cli(
+            "campaign", "cache", "stats", "--cache-dir", str(cache_dir),
+            "--cache-backend", backend,
+        )
+        assert code == 0
+        assert "keys          : 0" in text
+
+    def test_needs_a_location(self):
+        code, text = run_cli("campaign", "cache", "stats")
+        assert code == 2
+        assert "cache-dir" in text
+
+    def test_http_backend_needs_url(self, tmp_path):
+        code, text = run_cli(
+            "campaign", "cache", "stats",
+            "--cache-backend", "http",
+        )
+        assert code == 2
+        assert "--cache-url" in text
+
+    def test_cache_url_rejected_without_http_backend(self, tmp_path):
+        code, text = run_cli(
+            "campaign", "cache", "stats", "--cache-dir", str(tmp_path),
+            "--cache-url", "http://127.0.0.1:1",
+        )
+        assert code == 2
+        assert "--cache-backend http" in text
+
+    def test_cache_dir_rejected_with_http_backend(self, tmp_path):
+        # an ignored --cache-dir would let `compact --max-age-days 0`
+        # silently empty the *remote* cache the operator didn't target
+        code, text = run_cli(
+            "campaign", "cache", "compact", "--cache-dir", str(tmp_path),
+            "--cache-backend", "http", "--cache-url", "http://127.0.0.1:1",
+            "--max-age-days", "0",
+        )
+        assert code == 2
+        assert "does not apply" in text
 
 
 class TestSimulateCommand:

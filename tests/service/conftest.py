@@ -1,0 +1,41 @@
+"""Shared fixtures: a live in-process solver service per test."""
+
+import threading
+
+import pytest
+
+from repro.campaign import ResultCache
+from repro.service import ServiceClient
+from repro.service.server import make_server
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A running solver service on an ephemeral port (jsonl cache)."""
+    srv = make_server(port=0, cache=ResultCache(tmp_path / "server-cache"))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    srv.service.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+@pytest.fixture
+def pipeline_request():
+    """A polynomial (Thm 1) solve request: period of a hom pipeline."""
+    return {
+        "instance": {
+            "kind": "instance",
+            "application": {"kind": "pipeline", "works": [14, 4, 2, 4]},
+            "platform": {"kind": "platform", "speeds": [1, 1, 1]},
+            "allow_data_parallel": False,
+        },
+        "objective": "period",
+    }

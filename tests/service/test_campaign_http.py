@@ -1,0 +1,60 @@
+"""The http cache backend under a real campaign: the PR 4 seam test.
+
+A campaign run against a remote solver-service cache must produce rows
+bit-identical to the same run against a local jsonl cache (up to the
+volatile timing fields), with zero runner changes — the backend protocol
+is the only seam.
+"""
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    run_campaign,
+    strip_volatile,
+)
+
+
+def _small_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="http-seam",
+        instances=(
+            {"type": "random", "graph": "pipeline", "count": 3,
+             "seed": 11, "n": [3, 4], "p": 3},
+        ),
+        objectives=("period",),
+        solvers=(
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+            {"name": "random", "mode": "random", "seed": 2, "samples": 8},
+        ),
+    )
+
+
+class TestCampaignOverHttp:
+    def test_rows_bit_identical_to_jsonl_backend(self, server, tmp_path):
+        spec = _small_spec()
+        local = run_campaign(
+            spec, cache=ResultCache(tmp_path / "local", backend="jsonl")
+        )
+        remote_cache = ResultCache(url=server.url, backend="http")
+        remote = run_campaign(spec, cache=remote_cache)
+        assert [strip_volatile(r) for r in remote.rows] == \
+            [strip_volatile(r) for r in local.rows]
+        assert remote.stats["errors"] == 0
+
+    def test_second_run_fully_served_from_remote_cache(self, server):
+        spec = _small_spec()
+        cold = run_campaign(
+            spec, cache=ResultCache(url=server.url, backend="http")
+        )
+        assert cold.stats["cache_hits"] == 0
+        # a different runner process/instance sharing the same service
+        warm = run_campaign(
+            spec, cache=ResultCache(url=server.url, backend="http")
+        )
+        assert warm.stats["cache_hits"] == warm.stats["tasks"]
+        assert [strip_volatile(r) for r in warm.rows] == \
+            [strip_volatile(r) for r in cold.rows]
+        # the server-side counters saw the fleet's traffic
+        stats = server.service.stats()
+        assert stats["cache"]["counters"]["hits"] >= warm.stats["tasks"]
+        assert stats["cache"]["counters"]["puts"] == cold.stats["tasks"]

@@ -1,0 +1,101 @@
+"""Single-flight coalescing: N identical in-flight requests, one solve."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import repro.service.server as server_mod
+from repro.campaign.runner import solve_task
+from repro.service.server import task_from_doc
+
+
+def _np_hard_request(works, speeds):
+    """An exact solve slow enough (and deterministic) to overlap on."""
+    return {
+        "instance": {
+            "kind": "instance",
+            "application": {"kind": "pipeline", "works": works},
+            "platform": {"kind": "platform", "speeds": speeds},
+            "allow_data_parallel": False,
+        },
+        "objective": "period",
+        "solver": {"name": "svc", "mode": "exact", "engine": "bnb"},
+    }
+
+
+class TestSingleFlight:
+    def test_n_concurrent_identical_requests_run_one_solve(
+        self, client, monkeypatch
+    ):
+        # instrument the solver with a gate: every request must be
+        # in-flight before the (single) solve is allowed to finish, so
+        # the test proves coalescing rather than lucky timing
+        calls = []
+        gate = threading.Event()
+
+        def gated_solve(task):
+            calls.append(task.key)
+            assert gate.wait(timeout=30), "gate never opened"
+            return solve_task(task)
+
+        monkeypatch.setattr(server_mod, "solve_task", gated_solve)
+        request = _np_hard_request([9, 2, 7], [3, 1])
+        n = 8
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            futures = [pool.submit(client.solve, request) for _ in range(n)]
+            # wait until every request reached the service, then open
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                stats = client.stats()["service"]
+                if stats["requests"] >= n:
+                    break
+                time.sleep(0.01)
+            gate.set()
+            responses = [f.result(timeout=60) for f in futures]
+
+        assert len(calls) == 1, "solver must run exactly once"
+        rows = [r["row"] for r in responses]
+        assert all(row == rows[0] for row in rows)
+        assert sorted(r["coalesced"] for r in responses) == \
+            [False] + [True] * (n - 1)
+        stats = client.stats()["service"]
+        assert stats["solves"] == 1
+        assert stats["coalesced"] == n - 1
+        assert stats["requests"] == n
+        assert stats["inflight"] == 0
+
+    def test_concurrent_equals_serial_bit_identical(self, client):
+        # the coalesced service answer must equal a plain in-process
+        # solve of the same task, bit for bit
+        request = _np_hard_request([9, 2, 7, 3], [3, 1, 2])
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            responses = list(pool.map(
+                lambda _: client.solve(request), range(4)
+            ))
+        reference, _seconds = solve_task(task_from_doc(request))
+        for response in responses:
+            assert response["row"] == reference
+
+    def test_different_requests_do_not_coalesce(self, client, monkeypatch):
+        calls = []
+        real = solve_task
+
+        def counting(task):
+            calls.append(task.key)
+            return real(task)
+
+        monkeypatch.setattr(server_mod, "solve_task", counting)
+        first = _np_hard_request([9, 2, 7], [3, 1])
+        second = _np_hard_request([9, 2, 8], [3, 1])
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(client.solve, [first, second]))
+        assert len(calls) == 2
+        assert len({r["key"] for r in results}) == 2
+        assert client.stats()["service"]["coalesced"] == 0
+
+    def test_request_after_flight_lands_is_cache_hit(self, client):
+        request = _np_hard_request([9, 2, 7], [3, 1])
+        assert client.solve(request)["cached"] is False
+        follow_up = client.solve(request)
+        assert follow_up["cached"] is True
+        assert client.stats()["service"]["solves"] == 1
