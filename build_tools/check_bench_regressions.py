@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Perf-trajectory regression gate over the committed ``BENCH_*.json``.
+
+The repository commits its measured performance trajectories so every
+PR leaves an auditable perf record.  This script gates two of them —
+``BENCH_exact.json`` and ``BENCH_campaign.json`` (``BENCH_service.json``
+is recorded but not gated: its request latencies are floored by the
+loopback HTTP round-trip, see PERFORMANCE.md).  The *recorded* numbers
+must clear the floors future PRs may not regress:
+
+* the sweep section of ``BENCH_exact.json`` — context-reuse must stay
+  >= 2x faster than cold per-point solves (and the sweep rows must have
+  been verified bit-identical when the file was generated);
+* the campaign warm-cache hit fraction of ``BENCH_campaign.json`` —
+  a repeat campaign must stay >= 95% cache hits.
+
+Thresholds are the honest single-core ones (see the ROADMAP note): both
+ratios are CPU-bound and hold on the 1-CPU reference container —
+multi-core fan-out numbers are deliberately *not* gated here.
+
+Usage::
+
+    python build_tools/check_bench_regressions.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Floors for the committed trajectory (single-core honest, see module doc).
+MIN_SWEEP_SPEEDUP = 2.0
+MIN_WARM_HIT_FRACTION = 0.95
+
+
+def _fail(message: str) -> None:
+    print(f"REGRESSION: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_exact(path: Path) -> list[str]:
+    doc = json.loads(path.read_text())
+    sweep = doc.get("sweep", {})
+    entries = sweep.get("entries", [])
+    if not entries:
+        _fail(f"{path.name} has no sweep section — regenerate with "
+              "PYTHONPATH=src python benchmarks/bench_exact_engines.py")
+    lines = []
+    for entry in entries:
+        label = (f"sweep {entry['engine']} {entry['n']}x{entry['p']} "
+                 f"({entry['points']} points)")
+        if not entry.get("rows_identical"):
+            _fail(f"{label}: rows were not verified bit-identical")
+        if entry["speedup"] < MIN_SWEEP_SPEEDUP:
+            _fail(f"{label}: context-reuse speedup {entry['speedup']}x "
+                  f"fell below the {MIN_SWEEP_SPEEDUP}x floor")
+        lines.append(f"  {label}: {entry['speedup']}x (>= {MIN_SWEEP_SPEEDUP}x)")
+    return lines
+
+
+def check_campaign(path: Path) -> list[str]:
+    doc = json.loads(path.read_text())
+    fraction = doc.get("cache_hit_fraction")
+    if fraction is None:
+        _fail(f"{path.name} lacks cache_hit_fraction")
+    if fraction < MIN_WARM_HIT_FRACTION:
+        _fail(f"campaign warm-cache hit fraction {fraction} fell below "
+              f"{MIN_WARM_HIT_FRACTION}")
+    if not doc.get("rows_identical", True):
+        _fail("campaign serial/parallel rows diverged")
+    return [f"  campaign warm-cache hit fraction: {fraction} "
+            f"(>= {MIN_WARM_HIT_FRACTION})"]
+
+
+def main() -> int:
+    lines = check_exact(ROOT / "BENCH_exact.json")
+    lines += check_campaign(ROOT / "BENCH_campaign.json")
+    print("perf trajectory OK:")
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Generate ``docs/CLI.md`` from the live argparse tree.
+
+The CLI reference is *derived*, never hand-edited: this script walks
+``repro.cli.build_parser()`` — every subcommand, nested subcommand,
+option, default and help string — and renders deterministic markdown.
+
+Usage::
+
+    PYTHONPATH=src python build_tools/gen_cli_docs.py           # rewrite
+    PYTHONPATH=src python build_tools/gen_cli_docs.py --check   # CI drift gate
+
+``--check`` regenerates to memory and exits 1 if the committed file
+differs, so a CLI change that forgets to regenerate the docs fails the
+build instead of silently rotting the reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import sys
+from pathlib import Path
+
+# argparse wraps usage lines to the terminal width; pin it so the
+# generated file is identical on laptops and CI runners alike
+os.environ["COLUMNS"] = "79"
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = ROOT / "docs" / "CLI.md"
+
+HEADER = """\
+# `python -m repro` — CLI reference
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with: PYTHONPATH=src python build_tools/gen_cli_docs.py
+     CI fails on drift via: ... gen_cli_docs.py --check -->
+
+Every command below is dispatched by `repro.cli.build_parser()`; this
+reference is generated from that argparse tree, so it cannot drift from
+the implementation (CI regenerates it and fails on any diff).
+
+Global invocation: `PYTHONPATH=src python -m repro <command> [options]`.
+"""
+
+
+def _describe_default(action: argparse.Action) -> str:
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return ""
+    if isinstance(action.default, bool):
+        return "" if action.default is False else f"`{action.default}`"
+    return f"`{action.default}`"
+
+
+def _option_label(action: argparse.Action) -> str:
+    if not action.option_strings:  # positional
+        return f"`{action.dest}`"
+    label = ", ".join(f"`{opt}`" for opt in action.option_strings)
+    if action.nargs == 0 or isinstance(
+        action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+    ):
+        return label
+    metavar = action.metavar or action.dest.upper()
+    if action.choices is not None:
+        metavar = "{" + ",".join(str(c) for c in action.choices) + "}"
+    return f"{label} `{metavar}`"
+
+
+def _clean(text: str | None) -> str:
+    if not text:
+        return ""
+    return " ".join(text.split()).replace("|", "\\|")
+
+
+def _subparser_actions(parser: argparse.ArgumentParser):
+    return [
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+
+
+def _render_parser(
+    parser: argparse.ArgumentParser, path: list[str], out: list[str]
+) -> None:
+    """Render one (sub)command section, then recurse into its children."""
+    subactions = _subparser_actions(parser)
+    if path:
+        depth = min(len(path) + 1, 4)
+        out.append(f"{'#' * depth} `{' '.join(path)}`\n")
+        help_lines = _clean(getattr(parser, "description", None))
+        if help_lines:
+            out.append(help_lines + "\n")
+        usage = parser.format_usage().replace("usage: ", "").rstrip()
+        out.append("```text\n" + usage + "\n```\n")
+    rows = []
+    for action in parser._actions:
+        if isinstance(
+            action, (argparse._HelpAction, argparse._SubParsersAction)
+        ):
+            continue
+        rows.append(
+            f"| {_option_label(action)} "
+            f"| {_describe_default(action)} "
+            f"| {_clean(action.help)} |"
+        )
+    if rows and path:
+        out.append("| option | default | description |")
+        out.append("|--------|---------|-------------|")
+        out.extend(rows)
+        out.append("")
+    for subaction in subactions:
+        # choices map names to subparsers; _name_parser_map preserves the
+        # registration order (dict) — deterministic across runs
+        seen = set()
+        for name, sub in subaction.choices.items():
+            if id(sub) in seen:  # aliased names render once
+                continue
+            seen.add(id(sub))
+            help_text = ""
+            for choice_action in subaction._choices_actions:
+                if choice_action.dest == name:
+                    help_text = _clean(choice_action.help)
+            sub.description = sub.description or help_text
+            _render_parser(sub, [*path, name], out)
+
+
+def generate() -> str:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    out: list[str] = [HEADER]
+    toc: list[str] = ["## Commands\n"]
+    for subaction in _subparser_actions(parser):
+        for choice_action in subaction._choices_actions:
+            toc.append(
+                f"- [`{choice_action.dest}`](#{choice_action.dest}) — "
+                f"{_clean(choice_action.help)}"
+            )
+    out.extend(toc)
+    out.append("")
+    _render_parser(parser, [], out)
+    return "\n".join(out).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argparse.ArgumentParser(description=__doc__)
+    args.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if docs/CLI.md is stale instead of rewriting it",
+    )
+    opts = args.parse_args(argv)
+    sys.path.insert(0, str(ROOT / "src"))
+    text = generate()
+    if opts.check:
+        current = DOC_PATH.read_text() if DOC_PATH.exists() else ""
+        if current != text:
+            diff = difflib.unified_diff(
+                current.splitlines(), text.splitlines(),
+                fromfile="docs/CLI.md (committed)",
+                tofile="docs/CLI.md (regenerated)",
+                lineterm="",
+            )
+            print("\n".join(diff))
+            print(
+                "\ndocs/CLI.md is stale — regenerate with:\n"
+                "  PYTHONPATH=src python build_tools/gen_cli_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/CLI.md is up to date")
+        return 0
+    DOC_PATH.parent.mkdir(exist_ok=True)
+    DOC_PATH.write_text(text)
+    print(f"[wrote {DOC_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

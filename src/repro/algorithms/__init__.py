@@ -28,12 +28,15 @@ from .registry import (
     classify,
     solve,
 )
+from .solve_context import ContextCache, SolveContext
 
 __all__ = [
     "GraphKind",
     "Objective",
     "ProblemSpec",
     "Solution",
+    "SolveContext",
+    "ContextCache",
     "TABLE",
     "ComplexityEntry",
     "Criterion",

@@ -14,6 +14,13 @@ subtrees with admissible lower bounds:
   over disjoint groups);
 * **partial-sum bound** (latency): assigned groups' delays only grow, and
   the remaining work contributes at least ``W / S`` more delay;
+* **aggregate branch bound** (fork latency, the ``P || Cmax`` average-load
+  bound): the unassigned blocks are disjoint groups whose per-group speed
+  denominators total at most the remaining pool speed ``S``, so the
+  slowest of them has delay at least ``sum(remaining loads) / S`` — the
+  mediant generalization of ``Cmax >= total_work / m`` to heterogeneous
+  pools, strictly tighter than the single-heaviest-block bound whenever
+  two or more blocks remain;
 * **speed-multiset canonicalization**: two processor subsets with the same
   multiset of speeds yield identical costs, so subsets are enumerated as
   per-speed-class counts (on a homogeneous platform this collapses the
@@ -25,6 +32,22 @@ subtrees with admissible lower bounds:
   and therefore dominates — one canonical subset per ``(k, min class)``
   instead of every count vector (data-parallel groups, whose cost depends
   on ``sum_speed``, still enumerate all canonical count vectors).
+
+Sweep-aware solving: every call runs against a
+:class:`~repro.algorithms.solve_context.SolveContext` (an ephemeral one
+when the caller passes none).  The context caches the instance-level
+tables — prefix sums, the speed-pool template, the incumbent seeds — and,
+for pipelines, the per-``(stage, remaining pool)`` child expansions of the
+search, so the repeated solves of a bi-criteria threshold sweep replay
+dictionary hits instead of regenerating candidates.  Reuse is
+behaviour-preserving: a context-backed solve returns bit-identical
+solutions to a cold one.
+
+Fork/fork-join Phase B prices its *leaf* level (the last unassigned
+block) as one numpy batch: the child states are flattened into arrays and
+the sequential first-strict-improvement scan of the incumbent is replayed
+vectorized (:func:`repro.core.batch_eval.last_improvement_scan`) instead
+of recursing once per leaf.
 
 Bi-criteria thresholds prune with the same bounds; both the objective
 incumbent and the threshold feasibility use the global ``FLOAT_TOL``
@@ -39,7 +62,11 @@ in seconds).
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..chains.partition import prefix_sums
 from ..core.application import ForkApplication, ForkJoinApplication
+from ..core.batch_eval import last_improvement_scan
 from ..core.costs import FLOAT_TOL, evaluate
 from ..core.exceptions import InfeasibleProblemError
 from ..core.mapping import (
@@ -51,6 +78,7 @@ from ..core.mapping import (
 )
 from ..core.validation import is_valid
 from .problem import Objective, ProblemSpec, Solution
+from .solve_context import SolveContext
 
 __all__ = ["optimal"]
 
@@ -72,6 +100,8 @@ class _SpeedPool:
     """
 
     def __init__(self, platform) -> None:
+        if platform is None:  # cloning: caller fills the slots
+            return
         by_speed: dict[float, list[int]] = {}
         for proc in platform.processors:
             by_speed.setdefault(proc.speed, []).append(proc.index)
@@ -84,6 +114,26 @@ class _SpeedPool:
         self.total_speed: float = sum(
             s * c for s, c in zip(self.speeds, self.sizes)
         )
+
+    def clone(self) -> "_SpeedPool":
+        """A fresh full pool sharing the immutable class structure.
+
+        ``speeds`` / ``indices`` / ``sizes`` are never mutated, so clones
+        share them; only the availability state is per-solve.  This is
+        what lets a :class:`SolveContext` hand the same pool template to
+        every solve of a sweep.
+        """
+        pool = _SpeedPool(None)
+        pool.speeds = self.speeds
+        pool.indices = self.indices
+        pool.sizes = self.sizes
+        pool.avail = list(self.sizes)
+        pool.classes = self.classes
+        pool.total_avail = sum(self.sizes)
+        pool.total_speed = sum(
+            s * c for s, c in zip(self.speeds, self.sizes)
+        )
+        return pool
 
     def take(self, counts: tuple[int, ...]) -> tuple[int, ...]:
         """Consume ``counts[c]`` processors per class; return their indices."""
@@ -103,6 +153,28 @@ class _SpeedPool:
                 self.avail[c] += cnt
                 self.total_avail += cnt
                 self.total_speed += cnt * self.speeds[c]
+
+    def take_nz(self, nz) -> tuple[int, ...]:
+        """:meth:`take` over pre-extracted ``(class, count)`` pairs.
+
+        The pipeline engine caches the nonzero pairs with each child, so
+        the hot take/restore path touches only the 1-2 classes a group
+        actually uses instead of scanning every class.
+        """
+        picked: list[int] = []
+        for c, cnt in nz:
+            pos = self.sizes[c] - self.avail[c]
+            picked.extend(self.indices[c][pos : pos + cnt])
+            self.avail[c] -= cnt
+            self.total_avail -= cnt
+            self.total_speed -= cnt * self.speeds[c]
+        return tuple(sorted(picked))
+
+    def restore_nz(self, nz) -> None:
+        for c, cnt in nz:
+            self.avail[c] += cnt
+            self.total_avail += cnt
+            self.total_speed += cnt * self.speeds[c]
 
     # ------------------------------------------------------------------
     def best_repl_capacity(self) -> float:
@@ -208,7 +280,7 @@ class _Search:
             return True
         return self.value_of(lb_period, lb_latency) >= self.best_value - FLOAT_TOL
 
-    def offer(self, period: float, latency: float, groups: list[tuple]) -> None:
+    def offer(self, period: float, latency: float, groups) -> None:
         if not self.feasible(period, latency):
             return
         value = self.value_of(period, latency)
@@ -217,65 +289,159 @@ class _Search:
             self.best_groups = list(groups)
 
 
-def _seed_incumbent(spec: ProblemSpec, search: _Search) -> None:
+def _seed_incumbent(spec: ProblemSpec, search: _Search,
+                    context: SolveContext) -> None:
     """Prime the incumbent with a few cheap constructive mappings.
 
     A finite starting upper bound is what makes the capacity bounds bite
     from the first node on.  All seeds are replicated-only (always valid).
+    The evaluated ``(period, latency, groups)`` triples are cached on the
+    context — they are threshold-independent — so a sweep pays the mapping
+    construction and pricing once.
     """
-    app, platform = spec.application, spec.platform
-    p = platform.p
-    if isinstance(app, ForkApplication):
-        stage_ids = [stage.index for stage in app.all_stages]
-        cls = ForkJoinMapping if isinstance(app, ForkJoinApplication) else ForkMapping
-    else:
-        stage_ids = [stage.index for stage in app.stages]
-        cls = PipelineMapping
-
-    candidates: list[tuple[tuple, ...]] = [
-        # everything in one group on the whole platform
-        ((tuple(stage_ids), tuple(range(p)), _REPL),),
-        # everything on the single fastest processor
-        ((tuple(stage_ids), (platform.fastest.index,), _REPL),),
-    ]
-    if cls is not PipelineMapping and len(stage_ids) <= p:
-        # one group per stage, heaviest work on fastest processor
-        order = platform.sorted_by_speed(descending=True)
-        works = {stage.index: stage.work for stage in app.all_stages}
-        by_load = sorted(stage_ids, key=lambda i: -works[i])
-        candidates.append(
-            tuple(
-                ((i,), (order[t].index,), _REPL) for t, i in enumerate(by_load)
+    state = context.table("bnb-seeds")
+    offers = state.get("offers")
+    if offers is None:
+        app, platform = spec.application, spec.platform
+        p = platform.p
+        if isinstance(app, ForkApplication):
+            stage_ids = [stage.index for stage in app.all_stages]
+            cls = (
+                ForkJoinMapping if isinstance(app, ForkJoinApplication)
+                else ForkMapping
             )
-        )
-    for groups in candidates:
-        mapping = cls(
-            application=app,
-            platform=platform,
-            groups=tuple(
-                GroupAssignment(stages=s, processors=pr, kind=kind)
-                for s, pr, kind in groups
-            ),
-        )
-        period, latency = evaluate(mapping)
-        search.offer(period, latency, list(groups))
+        else:
+            stage_ids = [stage.index for stage in app.stages]
+            cls = PipelineMapping
+
+        candidates: list[tuple[tuple, ...]] = [
+            # everything in one group on the whole platform
+            ((tuple(stage_ids), tuple(range(p)), _REPL),),
+            # everything on the single fastest processor
+            ((tuple(stage_ids), (platform.fastest.index,), _REPL),),
+        ]
+        if cls is not PipelineMapping and len(stage_ids) <= p:
+            # one group per stage, heaviest work on fastest processor
+            order = platform.sorted_by_speed(descending=True)
+            works = {stage.index: stage.work for stage in app.all_stages}
+            by_load = sorted(stage_ids, key=lambda i: -works[i])
+            candidates.append(
+                tuple(
+                    ((i,), (order[t].index,), _REPL)
+                    for t, i in enumerate(by_load)
+                )
+            )
+        offers = []
+        for groups in candidates:
+            mapping = cls(
+                application=app,
+                platform=platform,
+                groups=tuple(
+                    GroupAssignment(stages=s, processors=pr, kind=kind)
+                    for s, pr, kind in groups
+                ),
+            )
+            period, latency = evaluate(mapping)
+            offers.append((period, latency, groups))
+        state["offers"] = offers
+    for period, latency, groups in offers:
+        search.offer(period, latency, groups)
 
 
 # ----------------------------------------------------------------------
 # pipeline engine: interval-by-interval
 # ----------------------------------------------------------------------
-def _solve_pipeline(spec: ProblemSpec, search: _Search) -> None:
-    app, platform = spec.application, spec.platform
+def _pipeline_state(spec: ProblemSpec, context: SolveContext) -> dict:
+    """Instance-level pipeline tables, built once per context."""
+    state = context.table("bnb-pipeline")
+    if not state:
+        app = spec.application
+        state["n"] = app.n
+        state["prefix"] = prefix_sums(app.works)
+        state["total"] = state["prefix"][app.n]
+        state["overheads"] = [stage.dp_overhead for stage in app.stages]
+        state["pool"] = _SpeedPool(spec.platform)
+        state["children"] = {}
+    return state
+
+
+def _pipeline_children(
+    pool: _SpeedPool, stage: int, n: int, prefix, overheads, allow_dp: bool
+):
+    """Child expansion of one ``(stage, remaining pool)`` search node.
+
+    Children are generated in the engine's canonical order (interval
+    length ascending; replicated fills, then data-parallel count vectors).
+    Each child is ``(g_period, g_delay, length, nz_counts, kind)`` with
+    ``nz_counts`` the nonzero ``(class, count)`` pairs for the fast
+    take/restore path.
+    """
+    kids: list[tuple] = []
+    for length in range(1, n - stage + 2):
+        load = prefix[stage + length - 1] - prefix[stage - 1]
+        reserve = 1 if stage + length <= n else 0
+        k_max = pool.total_avail - reserve
+        if k_max < 1:
+            continue
+        for counts, k, mins, _sums in pool.repl_choices(k_max):
+            nz = tuple((c, cnt) for c, cnt in enumerate(counts) if cnt)
+            kids.append((load / (k * mins), load / mins, length, nz, _REPL))
+        if allow_dp and length == 1 and k_max >= 2:
+            f = overheads[stage - 1]
+            for counts, _k, sums in pool.dp_choices(k_max):
+                nz = tuple((c, cnt) for c, cnt in enumerate(counts) if cnt)
+                t = f + load / sums
+                kids.append((t, t, length, nz, _DP))
+    return kids
+
+
+def _pipeline_node_views(
+    state: dict, pool: _SpeedPool, stage: int, allow_dp: bool, value_col: int
+):
+    """The child expansion of a node, pre-sorted for one objective.
+
+    The expansion (and its two sorted views) depends only on
+    ``(stage, remaining pool)`` — never on the threshold or the partial
+    mapping — so it lives on the :class:`SolveContext` and every solve of
+    a sweep shares it.  Sorting ascending by the objective column makes
+    the child value ``max(cur_period, g_period)`` / ``cur_latency +
+    g_delay`` non-decreasing along the visit order: a strong incumbent
+    appears early *and* the node loop may stop at the first child whose
+    value cannot improve the incumbent (everything later is at least as
+    bad — the same children the legacy per-child cut skipped one by one).
+    """
+    key = (stage, tuple(pool.avail))
+    views = state["children"].get(key)
+    if views is None:
+        views = {}
+        views["gen"] = _pipeline_children(
+            pool, stage, state["n"], state["prefix"], state["overheads"],
+            allow_dp,
+        )
+        state["children"][key] = views
+    view = views.get(value_col)
+    if view is None:
+        view = tuple(sorted(views["gen"], key=lambda ch: ch[value_col]))
+        views[value_col] = view
+    return view
+
+
+def _solve_pipeline(
+    spec: ProblemSpec, search: _Search, context: SolveContext
+) -> None:
+    state = _pipeline_state(spec, context)
     allow_dp = spec.allow_data_parallel
-    n = app.n
-    works = app.works
-    prefix = [0.0] * (n + 1)
-    for i, w in enumerate(works):
-        prefix[i + 1] = prefix[i] + w
-    total = prefix[n]
-    overheads = [stage.dp_overhead for stage in app.stages]
-    pool = _SpeedPool(platform)
+    n = state["n"]
+    prefix = state["prefix"]
+    total = state["total"]
+    children_memo = state  # views fetched via _pipeline_node_views
+    pool = state["pool"].clone()
     groups: list[tuple] = []  # (stages, processors, kind)
+    by_period = search.objective is Objective.PERIOD
+    value_col = 0 if by_period else 1
+    period_cap = search.period_cap
+    latency_cap = search.latency_cap
+    tol = FLOAT_TOL
 
     def rec(stage: int, cur_period: float, cur_latency: float) -> None:
         search.nodes += 1
@@ -289,41 +455,30 @@ def _solve_pipeline(spec: ProblemSpec, search: _Search) -> None:
         if search.cut(max(cur_period, rest), cur_latency + rest):
             search.pruned += 1
             return
-        children = []
-        for length in range(1, n - stage + 2):
-            load = prefix[stage + length - 1] - prefix[stage - 1]
-            reserve = 1 if stage + length <= n else 0
-            k_max = pool.total_avail - reserve
-            if k_max < 1:
-                continue
-            for counts, k, mins, _sums in pool.repl_choices(k_max):
-                children.append(
-                    (length, counts, _REPL, load / (k * mins), load / mins)
-                )
-            if allow_dp and length == 1 and k_max >= 2:
-                f = overheads[stage - 1]
-                for counts, _k, sums in pool.dp_choices(k_max):
-                    t = f + load / sums
-                    children.append((length, counts, _DP, t, t))
-        # visit promising children first so the incumbent tightens early
-        children.sort(
-            key=lambda ch: search.value_of(
-                max(cur_period, ch[3]), cur_latency + ch[4]
-            )
+        view = _pipeline_node_views(
+            children_memo, pool, stage, allow_dp, value_col
         )
-        for length, counts, kind, g_period, g_delay in children:
-            new_period = max(cur_period, g_period)
+        for pos, (g_period, g_delay, length, nz, kind) in enumerate(view):
+            new_period = cur_period if g_period <= cur_period else g_period
             new_latency = cur_latency + g_delay
-            if search.cut(new_period, new_latency):
+            # monotone objective column: nothing later can improve either
+            value = new_period if by_period else new_latency
+            if value >= search.best_value - tol:
+                search.pruned += len(view) - pos
+                break
+            if period_cap is not None and new_period > period_cap:
                 search.pruned += 1
                 continue
-            procs = pool.take(counts)
+            if latency_cap is not None and new_latency > latency_cap:
+                search.pruned += 1
+                continue
+            procs = pool.take_nz(nz)
             groups.append(
                 (tuple(range(stage, stage + length)), procs, kind)
             )
             rec(stage + length, new_period, new_latency)
             groups.pop()
-            pool.restore(counts)
+            pool.restore_nz(nz)
 
     rec(1, 0.0, 0.0)
 
@@ -349,42 +504,78 @@ class _Block:
         self.has_join = False
 
 
-def _solve_fork_like(spec: ProblemSpec, search: _Search) -> None:
-    app, platform = spec.application, spec.platform
+def _fork_state(spec: ProblemSpec, context: SolveContext) -> dict:
+    """Instance-level fork/fork-join tables, built once per context."""
+    state = context.table("bnb-fork")
+    if not state:
+        app, platform = spec.application, spec.platform
+        allow_dp = spec.allow_data_parallel
+        is_forkjoin = isinstance(app, ForkJoinApplication)
+        join_index = app.n + 1 if is_forkjoin else None
+        stages = app.all_stages
+        works = {stage.index: stage.work for stage in stages}
+        overheads = {stage.index: stage.dp_overhead for stage in stages}
+        total_speed = platform.total_speed
+        max_speed = platform.fastest.speed
+        p = platform.p
+        # optimistic t0: a replicated root runs at <= max_speed, a
+        # data-parallel (singleton) root at <= total_speed
+        t0_floor = works[0] / (total_speed if allow_dp else max_speed)
+        # best single-group capacities on the *full* platform (Phase A bound)
+        desc = sorted(platform.speeds, reverse=True)
+        cap_full = 0.0
+        for k in range(1, p + 1):
+            cap_full = max(cap_full, k * desc[k - 1])
+        if allow_dp:
+            cap_full = max(cap_full, total_speed)
+        # process the root first, then heavier stages first (tighter bounds)
+        order = [0] + sorted(
+            (i for i in works if i != 0), key=lambda i: -works[i]
+        )
+        state.update(
+            is_forkjoin=is_forkjoin,
+            join_index=join_index,
+            works=works,
+            overheads=overheads,
+            w0=works[0],
+            f0=overheads[0],
+            w_join=works[join_index] if is_forkjoin else 0.0,
+            f_join=overheads[join_index] if is_forkjoin else 0.0,
+            total_speed=total_speed,
+            total_work=sum(works.values()),
+            t0_floor=t0_floor,
+            cap_full=cap_full,
+            order=order,
+            max_blocks=min(len(order), p),
+            pool=_SpeedPool(platform),
+        )
+    return state
+
+
+def _solve_fork_like(
+    spec: ProblemSpec, search: _Search, context: SolveContext
+) -> None:
+    state = _fork_state(spec, context)
     allow_dp = spec.allow_data_parallel
-    is_forkjoin = isinstance(app, ForkJoinApplication)
-    join_index = app.n + 1 if is_forkjoin else None
-    stages = app.all_stages
-    works = {stage.index: stage.work for stage in stages}
-    overheads = {stage.index: stage.dp_overhead for stage in stages}
-    w0 = works[0]
-    f0 = overheads[0]
-    w_join = works[join_index] if is_forkjoin else 0.0
-    f_join = overheads[join_index] if is_forkjoin else 0.0
-    p = platform.p
-    total_speed = platform.total_speed
-    max_speed = platform.fastest.speed
-    total_work = sum(works.values())
+    is_forkjoin = state["is_forkjoin"]
+    join_index = state["join_index"]
+    works = state["works"]
+    overheads = state["overheads"]
+    w0 = state["w0"]
+    f0 = state["f0"]
+    w_join = state["w_join"]
+    f_join = state["f_join"]
+    total_speed = state["total_speed"]
+    total_work = state["total_work"]
+    t0_floor = state["t0_floor"]
+    cap_full = state["cap_full"]
+    order = state["order"]
+    max_blocks = state["max_blocks"]
+    pool_template = state["pool"]
+    by_period = search.objective is Objective.PERIOD
     latency_objective = (
         search.objective is Objective.LATENCY or search.latency_cap is not None
     )
-    # optimistic t0: a replicated root runs at <= max_speed, a data-parallel
-    # (singleton) root at <= total_speed
-    t0_floor = w0 / (total_speed if allow_dp else max_speed)
-
-    # best single-group capacities on the *full* platform (Phase A bound)
-    desc = sorted(platform.speeds, reverse=True)
-    cap_full = 0.0
-    for k in range(1, p + 1):
-        cap_full = max(cap_full, k * desc[k - 1])
-    if allow_dp:
-        cap_full = max(cap_full, total_speed)
-
-    # process the root first, then heavier stages first (tighter bounds)
-    order = [0] + sorted(
-        (i for i in works if i != 0), key=lambda i: -works[i]
-    )
-    max_blocks = min(len(order), p)
     blocks: list[_Block] = []
 
     # ----- Phase B: assign processors to the blocks of a complete partition
@@ -393,79 +584,33 @@ def _solve_fork_like(spec: ProblemSpec, search: _Search) -> None:
             partition, key=lambda b: (not b.has_root, -b.load)
         )
         q = len(root_first)
-        pool = _SpeedPool(platform)
-        # suffix tables over the fixed block order
+        pool = pool_template.clone()
+        # suffix tables over the fixed block order; the *_sum tables feed
+        # the aggregate (P || Cmax average-load) latency bound, which
+        # dominates the old per-block-max bound (sum >= max, same S)
         suf_load_sum = [0.0] * (q + 1)
         suf_load_max = [0.0] * (q + 1)
-        suf_nonroot_max = [0.0] * (q + 1)
-        suf_branch_max = [0.0] * (q + 1)
+        suf_nonroot_sum = [0.0] * (q + 1)
+        suf_branch_sum = [0.0] * (q + 1)
         for i in range(q - 1, -1, -1):
             b = root_first[i]
             suf_load_sum[i] = suf_load_sum[i + 1] + b.load
             suf_load_max[i] = max(suf_load_max[i + 1], b.load)
-            suf_nonroot_max[i] = max(
-                suf_nonroot_max[i + 1], 0.0 if b.has_root else b.load
+            suf_nonroot_sum[i] = suf_nonroot_sum[i + 1] + (
+                0.0 if b.has_root else b.load
             )
-            suf_branch_max[i] = max(suf_branch_max[i + 1], b.branch_load)
+            suf_branch_sum[i] = suf_branch_sum[i + 1] + b.branch_load
         chosen: list[tuple] = []
 
-        # running state: cur_period; fork: t0/root_delay/other_max;
-        # fork-join: t0/done_max/join_time
-        def rec(
-            i: int,
-            cur_period: float,
-            t0: float,
-            root_delay: float,
-            other_max: float,
-            done_max: float,
-            join_time: float,
-        ) -> None:
-            search.nodes += 1
-            if i == q:
-                if is_forkjoin:
-                    latency = done_max + join_time
-                elif other_max == -_INF:
-                    latency = root_delay
-                else:
-                    latency = max(root_delay, t0 + other_max)
-                search.offer(cur_period, latency, chosen)
-                return
-            rem_speed = pool.total_speed
-            if pool.total_avail < q - i or rem_speed <= 0.0:
-                return
-            # admissible bounds over the unassigned suffix
-            lb_period = max(
-                cur_period,
-                suf_load_max[i] / pool.best_repl_capacity()
-                if not allow_dp
-                else suf_load_max[i] / max(pool.best_repl_capacity(), rem_speed),
-                suf_load_sum[i] / rem_speed,
-            )
-            if is_forkjoin:
-                join_floor = join_time if join_time >= 0.0 else w_join / rem_speed
-                lb_latency = (
-                    max(done_max, t0 + suf_branch_max[i] / rem_speed)
-                    + join_floor
-                )
-            else:
-                partial = (
-                    root_delay
-                    if other_max == -_INF
-                    else max(root_delay, t0 + other_max)
-                )
-                lb_latency = max(
-                    partial, t0 + suf_nonroot_max[i] / rem_speed
-                    if suf_nonroot_max[i] > 0.0
-                    else partial,
-                )
-            if search.cut(lb_period, lb_latency if latency_objective else 0.0):
-                search.pruned += 1
-                return
+        def score_children(
+            i, cur_period, t0, root_delay, other_max, done_max, join_time
+        ):
+            """The scored child states of block ``i`` (legacy order + sort)."""
             block = root_first[i]
             reserve = q - i - 1
             k_max = pool.total_avail - reserve
             if k_max < 1:
-                return
+                return None
             size = len(block.stages)
             children = []
             for counts, k, mins, sums in pool.repl_choices(k_max):
@@ -526,6 +671,132 @@ def _solve_fork_like(spec: ProblemSpec, search: _Search) -> None:
                      n_t0, n_root, n_other, n_done, n_join)
                 )
             scored.sort(key=lambda ch: ch[0])
+            return block, scored
+
+        def leaf_latency(n_t0, n_root, n_other, n_done, n_join) -> float:
+            if is_forkjoin:
+                return n_done + n_join
+            if n_other == -_INF:
+                return n_root
+            return max(n_root, n_t0 + n_other)
+
+        def assign_last_block(
+            cur_period, t0, root_delay, other_max, done_max, join_time
+        ) -> None:
+            """Batch-score the leaves of the final block as one numpy scan.
+
+            Every child of the last block is a complete assignment; the
+            scalar path would recurse once per child just to compute the
+            leaf latency and offer it.  Instead the child states are
+            flattened into arrays, infeasible leaves are masked against
+            the threshold caps, and the incumbent's sequential
+            first-strict-improvement scan is replayed vectorized — the
+            selected leaf (and final incumbent value) is exactly what the
+            per-leaf recursion would have produced.
+            """
+            got = score_children(
+                q - 1, cur_period, t0, root_delay, other_max,
+                done_max, join_time,
+            )
+            if got is None:
+                return
+            block, scored = got
+            if not scored:
+                return
+            search.nodes += len(scored)  # the leaves the recursion would visit
+            m = len(scored)
+            periods = np.fromiter(
+                (ch[3] for ch in scored), dtype=float, count=m
+            )
+            latencies = np.fromiter(
+                (leaf_latency(ch[4], ch[5], ch[6], ch[7], ch[8])
+                 for ch in scored),
+                dtype=float, count=m,
+            )
+            values = periods if by_period else latencies
+            masked = values
+            infeasible = None
+            if search.period_cap is not None:
+                infeasible = periods > search.period_cap
+            if search.latency_cap is not None:
+                over = latencies > search.latency_cap
+                infeasible = over if infeasible is None else infeasible | over
+            if infeasible is not None:
+                masked = np.where(infeasible, _INF, values)
+            pick, best = last_improvement_scan(masked, search.best_value)
+            if pick is None:
+                return
+            counts, kind = scored[pick][1], scored[pick][2]
+            procs = pool.take(counts)
+            pool.restore(counts)
+            search.best_value = best
+            search.best_groups = [
+                *chosen, (tuple(sorted(block.stages)), procs, kind)
+            ]
+
+        # running state: cur_period; fork: t0/root_delay/other_max;
+        # fork-join: t0/done_max/join_time
+        def rec(
+            i: int,
+            cur_period: float,
+            t0: float,
+            root_delay: float,
+            other_max: float,
+            done_max: float,
+            join_time: float,
+        ) -> None:
+            search.nodes += 1
+            if i == q:
+                latency = leaf_latency(
+                    t0, root_delay, other_max, done_max, join_time
+                )
+                search.offer(cur_period, latency, chosen)
+                return
+            rem_speed = pool.total_speed
+            if pool.total_avail < q - i or rem_speed <= 0.0:
+                return
+            # admissible bounds over the unassigned suffix
+            lb_period = max(
+                cur_period,
+                suf_load_max[i] / pool.best_repl_capacity()
+                if not allow_dp
+                else suf_load_max[i] / max(pool.best_repl_capacity(), rem_speed),
+                suf_load_sum[i] / rem_speed,
+            )
+            if is_forkjoin:
+                join_floor = join_time if join_time >= 0.0 else w_join / rem_speed
+                # max completion >= t0 + sum of remaining branch loads / S
+                # (mediant bound: disjoint groups' speed denominators total
+                # at most S), which dominates the single-heaviest bound
+                lb_latency = (
+                    max(done_max, t0 + suf_branch_sum[i] / rem_speed)
+                    + join_floor
+                )
+            else:
+                partial = (
+                    root_delay
+                    if other_max == -_INF
+                    else max(root_delay, t0 + other_max)
+                )
+                lb_latency = max(
+                    partial, t0 + suf_nonroot_sum[i] / rem_speed
+                    if suf_nonroot_sum[i] > 0.0
+                    else partial,
+                )
+            if search.cut(lb_period, lb_latency if latency_objective else 0.0):
+                search.pruned += 1
+                return
+            if i == q - 1:
+                assign_last_block(
+                    cur_period, t0, root_delay, other_max, done_max, join_time
+                )
+                return
+            got = score_children(
+                i, cur_period, t0, root_delay, other_max, done_max, join_time
+            )
+            if got is None:
+                return
+            block, scored = got
             for (_s, counts, kind, new_period,
                  n_t0, n_root, n_other, n_done, n_join) in scored:
                 procs = pool.take(counts)
@@ -609,23 +880,28 @@ def optimal(
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    context: SolveContext | None = None,
 ) -> Solution:
     """Branch-and-bound exact optimum (same contract as the enumerator).
 
     Minimizes ``objective``; ``period_bound`` / ``latency_bound`` turn the
-    call into the paper's bi-criteria problems.  Raises
+    call into the paper's bi-criteria problems.  ``context`` (a
+    :class:`~repro.algorithms.solve_context.SolveContext` of this instance)
+    shares the search tables across the repeated solves of a threshold
+    sweep; the result is bit-identical with or without one.  Raises
     :class:`InfeasibleProblemError` when no valid mapping meets the bounds.
     """
+    context = SolveContext(spec) if context is None else context.require(spec)
     search = _Search(objective, period_bound, latency_bound)
-    _seed_incumbent(spec, search)
+    _seed_incumbent(spec, search, context)
     app = spec.application
     if isinstance(app, ForkApplication):
-        _solve_fork_like(spec, search)
+        _solve_fork_like(spec, search, context)
         mapping_cls = (
             ForkJoinMapping if isinstance(app, ForkJoinApplication) else ForkMapping
         )
     else:
-        _solve_pipeline(spec, search)
+        _solve_pipeline(spec, search, context)
         mapping_cls = PipelineMapping
     if search.best_groups is None:
         raise InfeasibleProblemError(

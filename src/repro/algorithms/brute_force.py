@@ -257,6 +257,7 @@ def optimal(
     period_bound: float | None = None,
     latency_bound: float | None = None,
     engine: str = "bnb",
+    context=None,
 ) -> Solution:
     """Exact optimal solution, routed through the selected engine.
 
@@ -273,16 +274,66 @@ def optimal(
       (:func:`optimal_enumerated`), kept as the oracle for the equivalence
       property tests and the engine benchmarks.
 
+    ``context`` (a :class:`~repro.algorithms.solve_context.SolveContext`
+    built for this instance) lets the repeated solves of a bi-criteria
+    threshold sweep share per-instance state — search tables for ``bnb``,
+    the priced candidate list for ``enumerate``.  Results are
+    bit-identical with or without a context.
+
     Raises :class:`InfeasibleProblemError` when no valid mapping meets the
     bounds.
     """
     if engine == "bnb":
         from .bnb import optimal as bnb_optimal
 
-        return bnb_optimal(spec, objective, period_bound, latency_bound)
+        return bnb_optimal(
+            spec, objective, period_bound, latency_bound, context=context
+        )
     if engine != "enumerate":
         raise ReproError(f"unknown exact engine {engine!r}")
-    return optimal_enumerated(spec, objective, period_bound, latency_bound)
+    return optimal_enumerated(
+        spec, objective, period_bound, latency_bound, context=context
+    )
+
+
+#: Candidate-cache cap for context-backed enumeration.  Beyond this many
+#: valid mappings the cache would dominate memory for marginal sweep wins,
+#: so the context falls back to cold re-enumeration.
+_MAX_ENUM_CACHE = 200_000
+
+
+def _enumerated_candidates(spec: ProblemSpec, context):
+    """``(groups, period, latency)`` of every valid mapping, in oracle order.
+
+    With a context the list is built once and replayed by later threshold
+    solves; without one (or past :data:`_MAX_ENUM_CACHE` candidates) it is
+    a streaming generator, exactly the historical behaviour.
+    """
+
+    def generate():
+        for mapping in enumerate_mappings(spec):
+            period, latency = evaluate(mapping)
+            yield mapping.groups, period, latency
+
+    if context is None:
+        return generate()
+    state = context.table("enumerate")
+    if state.get("too_big"):
+        return generate()
+    candidates = state.get("candidates")
+    if candidates is None:
+        generator = generate()
+        candidates = []
+        for item in generator:
+            candidates.append(item)
+            if len(candidates) > _MAX_ENUM_CACHE:
+                # too large to keep: this call streams the already-priced
+                # prefix plus the live generator's remainder; later calls
+                # enumerate cold
+                state["too_big"] = True
+                return itertools.chain(candidates, generator)
+        state["candidates"] = candidates
+    return candidates
 
 
 def optimal_enumerated(
@@ -290,17 +341,28 @@ def optimal_enumerated(
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    context=None,
 ) -> Solution:
     """Flat exhaustive enumeration (tiny instances only).
 
     Evaluates every valid mapping from scratch; exponential in both ``n``
     and ``p``.  This is the trusted oracle the branch-and-bound engine is
-    property-tested against.
+    property-tested against.  ``context`` caches the priced candidate
+    list so a threshold sweep enumerates once and filters per threshold;
+    candidate order (hence tie-breaking) is identical either way.
     """
-    best: Solution | None = None
+    if context is not None:
+        context.require(spec)
+    app, platform = spec.application, spec.platform
+    if isinstance(app, ForkJoinApplication):
+        mapping_cls = ForkJoinMapping
+    elif isinstance(app, ForkApplication):
+        mapping_cls = ForkMapping
+    else:
+        mapping_cls = PipelineMapping
+    best: tuple | None = None
     best_value = float("inf")
-    for mapping in enumerate_mappings(spec):
-        period, latency = evaluate(mapping)
+    for groups, period, latency in _enumerated_candidates(spec, context):
         if period_bound is not None and period > period_bound * (1 + FLOAT_TOL):
             continue
         if latency_bound is not None and latency > latency_bound * (1 + FLOAT_TOL):
@@ -308,13 +370,17 @@ def optimal_enumerated(
         value = period if objective is Objective.PERIOD else latency
         if value < best_value - FLOAT_TOL:
             best_value = value
-            best = Solution(
-                mapping=mapping, period=period, latency=latency,
-                meta={"algorithm": "brute-force"},
-            )
+            best = (groups, period, latency)
     if best is None:
         raise InfeasibleProblemError(
             f"no valid mapping satisfies the bounds (period<={period_bound}, "
             f"latency<={latency_bound})"
         )
-    return best
+    groups, period, latency = best
+    mapping = mapping_cls(
+        application=app, platform=platform, groups=groups
+    )
+    return Solution(
+        mapping=mapping, period=period, latency=latency,
+        meta={"algorithm": "brute-force"},
+    )

@@ -74,10 +74,13 @@ def pipeline_exact(
     period_bound: float | None = None,
     latency_bound: float | None = None,
     engine: str = "bnb",
+    context=None,
 ) -> Solution:
     """Generic exact pipeline solution (any variant, small sizes)."""
     _guard(spec.application.n, spec.platform.p, engine)
-    return brute_optimal(spec, objective, period_bound, latency_bound, engine)
+    return brute_optimal(
+        spec, objective, period_bound, latency_bound, engine, context=context
+    )
 
 
 def fork_exact(
@@ -86,10 +89,13 @@ def fork_exact(
     period_bound: float | None = None,
     latency_bound: float | None = None,
     engine: str = "bnb",
+    context=None,
 ) -> Solution:
     """Generic exact fork solution (any variant, small sizes)."""
     _guard(spec.application.n + 1, spec.platform.p, engine)
-    return brute_optimal(spec, objective, period_bound, latency_bound, engine)
+    return brute_optimal(
+        spec, objective, period_bound, latency_bound, engine, context=context
+    )
 
 
 def forkjoin_exact(
@@ -98,10 +104,13 @@ def forkjoin_exact(
     period_bound: float | None = None,
     latency_bound: float | None = None,
     engine: str = "bnb",
+    context=None,
 ) -> Solution:
     """Generic exact fork-join solution (any variant, small sizes)."""
     _guard(spec.application.n + 2, spec.platform.p, engine)
-    return brute_optimal(spec, objective, period_bound, latency_bound, engine)
+    return brute_optimal(
+        spec, objective, period_bound, latency_bound, engine, context=context
+    )
 
 
 # ======================================================================

@@ -258,15 +258,60 @@ def _latency_prefix_dp(
     return G, back
 
 
+def _capacity_signature(
+    period: float, speeds_asc: list[float], w: float, n: int
+) -> tuple[int, ...]:
+    """Block capacities ``cap(i, k)`` for every start ``i`` and size ``k``.
+
+    The Theorem 8 latency DP depends on the period bound *only* through
+    these integer floors, so two bounds with equal signatures share the
+    whole ``O(n^2 p^2)`` table.  Computing the signature is ``O(p^2)`` —
+    the memo test a threshold sweep runs per point.
+    """
+    p = len(speeds_asc)
+    return tuple(
+        _block_capacity(period, speeds_asc[i], k, w, n)
+        for i in range(p)
+        for k in range(1, p - i + 1)
+    )
+
+
+def _latency_dp_memo(
+    period: float, speeds_asc: list[float], w: float, n: int, context
+):
+    """The Theorem 8 DP, memoized on the context by capacity signature.
+
+    A tightening threshold whose capacity floors did not move *reuses*
+    the previous table (same signature → identical DP → identical
+    mapping); a moved floor recomputes.  Without a context this is a
+    plain call.
+    """
+    if context is None:
+        return _latency_prefix_dp(period, speeds_asc, w, n)
+    memo = context.table("thm8-latency-dp")
+    sig = _capacity_signature(period, speeds_asc, w, n)
+    got = memo.get(sig)
+    if got is None:
+        got = _latency_prefix_dp(period, speeds_asc, w, n)
+        memo[sig] = got
+    return got
+
+
 def min_latency_given_period_homogeneous(
-    app: PipelineApplication, platform: Platform, period_bound: float
+    app: PipelineApplication, platform: Platform, period_bound: float,
+    context=None,
 ) -> Solution:
-    """Theorem 8: minimize latency subject to a period bound (hom pipeline)."""
+    """Theorem 8: minimize latency subject to a period bound (hom pipeline).
+
+    ``context`` (a :class:`~repro.algorithms.solve_context.SolveContext`)
+    memoizes the latency DP across the threshold sweep — see
+    :func:`_latency_dp_memo`.
+    """
     w = _require_homogeneous_app(app)
     order, speeds_asc = _ascending(platform)
     n, p = app.n, platform.p
     bound = period_bound * (1 + FLOAT_TOL)
-    G, back = _latency_prefix_dp(bound, speeds_asc, w, n)
+    G, back = _latency_dp_memo(bound, speeds_asc, w, n, context)
     if G[p][n] == float("inf"):
         raise InfeasibleProblemError(
             f"no mapping achieves period <= {period_bound}"
@@ -282,21 +327,29 @@ def min_latency_given_period_homogeneous(
 
 
 def min_period_given_latency_homogeneous(
-    app: PipelineApplication, platform: Platform, latency_bound: float
+    app: PipelineApplication, platform: Platform, latency_bound: float,
+    context=None,
 ) -> Solution:
-    """Theorem 8 (converse): minimize period subject to a latency bound."""
+    """Theorem 8 (converse): minimize period subject to a latency bound.
+
+    The candidate binary search probes many periods whose capacity
+    signatures collide; ``context`` makes each distinct signature pay the
+    DP once (across this search *and* across a surrounding sweep).
+    """
     w = _require_homogeneous_app(app)
     _, speeds_asc = _ascending(platform)
     n, p = app.n, platform.p
 
     def feasible(period: float) -> bool:
-        G, _ = _latency_prefix_dp(period, speeds_asc, w, n)
+        G, _ = _latency_dp_memo(period, speeds_asc, w, n, context)
         return G[p][n] <= latency_bound * (1 + FLOAT_TOL)
 
     period = smallest_feasible(
         _period_candidates(n, speeds_asc, w), feasible, what="period"
     )
-    solution = min_latency_given_period_homogeneous(app, platform, period)
+    solution = min_latency_given_period_homogeneous(
+        app, platform, period, context=context
+    )
     if solution.latency > latency_bound * (1 + FLOAT_TOL):
         raise InfeasibleProblemError(
             f"no mapping achieves latency <= {latency_bound}"

@@ -218,6 +218,7 @@ def solve(
     latency_bound: float | None = None,
     exact_fallback: bool = False,
     engine: str = "bnb",
+    context=None,
 ) -> Solution:
     """Solve a mapping problem with the matching paper algorithm.
 
@@ -228,7 +229,15 @@ def solve(
     instances.  ``engine`` selects the generic exact search strategy for
     the fallback: the pruned branch-and-bound engine (``"bnb"``, default)
     or the flat enumeration oracle (``"enumerate"``).
+
+    ``context`` — a :class:`~repro.algorithms.solve_context.SolveContext`
+    built for this instance — shares per-instance solver state across the
+    repeated solves of a bi-criteria threshold sweep (the exact engines'
+    search tables, the Theorem 8 DP memo); results are bit-identical with
+    or without one.
     """
+    if context is not None:
+        context.require(spec)
     bicriteria = (
         (objective is Objective.PERIOD and latency_bound is not None)
         or (objective is Objective.LATENCY and period_bound is not None)
@@ -242,11 +251,15 @@ def solve(
                 f"({entry.theorem}); pass exact_fallback=True for an "
                 "exponential exact solve, or use repro.heuristics"
             )
-        return _exact_dispatch(spec, objective, period_bound, latency_bound, engine)
-    return _poly_dispatch(spec, objective, period_bound, latency_bound)
+        return _exact_dispatch(
+            spec, objective, period_bound, latency_bound, engine, context
+        )
+    return _poly_dispatch(spec, objective, period_bound, latency_bound, context)
 
 
-def _poly_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
+def _poly_dispatch(
+    spec, objective, period_bound, latency_bound, context=None
+) -> Solution:
     app, platform, dp = spec.application, spec.platform, spec.allow_data_parallel
 
     if spec.graph_kind is GraphKind.PIPELINE:
@@ -271,10 +284,10 @@ def _poly_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
             return pipeline_het_platform.min_period_homogeneous(app, platform)
         if objective is Objective.LATENCY:
             return pipeline_het_platform.min_latency_given_period_homogeneous(
-                app, platform, period_bound
+                app, platform, period_bound, context=context
             )
         return pipeline_het_platform.min_period_given_latency_homogeneous(
-            app, platform, latency_bound
+            app, platform, latency_bound, context=context
         )
 
     # forks and fork-joins
@@ -308,7 +321,7 @@ def _poly_dispatch(spec, objective, period_bound, latency_bound) -> Solution:
 
 
 def _exact_dispatch(
-    spec, objective, period_bound, latency_bound, engine="bnb"
+    spec, objective, period_bound, latency_bound, engine="bnb", context=None
 ) -> Solution:
     app = spec.application
     if spec.graph_kind is GraphKind.PIPELINE:
@@ -320,7 +333,8 @@ def _exact_dispatch(
         ):
             return exact.pipeline_period_exact_blocks(app, spec.platform)
         return exact.pipeline_exact(
-            spec, objective, period_bound, latency_bound, engine
+            spec, objective, period_bound, latency_bound, engine,
+            context=context,
         )
     if (
         spec.graph_kind is GraphKind.FORK
@@ -333,6 +347,9 @@ def _exact_dispatch(
         return exact.fork_latency_exact_hom_platform(app, spec.platform)
     if spec.graph_kind is GraphKind.FORK_JOIN:
         return exact.forkjoin_exact(
-            spec, objective, period_bound, latency_bound, engine
+            spec, objective, period_bound, latency_bound, engine,
+            context=context,
         )
-    return exact.fork_exact(spec, objective, period_bound, latency_bound, engine)
+    return exact.fork_exact(
+        spec, objective, period_bound, latency_bound, engine, context=context
+    )

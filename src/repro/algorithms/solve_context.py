@@ -1,0 +1,153 @@
+"""Reusable per-instance solver state for bi-criteria threshold sweeps.
+
+The paper's bi-criteria results are exercised as *sweeps*: minimize
+latency under a period threshold (or the converse) for a whole grid of
+thresholds of one instance (:func:`repro.analysis.pareto.pareto_front`).
+Every solve in such a sweep shares the instance — only the threshold
+changes — yet each engine call historically rebuilt identical state from
+scratch: the interval prefix tables, the speed-sorted processor pool and
+its ``best_cap`` suffix structure, the per-node child expansions of the
+branch-and-bound search, the incumbent-seeding mappings, and (for the
+Theorem 8 polynomial DP) the whole ``O(n^2 p^2)`` latency table.
+
+:class:`SolveContext` is that shared state, built lazily, once per
+instance, and reused across every threshold point of a sweep:
+
+* the **bnb pipeline engine** caches its prefix/total tables, the speed
+  pool template, the seed-incumbent offers, and — keyed by
+  ``(stage, remaining-pool)`` — the full child expansion of every search
+  node it visits, so later thresholds replay dictionary hits instead of
+  regenerating and re-pricing candidate groups;
+* the **enumeration engine** caches the exhaustive
+  ``(groups, period, latency)`` candidate list, so later thresholds are
+  a filtered scan instead of a re-enumeration;
+* the **Theorem 8 DP** (:mod:`repro.algorithms.pipeline_het_platform`)
+  memoizes its latency table by *capacity signature*: the DP depends on
+  the threshold only through the ``floor(period k s / w)`` block
+  capacities, so a tightening threshold whose floors did not move
+  *reuses* the previous table instead of recomputing it.
+
+Reuse is **behaviour-preserving by construction**: every cached object
+is exactly what the cold path would have computed, so a sweep through
+one context returns bit-identical solutions to per-point cold solves
+(pinned by ``tests/algorithms/test_solve_context.py``).  A context is
+tied to one instance; using it with a different
+:class:`~repro.algorithms.problem.ProblemSpec` raises, which is what
+keeps interleaved sweeps over several instances from leaking state.
+
+Contexts enter the system in three ways: pass ``context=`` to
+:func:`repro.solve` / :func:`repro.algorithms.brute_force.optimal`
+directly, let :func:`repro.analysis.pareto.pareto_front` build one per
+front, or run any campaign — :func:`repro.campaign.runner.execute_tasks`
+keeps a :class:`ContextCache` so repeated instances inside one run (a
+``campaign pareto`` threshold grid, say) share contexts automatically.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ReproError
+
+__all__ = ["SolveContext", "ContextCache"]
+
+
+def _spec_fingerprint(spec) -> tuple:
+    """Cheap content identity of a :class:`ProblemSpec`.
+
+    Two specs with equal fingerprints describe the same instance (same
+    graph shape, stage works and overheads in order, processor speeds in
+    order, data-parallelism flag), so every table a context caches is
+    valid for both.
+    """
+    app = spec.application
+    stages = app.all_stages if hasattr(app, "all_stages") else app.stages
+    return (
+        spec.graph_kind.value,
+        tuple((s.index, s.work, s.dp_overhead) for s in stages),
+        tuple(spec.platform.speeds),
+        bool(spec.allow_data_parallel),
+    )
+
+
+class SolveContext:
+    """Lazily-built caches shared by every solve of one instance.
+
+    The context itself is a neutral bag: each consumer (the bnb engine,
+    the enumeration engine, the Theorem 8 DP) owns a named table and its
+    key scheme, obtained with :meth:`table`.  The context only enforces
+    the one global invariant — all users must solve the *same* instance.
+
+    Example (sweep three thresholds through one context)::
+
+        ctx = SolveContext(spec)
+        for bound in thresholds:
+            solution = brute_force.optimal(
+                spec, Objective.LATENCY, period_bound=bound, context=ctx
+            )
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.fingerprint = _spec_fingerprint(spec)
+        self._tables: dict[str, dict] = {}
+
+    def table(self, name: str) -> dict:
+        """The named memo table (created empty on first access)."""
+        table = self._tables.get(name)
+        if table is None:
+            table = {}
+            self._tables[name] = table
+        return table
+
+    def require(self, spec) -> "SolveContext":
+        """Assert the context belongs to ``spec``'s instance; return self.
+
+        Identity is the fast path; otherwise content fingerprints must
+        match.  A mismatch is always a caller bug — silently accepting
+        it would serve one instance's cached tables to another.
+        """
+        if spec is not self.spec and _spec_fingerprint(spec) != self.fingerprint:
+            raise ReproError(
+                "SolveContext instance mismatch: context was built for "
+                f"{self.spec.describe()!r} but used with {spec.describe()!r}"
+            )
+        return self
+
+
+class ContextCache:
+    """Bounded pool of :class:`SolveContext` keyed by instance content.
+
+    The campaign runner resolves tasks one at a time; a threshold sweep
+    arrives as many tasks sharing one instance document.  The cache maps
+    the canonical JSON of the document to its context (parsing the spec
+    once as a side benefit) and evicts oldest-first beyond
+    ``max_entries`` so a large multi-instance campaign cannot hold every
+    instance's search tables alive at once.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ReproError("ContextCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._entries: dict[str, SolveContext] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def for_document(self, instance: dict) -> SolveContext:
+        """The context of an instance document (parsed and cached).
+
+        Hits refresh recency (LRU), so interleaved sweeps over more
+        instances than ``max_entries`` still keep the hot ones alive.
+        """
+        from ..serialization import canonical_json
+
+        key = canonical_json(instance)
+        context = self._entries.pop(key, None)
+        if context is None:
+            from ..serialization import spec_from_dict
+
+            context = SolveContext(spec_from_dict(instance))
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = context
+        return context

@@ -483,8 +483,21 @@ class ResultCache:
     an already-constructed :class:`CacheBackend` is also accepted.  The
     local backends need ``root`` (the cache directory); the remote
     ``"http"`` backend needs ``url`` instead (the solver-service
-    address).  The cache counts hits/misses/puts and guarantees that
-    returned rows never alias internal state.
+    address — ``ResultCache(url="http://host:8300", backend="http")``).
+    The cache counts hits/misses/puts and guarantees that returned rows
+    never alias internal state.
+
+    >>> import tempfile
+    >>> cache = ResultCache(tempfile.mkdtemp())       # jsonl by default
+    >>> key = "ab" * 32                               # a task content hash
+    >>> cache.get(key) is None                        # miss
+    True
+    >>> cache.put(key, {"status": "ok", "period": 1.5, "latency": 9.0})
+    >>> cache.get(key)["period"]                      # hit — a fresh copy
+    1.5
+    >>> stats = cache.storage_stats()
+    >>> stats["keys"], stats["counters"]["hits"], stats["counters"]["misses"]
+    (1, 1, 1)
     """
 
     def __init__(self, root: str | Path | None = None,

@@ -52,6 +52,7 @@ from pathlib import Path
 
 from ..algorithms.problem import Objective
 from ..algorithms.registry import solve
+from ..algorithms.solve_context import ContextCache
 from ..core.application import ForkApplication
 from ..core.exceptions import ReproError
 from ..serialization import mapping_to_dict, spec_from_dict
@@ -80,7 +81,7 @@ def strip_volatile(row: dict) -> dict:
 # ----------------------------------------------------------------------
 # per-task solving (runs inside workers; must stay importable/top-level)
 # ----------------------------------------------------------------------
-def _dispatch(spec, task: Task):
+def _dispatch(spec, task: Task, context=None):
     objective = Objective(task.objective)
     cfg = task.solver
     mode = cfg.get("mode", "auto")
@@ -92,6 +93,7 @@ def _dispatch(spec, task: Task):
             latency_bound=task.latency_bound,
             exact_fallback=cfg.get("exact_fallback", False),
             engine=cfg.get("engine", "bnb"),
+            context=context,
         )
     if mode == "exact":
         from ..algorithms.brute_force import optimal
@@ -102,6 +104,7 @@ def _dispatch(spec, task: Task):
             period_bound=task.period_bound,
             latency_bound=task.latency_bound,
             engine=cfg.get("engine", "bnb"),
+            context=context,
         )
     if mode == "heuristic":
         if task.period_bound is not None or task.latency_bound is not None:
@@ -140,17 +143,29 @@ def _dispatch(spec, task: Task):
     raise ReproError(f"unknown solver mode {mode!r}")
 
 
-def solve_task(task: Task) -> tuple[dict, float]:
+def solve_task(task: Task, context_cache: ContextCache | None = None
+               ) -> tuple[dict, float]:
     """Solve one task; returns ``(payload, seconds)``.
 
     The payload is the deterministic, cacheable part of the result row.
     Every exception is converted into an error payload — failure isolation
     lives here, as close to the solve as possible.
+
+    ``context_cache`` shares per-instance
+    :class:`~repro.algorithms.solve_context.SolveContext` state between
+    tasks of the same instance — the hot path of a bi-criteria threshold
+    sweep, where every task is the same instance under a different bound.
+    Rows are bit-identical with or without it.
     """
     t0 = time.perf_counter()
     try:
-        spec = spec_from_dict(task.instance)
-        solution = _dispatch(spec, task)
+        if context_cache is not None:
+            context = context_cache.for_document(task.instance)
+            spec = context.spec
+        else:
+            context = None
+            spec = spec_from_dict(task.instance)
+        solution = _dispatch(spec, task, context)
         payload = {
             "status": "ok",
             "period": solution.period,
@@ -179,11 +194,20 @@ def solve_task(task: Task) -> tuple[dict, float]:
     return payload, time.perf_counter() - t0
 
 
-def _run_chunk(tasks: list[Task]) -> list[tuple[int, dict, float]]:
-    """Worker entry point: solve a contiguous chunk of tasks."""
+def _run_chunk(
+    tasks: list[Task], context_cache: ContextCache | None = None
+) -> list[tuple[int, dict, float]]:
+    """Worker entry point: solve a contiguous chunk of tasks.
+
+    Workers receive no ``context_cache`` (contexts do not travel across
+    process boundaries) and build a per-chunk one instead — chunks are
+    contiguous, so the threshold tasks of one sweep still share state.
+    """
+    if context_cache is None:
+        context_cache = ContextCache()
     out = []
     for task in tasks:
-        payload, seconds = solve_task(task)
+        payload, seconds = solve_task(task, context_cache)
         out.append((task.index, payload, seconds))
     return out
 
@@ -216,6 +240,7 @@ def execute_tasks(
     chunk_size: int | None = None,
     progress=None,
     retry_errors: bool = False,
+    context_cache: ContextCache | None = None,
 ) -> list[dict]:
     """Execute a task list; returns result rows in task order.
 
@@ -231,7 +256,18 @@ def execute_tasks(
     re-put overwrites the old row).  Deterministic ``ReproError`` rows
     are re-run too — a solver fix can change the verdict — while ok rows
     keep coming from the cache.
+
+    ``context_cache`` shares per-instance solver state
+    (:class:`~repro.algorithms.solve_context.SolveContext`) between tasks
+    of the same instance; one is created automatically, so a serial
+    threshold sweep amortizes its search tables out of the box.  Pass
+    your own to extend the sharing across several ``execute_tasks`` calls
+    (as :func:`repro.analysis.pareto.pareto_front` does).  Parallel runs
+    ship no contexts to workers — each chunk builds its own — and stay
+    row-identical to serial runs.
     """
+    if context_cache is None:
+        context_cache = ContextCache()
     rows: dict[int, dict] = {}
     misses: list[Task] = []
     retrying: set[int] = set()
@@ -276,7 +312,7 @@ def execute_tasks(
     if misses:
         if workers <= 1:
             for task in misses:
-                consume(_run_chunk([task]))
+                consume(_run_chunk([task], context_cache))
         else:
             if chunk_size is None:
                 chunk_size = max(1, math.ceil(len(misses) / (workers * 4)))

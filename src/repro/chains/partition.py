@@ -34,6 +34,7 @@ from ..core.exceptions import ReproError
 
 __all__ = [
     "PartitionResult",
+    "prefix_sums",
     "interval_sums",
     "chains_to_chains_dp",
     "probe_feasible",
@@ -84,6 +85,18 @@ def _prefix(works: Sequence[float]) -> tuple[float, ...]:
     first call.
     """
     return _prefix_cached(tuple(works))
+
+
+def prefix_sums(works: Sequence[float]) -> tuple[float, ...]:
+    """Public prefix-sum table: ``prefix_sums(w)[i] == sum(w[:i])``.
+
+    Interval ``[i, j)`` then has load ``prefix[j] - prefix[i]`` — the
+    lookup every interval partitioner here (and the branch-and-bound
+    pipeline engine) builds on.  Shares the module-wide memo, so the
+    repeated solves of a bi-criteria threshold sweep pay the ``O(n)``
+    construction once per works array.
+    """
+    return _prefix(works)
 
 
 @lru_cache(maxsize=512)

@@ -44,6 +44,21 @@ class ServiceClient:
 
     ``retries`` counts *additional* attempts after the first; backoff
     sleeps ``backoff * 2**attempt`` seconds between them.
+
+    Construction is offline (one ``urllib`` request per call, nothing
+    persistent), so a single instance can be shared across threads:
+
+    >>> client = ServiceClient("http://127.0.0.1:8300/", timeout=5.0)
+    >>> client.url                      # trailing slash is normalized
+    'http://127.0.0.1:8300'
+    >>> client.retries, client.backoff
+    (3, 0.2)
+
+    Against a live ``python -m repro serve``: ``client.solve(request)``
+    posts a content-addressed solve, ``client.cache_get(key)`` /
+    ``client.cache_put(key, row)`` speak the cache wire protocol behind
+    ``--cache-backend http``, and ``client.stats()`` / ``client.healthz()``
+    report service state.
     """
 
     def __init__(self, url: str, timeout: float = 30.0, retries: int = 3,

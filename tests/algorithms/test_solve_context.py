@@ -1,0 +1,248 @@
+"""Sweep memoization correctness: SolveContext reuse is behaviour-free.
+
+The contract under test: solving a bi-criteria threshold sweep through
+one shared :class:`SolveContext` returns *bit-identical* solutions —
+values and mappings — to solving every point cold, for both exact
+engines, and a context never leaks state across instances (interleaved
+sweeps over two instances stay independent).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms import pipeline_het_platform
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.algorithms.solve_context import ContextCache, SolveContext
+from repro.analysis.pareto import threshold_grid
+from repro.core.costs import FLOAT_TOL
+from repro.core.exceptions import InfeasibleProblemError, ReproError
+from repro.serialization import mapping_to_dict
+
+
+def _random_spec(rng: random.Random, shapes=("pipeline", "fork", "forkjoin")):
+    n = rng.randint(2, 4)
+    p = rng.randint(3, 4)
+    shape = rng.choice(shapes)
+    works = [rng.randint(1, 9) for _ in range(n)]
+    if shape == "fork":
+        app = repro.ForkApplication.from_works(rng.randint(1, 5), works)
+    elif shape == "forkjoin":
+        app = repro.ForkJoinApplication.from_works(
+            rng.randint(1, 5), works, rng.randint(1, 5)
+        )
+    else:
+        app = repro.PipelineApplication.from_works(works)
+    platform = repro.Platform.heterogeneous(
+        [rng.randint(1, 6) for _ in range(p)]
+    )
+    return ProblemSpec(app, platform, rng.random() < 0.3)
+
+
+def _solve_key(solution):
+    """Everything that must not change under context reuse."""
+    return (
+        solution.period,
+        solution.latency,
+        mapping_to_dict(solution.mapping),
+    )
+
+
+def _sweep(spec, engine, context=None, points=5):
+    """The pareto-style sweep: extremes, then latency-under-period-cap."""
+    out = []
+    lo = bf.optimal(spec, Objective.PERIOD, engine=engine, context=context)
+    hi = bf.optimal(spec, Objective.LATENCY, engine=engine, context=context)
+    out.append(_solve_key(lo))
+    out.append(_solve_key(hi))
+    grid = threshold_grid(lo.period, max(hi.period, lo.period), points)
+    for bound in grid:
+        try:
+            sol = bf.optimal(
+                spec, Objective.LATENCY,
+                period_bound=bound * (1 + FLOAT_TOL),
+                engine=engine, context=context,
+            )
+            out.append(_solve_key(sol))
+        except InfeasibleProblemError:
+            out.append("infeasible")
+    return out
+
+
+@pytest.mark.parametrize("engine", ["bnb", "enumerate"])
+def test_memoized_sweep_bit_identical_to_cold_solves(engine):
+    """>= 50 random instances: one-context sweeps == per-point cold sweeps."""
+    rng = random.Random(20070926)
+    for _ in range(50):
+        spec = _random_spec(rng)
+        context = SolveContext(spec)
+        memoized = _sweep(spec, engine, context=context)
+        cold = _sweep(spec, engine, context=None)
+        assert memoized == cold, spec.describe()
+
+
+def test_interleaved_contexts_do_not_leak_state():
+    """Two instances swept alternately through two live contexts."""
+    rng = random.Random(31337)
+    for _ in range(10):
+        spec_a = _random_spec(rng)
+        spec_b = _random_spec(rng)
+        ctx_a, ctx_b = SolveContext(spec_a), SolveContext(spec_b)
+        interleaved_a, interleaved_b = [], []
+        for objective in (Objective.PERIOD, Objective.LATENCY):
+            sol_a = bf.optimal(spec_a, objective, context=ctx_a)
+            sol_b = bf.optimal(spec_b, objective, context=ctx_b)
+            interleaved_a.append(_solve_key(sol_a))
+            interleaved_b.append(_solve_key(sol_b))
+            for scale in (1.2, 1.7):
+                bound_a = sol_a.period * scale
+                bound_b = sol_b.period * scale
+                interleaved_a.append(_solve_key(bf.optimal(
+                    spec_a, Objective.LATENCY, period_bound=bound_a,
+                    context=ctx_a,
+                )))
+                interleaved_b.append(_solve_key(bf.optimal(
+                    spec_b, Objective.LATENCY, period_bound=bound_b,
+                    context=ctx_b,
+                )))
+        # replay each instance cold, in the same solve order
+        for spec, got in ((spec_a, interleaved_a), (spec_b, interleaved_b)):
+            cold = []
+            for objective in (Objective.PERIOD, Objective.LATENCY):
+                sol = bf.optimal(spec, objective)
+                cold.append(_solve_key(sol))
+                for scale in (1.2, 1.7):
+                    cold.append(_solve_key(bf.optimal(
+                        spec, Objective.LATENCY,
+                        period_bound=sol.period * scale,
+                    )))
+            assert got == cold, spec.describe()
+
+
+def test_context_rejects_foreign_instance():
+    rng = random.Random(7)
+    spec_a = _random_spec(rng, shapes=("pipeline",))
+    spec_b = ProblemSpec(
+        repro.PipelineApplication.from_works([5, 4, 3]),
+        repro.Platform.heterogeneous([3, 1]),
+        False,
+    )
+    context = SolveContext(spec_a)
+    with pytest.raises(ReproError, match="mismatch"):
+        bf.optimal(spec_b, Objective.PERIOD, context=context)
+    with pytest.raises(ReproError, match="mismatch"):
+        repro.solve(spec_b, Objective.PERIOD, context=context)
+
+
+def test_context_accepts_equal_content_spec():
+    """A re-parsed spec with identical content shares the context."""
+    app = repro.PipelineApplication.from_works([4, 2, 7])
+    twin_a = ProblemSpec(app, repro.Platform.heterogeneous([2, 1, 3]), False)
+    twin_b = ProblemSpec(
+        repro.PipelineApplication.from_works([4, 2, 7]),
+        repro.Platform.heterogeneous([2, 1, 3]),
+        False,
+    )
+    context = SolveContext(twin_a)
+    sol_a = bf.optimal(twin_a, Objective.PERIOD, context=context)
+    sol_b = bf.optimal(twin_b, Objective.PERIOD, context=context)
+    assert _solve_key(sol_a) == _solve_key(sol_b)
+
+
+def test_thm8_dp_memo_matches_cold_sweep():
+    """Hom pipeline / het platform (Theorem 8): memoized DP == cold DP."""
+    app = repro.PipelineApplication.from_works([3.0] * 6)
+    platform = repro.Platform.heterogeneous([1, 2, 2, 5])
+    spec = ProblemSpec(app, platform, False)
+    lo = repro.solve(spec, Objective.PERIOD)
+    hi = repro.solve(spec, Objective.LATENCY)
+    grid = threshold_grid(lo.period, max(hi.period, lo.period), 9)
+    context = SolveContext(spec)
+    for bound in grid:
+        memoized = pipeline_het_platform.min_latency_given_period_homogeneous(
+            app, platform, bound, context=context
+        )
+        cold = pipeline_het_platform.min_latency_given_period_homogeneous(
+            app, platform, bound
+        )
+        assert _solve_key(memoized) == _solve_key(cold)
+        converse = pipeline_het_platform.min_period_given_latency_homogeneous(
+            app, platform, memoized.latency, context=context
+        )
+        cold_converse = pipeline_het_platform.min_period_given_latency_homogeneous(
+            app, platform, memoized.latency
+        )
+        assert _solve_key(converse) == _solve_key(cold_converse)
+    # the sweep hit the memo: far fewer DP tables than solve calls
+    assert len(context.table("thm8-latency-dp")) <= 2 * len(grid)
+
+
+def test_context_cache_keys_by_content_and_evicts():
+    from repro.serialization import spec_to_dict
+
+    rng = random.Random(11)
+    specs = [_random_spec(rng, shapes=("pipeline",)) for _ in range(3)]
+    cache = ContextCache(max_entries=2)
+    ctx0 = cache.for_document(spec_to_dict(specs[0]))
+    assert cache.for_document(spec_to_dict(specs[0])) is ctx0
+    cache.for_document(spec_to_dict(specs[1]))
+    cache.for_document(spec_to_dict(specs[2]))  # evicts the oldest
+    assert len(cache) == 2
+    assert cache.for_document(spec_to_dict(specs[0])) is not ctx0
+    with pytest.raises(ReproError):
+        ContextCache(max_entries=0)
+
+
+def test_runner_context_cache_rows_identical():
+    """execute_tasks rows are identical with and without shared contexts."""
+    from repro.campaign.runner import execute_tasks, strip_volatile
+    from repro.campaign.spec import Task
+    from repro.serialization import spec_to_dict
+
+    rng = random.Random(5)
+    spec = _random_spec(rng, shapes=("pipeline",))
+    instance = spec_to_dict(spec)
+    solver = {"name": "x", "mode": "exact", "engine": "bnb"}
+    lo = bf.optimal(spec, Objective.PERIOD)
+    tasks = [
+        Task(index=i, instance_id="t", instance=instance,
+             objective="latency", period_bound=lo.period * (1.1 + 0.2 * i),
+             latency_bound=None, solver=solver)
+        for i in range(6)
+    ]
+    shared = [strip_volatile(r)
+              for r in execute_tasks(tasks, context_cache=ContextCache())]
+    # defeat sharing entirely: one fresh execute_tasks call per task
+    isolated = [
+        strip_volatile(execute_tasks([task])[0]) for task in tasks
+    ]
+    assert shared == isolated
+
+
+def test_pareto_front_context_sweep_matches_isolated_points():
+    """pareto_front (context-shared) == the same front from cold solves."""
+    from repro.analysis.pareto import non_dominated, pareto_front
+
+    rng = random.Random(99)
+    spec = _random_spec(rng, shapes=("pipeline",))
+    front = pareto_front(spec, num_points=6, exact_fallback=True)
+    # rebuild the candidate set cold, point by point, through the same
+    # dispatch pareto_front's tasks use (fresh context every call)
+    lo = repro.solve(spec, Objective.PERIOD, exact_fallback=True)
+    hi = repro.solve(spec, Objective.LATENCY, exact_fallback=True)
+    candidates = [lo, hi]
+    for bound in threshold_grid(lo.period, max(hi.period, lo.period), 6):
+        try:
+            candidates.append(repro.solve(
+                spec, Objective.LATENCY,
+                period_bound=bound * (1 + FLOAT_TOL),
+                exact_fallback=True,
+            ))
+        except InfeasibleProblemError:
+            continue
+    expected = non_dominated(candidates)
+    assert [_solve_key(s) for s in front] == [_solve_key(s) for s in expected]

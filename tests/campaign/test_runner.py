@@ -311,7 +311,9 @@ class TestRetryErrors:
         real_solve = runner_mod.solve_task
         monkeypatch.setattr(
             runner_mod, "solve_task",
-            lambda task: solved_keys.append(task.key) or real_solve(task),
+            lambda task, *a, **kw: (
+                solved_keys.append(task.key) or real_solve(task, *a, **kw)
+            ),
         )
 
         # plain re-run: everything (even the error row) is served cached

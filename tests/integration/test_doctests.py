@@ -1,0 +1,39 @@
+"""Tier-1 doctest gate for the documented public entry points.
+
+The docstring examples on :func:`repro.analysis.pareto.pareto_front`,
+:func:`threshold_grid`, :func:`non_dominated`,
+:class:`repro.campaign.cache.ResultCache` and
+:class:`repro.service.client.ServiceClient` are executable — this test
+runs them inside the plain tier-1 invocation, and CI additionally runs
+``pytest --doctest-modules`` on the same modules, so a drifting example
+fails the build instead of rotting in the docs.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.pareto
+import repro.campaign.cache
+import repro.service.client
+
+DOCUMENTED_MODULES = [
+    repro.analysis.pareto,
+    repro.campaign.cache,
+    repro.service.client,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests_pass(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, (
+        f"{module.__name__} lost its doctest examples"
+    )
+    assert result.failed == 0, (
+        f"{result.failed} doctest failure(s) in {module.__name__}"
+    )
