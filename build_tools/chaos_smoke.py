@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""CI chaos smoke: one campaign survives a worker kill and a cache outage.
+
+The fire drill for the fault-tolerance layer, end to end and in one
+process:
+
+1. a solver service goes up and a campaign that contains a *killer*
+   instance (its worker is SIGKILLed by the fault hook) runs against it
+   through the breaker-wrapped http cache with two workers — and the
+   service is killed from the progress callback, mid-run;
+2. the run must complete anyway: the killer quarantined as an error
+   row, every surviving row bit-identical to a fault-free serial
+   reference, and the puts that found the remote dead spilled to the
+   local journal;
+3. the service comes back on the same port; the breaker's half-open
+   probe must replay the journal so the remote ends up holding every
+   cacheable row;
+4. a repeat run re-solves only the quarantined instance, and a third
+   run is 100% cache hits.
+
+Exercised in tier-1 CI (see ``.github/workflows/ci.yml``); the unit
+versions of each guarantee live in ``tests/campaign/`` — this script is
+the integration pass over all of them at once.
+
+Usage::
+
+    PYTHONPATH=src python build_tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignSpec,
+    CircuitBreakerBackend,
+    ResultCache,
+    run_campaign,
+    strip_volatile,
+)
+from repro.campaign.cache import HttpCacheBackend
+from repro.campaign.runner import _FAULT_KILL_ENV
+from repro.service import ServiceClient
+from repro.service.server import make_server
+
+
+class _Service:
+    """A solver service that can be killed and restarted on one port."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.cache_dir = cache_dir
+        self.port = 0                       # first start picks a free port
+        self.server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> None:
+        srv = make_server(host="127.0.0.1", port=self.port,
+                          cache=ResultCache(self.cache_dir))
+        self.port = srv.server_address[1]
+        self.server = srv
+        self._thread = threading.Thread(target=srv.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        ServiceClient(self.url, timeout=5.0).wait_ready(timeout=30)
+
+    def kill(self) -> None:
+        srv, self.server = self.server, None
+        if srv is None:
+            return
+        srv.shutdown()
+        srv.server_close()
+        srv.service.close()
+        self._thread.join(timeout=5)
+
+
+def _instance(iid: str, works: list) -> dict:
+    return {
+        "type": "explicit",
+        "id": iid,
+        "application": {"kind": "pipeline", "works": works},
+        "platform": {"kind": "platform", "speeds": [1.0, 1.0, 1.0]},
+    }
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="chaos-smoke",
+        instances=(
+            _instance("alpha", [14.0, 4.0, 2.0, 4.0]),
+            _instance("victim", [3.0, 3.0, 3.0]),
+            _instance("omega", [5.0, 1.0, 2.0, 8.0]),
+            _instance("delta", [2.0, 7.0, 1.0, 1.0, 6.0]),
+        ),
+        objectives=("period", "latency"),
+        solvers=({"name": "smoke", "mode": "auto", "exact_fallback": True},),
+    )
+
+
+def _breaker_cache(url: str, journal_dir: Path):
+    backend = CircuitBreakerBackend(
+        HttpCacheBackend(url, timeout=5.0, retries=0),
+        journal_dir=journal_dir,
+        failure_threshold=2,
+        reset_after=0.05,
+    )
+    return ResultCache(backend=backend), backend
+
+
+def main() -> int:
+    spec = _spec()
+    tasks = len(spec.tasks())
+    reference = run_campaign(spec, workers=0)     # fault-free serial truth
+    assert reference.stats["errors"] == 0, reference.stats
+
+    tmp = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    service = _Service(tmp / "remote")
+    service.start()
+    cache, breaker = _breaker_cache(service.url, tmp / "journal")
+
+    def _kill_after_first_chunk(done: int, total: int) -> None:
+        if service.server is not None:
+            service.kill()                  # outage lands mid-write-back
+
+    os.environ[_FAULT_KILL_ENV] = "victim"
+    try:
+        result = run_campaign(spec, cache=cache, workers=2, chunk_size=2,
+                              progress=_kill_after_first_chunk)
+    finally:
+        os.environ.pop(_FAULT_KILL_ENV, None)
+
+    assert result.stats["crashed"] == 2, result.stats
+    assert result.stats["ok"] == tasks - 2, result.stats
+    survivors = [strip_volatile(r) for r in result.rows
+                 if r["instance_id"] != "victim"]
+    expected = [strip_volatile(r) for r in reference.rows
+                if r["instance_id"] != "victim"]
+    assert survivors == expected, "surviving rows diverged from serial"
+    assert breaker.opens >= 1, breaker.breaker_state()
+    assert breaker.spilled_puts >= 1, breaker.breaker_state()
+    print(f"[chaos] outage survived: {result.stats['ok']} ok rows, "
+          f"2 quarantined, {breaker.spilled_puts} puts journaled")
+
+    service.start()                         # same port, same disk cache
+    deadline = time.monotonic() + 30.0
+    while breaker.breaker_state()["journal_entries"] > 0:
+        assert time.monotonic() < deadline, "journal never replayed"
+        cache.get("00" * 32)                # half-open probe / replay tick
+        time.sleep(0.02)
+    assert breaker.state == "closed", breaker.breaker_state()
+    assert breaker.replayed_puts >= 1, breaker.breaker_state()
+    remote = ResultCache(url=service.url, backend="http")
+    assert len(remote.keys()) == tasks - 2, remote.keys()
+    print(f"[chaos] recovery: {breaker.replayed_puts} puts replayed, "
+          f"remote holds {tasks - 2} rows")
+
+    # the killer was never cached: a clean run re-solves exactly it ...
+    second_cache, _ = _breaker_cache(service.url, tmp / "journal-2")
+    second = run_campaign(spec, cache=second_cache, workers=0)
+    assert second.stats["errors"] == 0, second.stats
+    assert second.stats["cache_hits"] == tasks - 2, second.stats
+    # ... and after that back-fill, a third run is pure cache hits
+    third_cache, _ = _breaker_cache(service.url, tmp / "journal-3")
+    third = run_campaign(spec, cache=third_cache, workers=0)
+    assert third.stats["cache_hits"] == tasks, third.stats
+    service.kill()
+    print(f"[chaos] warm re-runs: {second.stats['cache_hits']} then "
+          f"{third.stats['cache_hits']}/{tasks} hits — chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ must clear the floors future PRs may not regress:
 * the sweep section of ``BENCH_exact.json`` — context-reuse must stay
   >= 2x faster than cold per-point solves (and the sweep rows must have
   been verified bit-identical when the file was generated);
+* the budget section of ``BENCH_exact.json`` — the anytime contract:
+  incumbents were verified monotone in the node budget and sound
+  against their lower bounds, every recorded gap is finite, and the
+  gap at the largest budget is no worse than at the smallest;
 * the campaign warm-cache hit fraction of ``BENCH_campaign.json`` —
   a repeat campaign must stay >= 95% cache hits.
 
@@ -58,6 +62,33 @@ def check_exact(path: Path) -> list[str]:
             _fail(f"{label}: context-reuse speedup {entry['speedup']}x "
                   f"fell below the {MIN_SWEEP_SPEEDUP}x floor")
         lines.append(f"  {label}: {entry['speedup']}x (>= {MIN_SWEEP_SPEEDUP}x)")
+    lines += check_budget(path, doc)
+    return lines
+
+
+def check_budget(path: Path, doc: dict) -> list[str]:
+    budget = doc.get("budget", {})
+    entries = budget.get("entries", [])
+    if not entries:
+        _fail(f"{path.name} has no budget section — regenerate with "
+              "PYTHONPATH=src python benchmarks/bench_exact_engines.py")
+    lines = []
+    for entry in entries:
+        label = f"budget {entry['n']}x{entry['p']}"
+        if not (entry.get("anytime_monotone") and entry.get("sound")):
+            _fail(f"{label}: anytime contract was not verified at "
+                  "generation time")
+        gaps = [pt["gap"] for pt in entry["points"]]
+        if any(not (0.0 <= g < float("inf")) for g in gaps):
+            _fail(f"{label}: non-finite or negative gap recorded: {gaps}")
+        if gaps[-1] > gaps[0]:
+            _fail(f"{label}: gap widened with budget ({gaps[0]} -> "
+                  f"{gaps[-1]})")
+        lines.append(
+            f"  {label}: gap {gaps[0] * 100:.1f}% @ "
+            f"{entry['points'][0]['max_nodes']} nodes -> "
+            f"{gaps[-1] * 100:.1f}% @ {entry['points'][-1]['max_nodes']}"
+        )
     return lines
 
 

@@ -28,6 +28,8 @@ Quick start::
 """
 
 from .algorithms import (
+    Budget,
+    BudgetExhaustedError,
     GraphKind,
     NPHardError,
     Objective,
@@ -90,6 +92,7 @@ __all__ = [
     "forkjoin_latency",
     "validate",
     # solving
+    "Budget",
     "GraphKind",
     "Objective",
     "ProblemSpec",
@@ -99,6 +102,7 @@ __all__ = [
     # errors
     "ReproError",
     "NPHardError",
+    "BudgetExhaustedError",
     "InvalidApplicationError",
     "InvalidPlatformError",
     "InvalidMappingError",

@@ -11,6 +11,7 @@ NP-hard.
 from . import (
     bnb,
     brute_force,
+    budget,
     exact,
     fork_het_platform,
     fork_hom_platform,
@@ -19,6 +20,7 @@ from . import (
     pipeline_het_platform,
     pipeline_hom_platform,
 )
+from .budget import Budget, BudgetExhaustedError
 from .problem import GraphKind, Objective, ProblemSpec, Solution
 from .registry import (
     TABLE,
@@ -31,6 +33,8 @@ from .registry import (
 from .solve_context import ContextCache, SolveContext
 
 __all__ = [
+    "Budget",
+    "BudgetExhaustedError",
     "GraphKind",
     "Objective",
     "ProblemSpec",
@@ -45,6 +49,7 @@ __all__ = [
     "solve",
     "bnb",
     "brute_force",
+    "budget",
     "exact",
     "lemmas",
     "pipeline_hom_platform",

@@ -77,10 +77,11 @@ from ..core.mapping import (
     PipelineMapping,
 )
 from ..core.validation import is_valid
+from .budget import CHECK_EVERY, Budget, BudgetExhaustedError, BudgetMeter, _BudgetStop
 from .problem import Objective, ProblemSpec, Solution
 from .solve_context import SolveContext
 
-__all__ = ["optimal"]
+__all__ = ["optimal", "root_lower_bound"]
 
 _INF = float("inf")
 _REPL = AssignmentKind.REPLICATED
@@ -249,7 +250,8 @@ class _SpeedPool:
 class _Search:
     """Incumbent + counters + threshold tolerances for one solve."""
 
-    def __init__(self, objective, period_bound, latency_bound) -> None:
+    def __init__(self, objective, period_bound, latency_bound,
+                 meter: BudgetMeter | None = None) -> None:
         self.objective = objective
         self.period_cap = (
             None if period_bound is None else period_bound * (1 + FLOAT_TOL)
@@ -261,6 +263,20 @@ class _Search:
         self.best_groups: list[tuple] | None = None
         self.nodes = 0
         self.pruned = 0
+        # budget plumbing: the hot loops gate on a local `metered` flag,
+        # so the unbudgeted path pays one bool test per node
+        self.meter = meter
+        self.next_check = CHECK_EVERY if meter is not None else _INF
+
+    def checkpoint(self) -> None:
+        """Amortized budget check (call when ``nodes >= next_check``).
+
+        Re-arms at a fixed node-count stride, so a ``max_nodes`` budget
+        stops at the same deterministic point on every run.
+        """
+        self.next_check = self.nodes + CHECK_EVERY
+        if self.meter.exhausted(self.nodes):
+            raise _BudgetStop(self.meter.reason)
 
     def value_of(self, period: float, latency: float) -> float:
         return period if self.objective is Objective.PERIOD else latency
@@ -442,9 +458,12 @@ def _solve_pipeline(
     period_cap = search.period_cap
     latency_cap = search.latency_cap
     tol = FLOAT_TOL
+    metered = search.meter is not None
 
     def rec(stage: int, cur_period: float, cur_latency: float) -> None:
         search.nodes += 1
+        if metered and search.nodes >= search.next_check:
+            search.checkpoint()
         if stage > n:
             search.offer(cur_period, cur_latency, groups)
             return
@@ -576,6 +595,7 @@ def _solve_fork_like(
     latency_objective = (
         search.objective is Objective.LATENCY or search.latency_cap is not None
     )
+    metered = search.meter is not None
     blocks: list[_Block] = []
 
     # ----- Phase B: assign processors to the blocks of a complete partition
@@ -704,6 +724,8 @@ def _solve_fork_like(
             if not scored:
                 return
             search.nodes += len(scored)  # the leaves the recursion would visit
+            if metered and search.nodes >= search.next_check:
+                search.checkpoint()
             m = len(scored)
             periods = np.fromiter(
                 (ch[3] for ch in scored), dtype=float, count=m
@@ -746,6 +768,8 @@ def _solve_fork_like(
             join_time: float,
         ) -> None:
             search.nodes += 1
+            if metered and search.nodes >= search.next_check:
+                search.checkpoint()
             if i == q:
                 latency = leaf_latency(
                     t0, root_delay, other_max, done_max, join_time
@@ -812,6 +836,8 @@ def _solve_fork_like(
     # ----- Phase A: enumerate stage partitions (restricted growth)
     def grow(idx: int) -> None:
         search.nodes += 1
+        if metered and search.nodes >= search.next_check:
+            search.checkpoint()
         if idx == len(order):
             assign_blocks(blocks)
             return
@@ -875,12 +901,39 @@ def _solve_fork_like(
 # ----------------------------------------------------------------------
 # public entry point
 # ----------------------------------------------------------------------
+def root_lower_bound(spec: ProblemSpec, objective: Objective) -> float:
+    """Root-relaxation lower bound on the optimal objective value.
+
+    The same admissible bounds the engines apply at their root node,
+    evaluated in closed form: disjoint groups' speed denominators total
+    at most the platform speed ``S``, so any mapping has period and
+    total-delay at least ``total_work / S``; a fork root stage runs on
+    at most ``max_speed`` (``S`` with data-parallelism), and a fork-join
+    adds the join stage's floor.  Valid for the bi-criteria problems too
+    (thresholds only shrink the feasible set).
+    """
+    app, platform = spec.application, spec.platform
+    total_speed = platform.total_speed
+    if isinstance(app, ForkApplication):
+        works = {stage.index: stage.work for stage in app.all_stages}
+        if objective is Objective.PERIOD:
+            return sum(works.values()) / total_speed
+        t0_floor = works[0] / (
+            total_speed if spec.allow_data_parallel else platform.fastest.speed
+        )
+        if isinstance(app, ForkJoinApplication):
+            return t0_floor + works[app.n + 1] / total_speed
+        return t0_floor
+    return sum(stage.work for stage in app.stages) / total_speed
+
+
 def optimal(
     spec: ProblemSpec,
     objective: Objective,
     period_bound: float | None = None,
     latency_bound: float | None = None,
     context: SolveContext | None = None,
+    budget: Budget | None = None,
 ) -> Solution:
     """Branch-and-bound exact optimum (same contract as the enumerator).
 
@@ -890,20 +943,48 @@ def optimal(
     shares the search tables across the repeated solves of a threshold
     sweep; the result is bit-identical with or without one.  Raises
     :class:`InfeasibleProblemError` when no valid mapping meets the bounds.
+
+    ``budget`` (:class:`~repro.algorithms.budget.Budget`) caps the search
+    effort.  A solve that completes within budget is exact
+    (``meta["status"] == "optimal"``); an exhausted budget returns the
+    best incumbent found so far with ``meta["status"] ==
+    "budget_exhausted"`` plus ``lower_bound`` / ``gap`` /
+    ``budget_reason`` meta fields — see :mod:`repro.algorithms.budget`
+    for the anytime/determinism semantics.  If the budget runs out with
+    no incumbent (infeasibly tight thresholds), raises
+    :class:`~repro.algorithms.budget.BudgetExhaustedError`.
     """
     context = SolveContext(spec) if context is None else context.require(spec)
-    search = _Search(objective, period_bound, latency_bound)
+    meter = (
+        BudgetMeter(budget)
+        if budget is not None and budget.is_bounded else None
+    )
+    search = _Search(objective, period_bound, latency_bound, meter)
     _seed_incumbent(spec, search, context)
     app = spec.application
+    status = "optimal"
+    try:
+        if isinstance(app, ForkApplication):
+            _solve_fork_like(spec, search, context)
+        else:
+            _solve_pipeline(spec, search, context)
+    except _BudgetStop:
+        status = "budget_exhausted"
+    mapping_cls = PipelineMapping
     if isinstance(app, ForkApplication):
-        _solve_fork_like(spec, search, context)
         mapping_cls = (
             ForkJoinMapping if isinstance(app, ForkJoinApplication) else ForkMapping
         )
-    else:
-        _solve_pipeline(spec, search, context)
-        mapping_cls = PipelineMapping
     if search.best_groups is None:
+        if status == "budget_exhausted":
+            raise BudgetExhaustedError(
+                f"budget exhausted ({meter.reason}) after {search.nodes} "
+                f"nodes with no feasible incumbent "
+                f"(period<={period_bound}, latency<={latency_bound}): "
+                "neither solved nor proven infeasible within this budget",
+                nodes=search.nodes,
+                reason=meter.reason,
+            )
         raise InfeasibleProblemError(
             f"no valid mapping satisfies the bounds (period<={period_bound}, "
             f"latency<={latency_bound})"
@@ -917,18 +998,31 @@ def optimal(
         ),
     )
     assert is_valid(mapping, spec.allow_data_parallel)
-    solution = Solution.from_mapping(
-        mapping,
-        algorithm="bnb",
-        nodes=search.nodes,
-        pruned=search.pruned,
-    )
+    meta = {
+        "algorithm": "bnb",
+        "nodes": search.nodes,
+        "pruned": search.pruned,
+        "status": status,
+    }
+    if status == "budget_exhausted":
+        lower = root_lower_bound(spec, objective)
+        meta["lower_bound"] = lower
+        meta["budget"] = meter.budget.to_dict()
+        meta["budget_reason"] = meter.reason
+    solution = Solution.from_mapping(mapping, **meta)
     # verified wrapper contract: the incremental value must match the
-    # authoritative cost model on the returned mapping
+    # authoritative cost model on the returned mapping (the incumbent is
+    # always a fully-priced mapping, budgeted stop or not)
     value = solution.period if objective is Objective.PERIOD else solution.latency
     scale = max(1.0, abs(value))
     assert abs(value - search.best_value) <= 1e-6 * scale, (
         f"bnb incremental value {search.best_value} drifted from "
         f"evaluate() value {value}"
     )
+    if status == "budget_exhausted":
+        lower = meta["lower_bound"]
+        solution.meta["gap"] = (
+            (value - lower) / lower if lower > 0.0
+            else (0.0 if value <= FLOAT_TOL else _INF)
+        )
     return solution

@@ -44,6 +44,7 @@ from ..core.mapping import (
     PipelineMapping,
 )
 from ..core.validation import is_valid
+from .budget import CHECK_EVERY, Budget, BudgetExhaustedError, BudgetMeter
 from .problem import Objective, ProblemSpec, Solution
 
 __all__ = [
@@ -258,6 +259,7 @@ def optimal(
     latency_bound: float | None = None,
     engine: str = "bnb",
     context=None,
+    budget: Budget | None = None,
 ) -> Solution:
     """Exact optimal solution, routed through the selected engine.
 
@@ -280,6 +282,10 @@ def optimal(
     the priced candidate list for ``enumerate``.  Results are
     bit-identical with or without a context.
 
+    ``budget`` (:class:`~repro.algorithms.budget.Budget`) caps the search
+    effort of either engine; see :mod:`repro.algorithms.budget` for the
+    anytime/incumbent semantics on exhaustion.
+
     Raises :class:`InfeasibleProblemError` when no valid mapping meets the
     bounds.
     """
@@ -287,12 +293,14 @@ def optimal(
         from .bnb import optimal as bnb_optimal
 
         return bnb_optimal(
-            spec, objective, period_bound, latency_bound, context=context
+            spec, objective, period_bound, latency_bound, context=context,
+            budget=budget,
         )
     if engine != "enumerate":
         raise ReproError(f"unknown exact engine {engine!r}")
     return optimal_enumerated(
-        spec, objective, period_bound, latency_bound, context=context
+        spec, objective, period_bound, latency_bound, context=context,
+        budget=budget,
     )
 
 
@@ -342,6 +350,7 @@ def optimal_enumerated(
     period_bound: float | None = None,
     latency_bound: float | None = None,
     context=None,
+    budget: Budget | None = None,
 ) -> Solution:
     """Flat exhaustive enumeration (tiny instances only).
 
@@ -350,9 +359,18 @@ def optimal_enumerated(
     property-tested against.  ``context`` caches the priced candidate
     list so a threshold sweep enumerates once and filters per threshold;
     candidate order (hence tie-breaking) is identical either way.
+
+    ``budget`` counts each priced candidate as one search node; on
+    exhaustion the scan stops and the best candidate seen so far is
+    returned with ``status="budget_exhausted"`` (candidate order is
+    fixed, so ``max_nodes`` stops are deterministic here too).
     """
     if context is not None:
         context.require(spec)
+    meter = (
+        BudgetMeter(budget)
+        if budget is not None and budget.is_bounded else None
+    )
     app, platform = spec.application, spec.platform
     if isinstance(app, ForkJoinApplication):
         mapping_cls = ForkJoinMapping
@@ -362,7 +380,16 @@ def optimal_enumerated(
         mapping_cls = PipelineMapping
     best: tuple | None = None
     best_value = float("inf")
+    nodes = 0
+    next_check = CHECK_EVERY if meter is not None else float("inf")
+    exhausted = False
     for groups, period, latency in _enumerated_candidates(spec, context):
+        nodes += 1
+        if nodes >= next_check:
+            next_check = nodes + CHECK_EVERY
+            if meter.exhausted(nodes):
+                exhausted = True
+                break
         if period_bound is not None and period > period_bound * (1 + FLOAT_TOL):
             continue
         if latency_bound is not None and latency > latency_bound * (1 + FLOAT_TOL):
@@ -372,6 +399,15 @@ def optimal_enumerated(
             best_value = value
             best = (groups, period, latency)
     if best is None:
+        if exhausted:
+            raise BudgetExhaustedError(
+                f"budget exhausted ({meter.reason}) after {nodes} candidates "
+                f"with no feasible incumbent (period<={period_bound}, "
+                f"latency<={latency_bound}): neither solved nor proven "
+                "infeasible within this budget",
+                nodes=nodes,
+                reason=meter.reason,
+            )
         raise InfeasibleProblemError(
             f"no valid mapping satisfies the bounds (period<={period_bound}, "
             f"latency<={latency_bound})"
@@ -380,7 +416,21 @@ def optimal_enumerated(
     mapping = mapping_cls(
         application=app, platform=platform, groups=groups
     )
+    meta: dict = {"algorithm": "brute-force", "status": "optimal"}
+    if exhausted:
+        from .bnb import root_lower_bound
+
+        lower = root_lower_bound(spec, objective)
+        value = period if objective is Objective.PERIOD else latency
+        meta.update(
+            status="budget_exhausted",
+            nodes=nodes,
+            lower_bound=lower,
+            gap=(value - lower) / lower if lower > 0.0 else 0.0,
+            budget=meter.budget.to_dict(),
+            budget_reason=meter.reason,
+        )
     return Solution(
         mapping=mapping, period=period, latency=latency,
-        meta={"algorithm": "brute-force"},
+        meta=meta,
     )

@@ -37,6 +37,7 @@ from ..core.mapping import (
 )
 from ..core.platform import Platform
 from .brute_force import compositions, optimal as brute_optimal
+from .budget import Budget
 from .problem import Objective, ProblemSpec, Solution
 
 __all__ = [
@@ -53,12 +54,17 @@ __all__ = [
 _ENGINE_LIMITS = {"enumerate": 7, "bnb": 10}
 
 
-def _guard(n_stages: int, p: int, engine: str = "bnb") -> None:
+def _guard(n_stages: int, p: int, engine: str = "bnb",
+           budget: Budget | None = None) -> None:
     if engine not in _ENGINE_LIMITS:
         raise ReproError(
             f"unknown exact engine {engine!r} (choose from "
             f"{sorted(_ENGINE_LIMITS)})"
         )
+    if budget is not None and budget.is_bounded:
+        # a bounded budget replaces the size guard: the solve terminates
+        # by construction and returns an anytime incumbent on exhaustion
+        return
     limit = _ENGINE_LIMITS[engine]
     if n_stages > limit or p > limit:
         raise ReproError(
@@ -75,11 +81,17 @@ def pipeline_exact(
     latency_bound: float | None = None,
     engine: str = "bnb",
     context=None,
+    budget: Budget | None = None,
 ) -> Solution:
-    """Generic exact pipeline solution (any variant, small sizes)."""
-    _guard(spec.application.n, spec.platform.p, engine)
+    """Generic exact pipeline solution (any variant, small sizes).
+
+    A bounded ``budget`` lifts the size guard: the solve terminates by
+    construction, returning an anytime incumbent on exhaustion.
+    """
+    _guard(spec.application.n, spec.platform.p, engine, budget)
     return brute_optimal(
-        spec, objective, period_bound, latency_bound, engine, context=context
+        spec, objective, period_bound, latency_bound, engine, context=context,
+        budget=budget,
     )
 
 
@@ -90,11 +102,17 @@ def fork_exact(
     latency_bound: float | None = None,
     engine: str = "bnb",
     context=None,
+    budget: Budget | None = None,
 ) -> Solution:
-    """Generic exact fork solution (any variant, small sizes)."""
-    _guard(spec.application.n + 1, spec.platform.p, engine)
+    """Generic exact fork solution (any variant, small sizes).
+
+    A bounded ``budget`` lifts the size guard: the solve terminates by
+    construction, returning an anytime incumbent on exhaustion.
+    """
+    _guard(spec.application.n + 1, spec.platform.p, engine, budget)
     return brute_optimal(
-        spec, objective, period_bound, latency_bound, engine, context=context
+        spec, objective, period_bound, latency_bound, engine, context=context,
+        budget=budget,
     )
 
 
@@ -105,11 +123,17 @@ def forkjoin_exact(
     latency_bound: float | None = None,
     engine: str = "bnb",
     context=None,
+    budget: Budget | None = None,
 ) -> Solution:
-    """Generic exact fork-join solution (any variant, small sizes)."""
-    _guard(spec.application.n + 2, spec.platform.p, engine)
+    """Generic exact fork-join solution (any variant, small sizes).
+
+    A bounded ``budget`` lifts the size guard: the solve terminates by
+    construction, returning an anytime incumbent on exhaustion.
+    """
+    _guard(spec.application.n + 2, spec.platform.p, engine, budget)
     return brute_optimal(
-        spec, objective, period_bound, latency_bound, engine, context=context
+        spec, objective, period_bound, latency_bound, engine, context=context,
+        budget=budget,
     )
 
 

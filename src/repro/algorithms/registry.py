@@ -30,6 +30,7 @@ from . import (
     pipeline_het_platform,
     pipeline_hom_platform,
 )
+from .budget import Budget
 from .problem import GraphKind, Objective, ProblemSpec, Solution
 
 __all__ = [
@@ -219,6 +220,7 @@ def solve(
     exact_fallback: bool = False,
     engine: str = "bnb",
     context=None,
+    budget: Budget | None = None,
 ) -> Solution:
     """Solve a mapping problem with the matching paper algorithm.
 
@@ -235,6 +237,15 @@ def solve(
     repeated solves of a bi-criteria threshold sweep (the exact engines'
     search tables, the Theorem 8 DP memo); results are bit-identical with
     or without one.
+
+    ``budget`` (:class:`~repro.algorithms.budget.Budget`) caps exact
+    solves: a bounded budget lifts the exact size guard and, on
+    exhaustion, the engine returns the best incumbent plus a proven lower
+    bound with ``meta["status"] == "budget_exhausted"`` — see
+    :mod:`repro.algorithms.budget`.  Polynomial solvers ignore budgets
+    (they are fast by theorem), and bounded budgets route the exact
+    fallback through the budget-aware generic engines rather than the
+    structured shortcuts.
     """
     if context is not None:
         context.require(spec)
@@ -252,7 +263,8 @@ def solve(
                 "exponential exact solve, or use repro.heuristics"
             )
         return _exact_dispatch(
-            spec, objective, period_bound, latency_bound, engine, context
+            spec, objective, period_bound, latency_bound, engine, context,
+            budget,
         )
     return _poly_dispatch(spec, objective, period_bound, latency_bound, context)
 
@@ -321,12 +333,17 @@ def _poly_dispatch(
 
 
 def _exact_dispatch(
-    spec, objective, period_bound, latency_bound, engine="bnb", context=None
+    spec, objective, period_bound, latency_bound, engine="bnb", context=None,
+    budget=None,
 ) -> Solution:
     app = spec.application
+    # structured shortcuts are complete searches with no anytime hook, so
+    # a bounded budget routes through the budget-aware generic engines
+    unbudgeted = budget is None or not budget.is_bounded
     if spec.graph_kind is GraphKind.PIPELINE:
         if (
-            objective is Objective.PERIOD
+            unbudgeted
+            and objective is Objective.PERIOD
             and not spec.allow_data_parallel
             and period_bound is None
             and latency_bound is None
@@ -334,10 +351,11 @@ def _exact_dispatch(
             return exact.pipeline_period_exact_blocks(app, spec.platform)
         return exact.pipeline_exact(
             spec, objective, period_bound, latency_bound, engine,
-            context=context,
+            context=context, budget=budget,
         )
     if (
-        spec.graph_kind is GraphKind.FORK
+        unbudgeted
+        and spec.graph_kind is GraphKind.FORK
         and objective is Objective.LATENCY
         and not spec.allow_data_parallel
         and spec.platform_homogeneous
@@ -348,8 +366,9 @@ def _exact_dispatch(
     if spec.graph_kind is GraphKind.FORK_JOIN:
         return exact.forkjoin_exact(
             spec, objective, period_bound, latency_bound, engine,
-            context=context,
+            context=context, budget=budget,
         )
     return exact.fork_exact(
-        spec, objective, period_bound, latency_bound, engine, context=context
+        spec, objective, period_bound, latency_bound, engine, context=context,
+        budget=budget,
     )

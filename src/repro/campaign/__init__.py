@@ -16,7 +16,11 @@ Turns "solve one instance" into "run an experiment campaign":
   ``retry_errors=True`` resumes a partially-failed campaign re-solving
   only the cached error rows;
 * :mod:`repro.campaign.report` — summary tables, heuristic-gap statistics
-  and multi-instance Pareto comparisons over result rows.
+  and multi-instance Pareto comparisons over result rows;
+* :mod:`repro.campaign.chaos` — fault-injection wrappers
+  (:class:`ChaosBackend`) for exercising the fault-tolerance layer: the
+  crash-isolating runner, the :class:`CircuitBreakerBackend` remote-cache
+  breaker and its spill journal (see ``docs/ROBUSTNESS.md``).
 
 Exposed on the CLI as ``python -m repro campaign run / report / pareto /
 cache``.
@@ -40,11 +44,13 @@ from .cache import (
     CACHE_BACKENDS,
     CACHE_VERSION,
     CacheBackend,
+    CircuitBreakerBackend,
     HttpCacheBackend,
     JsonlBackend,
     ResultCache,
     SqliteBackend,
 )
+from .chaos import ChaosBackend, ChaosError
 from .report import (
     heuristic_gap,
     load_pareto_fronts,
@@ -75,6 +81,9 @@ __all__ = [
     "JsonlBackend",
     "SqliteBackend",
     "HttpCacheBackend",
+    "CircuitBreakerBackend",
+    "ChaosBackend",
+    "ChaosError",
     "ResultCache",
     "CampaignResult",
     "VOLATILE_FIELDS",

@@ -31,7 +31,19 @@ actual storage lives in a backend selected by name:
 
 The local backends degrade gracefully: unreadable lines and records with
 a different format version are skipped on load — a corrupt or stale
-record is a cache miss, never an error.  The runner is the single writer
+record is a cache miss, never an error.  Torn lines (a crash mid-append)
+are counted as ``corrupt_lines`` in :meth:`ResultCache.storage_stats`
+and repaired (dropped) by :meth:`ResultCache.compact`.
+
+The remote backend degrades gracefully too:
+:class:`CircuitBreakerBackend` (installed by
+``ResultCache(url=..., backend="http", fallback_dir=...)``) wraps any
+remote backend in a circuit breaker — after ``failure_threshold``
+consecutive transport failures the breaker *opens*: gets degrade to
+misses, puts spill to a local JSONL journal, and periodic *half-open*
+probes (exponential backoff) test the remote; on recovery the journal is
+replayed so the fleet cache is back-filled with everything solved during
+the outage.  The runner is the single writer
 (workers return rows to the parent process, which writes), so no
 cross-process locking is needed.  Every stored record carries a write
 timestamp, which :meth:`ResultCache.compact` can use for eviction
@@ -63,6 +75,7 @@ __all__ = [
     "JsonlBackend",
     "SqliteBackend",
     "HttpCacheBackend",
+    "CircuitBreakerBackend",
     "ResultCache",
 ]
 
@@ -124,6 +137,10 @@ class JsonlBackend(CacheBackend):
         # non-empty on-disk lines per loaded shard, maintained
         # incrementally so storage_stats() never has to re-read files
         self._line_counts: dict[str, int] = {}
+        # unparseable lines per shard (torn trailing line from a crash
+        # mid-append, disk corruption): degraded to misses on load,
+        # surfaced in storage_stats, repaired by compact
+        self._corrupt_counts: dict[str, int] = {}
 
     # -------------------------------------------------------------- shards
     def _shard_name(self, key: str) -> str:
@@ -138,7 +155,7 @@ class JsonlBackend(CacheBackend):
             return shard
         shard = {}
         stamps: dict[str, float] = {}
-        lines = 0
+        lines = corrupt = 0
         path = self._shard_path(name)
         if path.exists():
             with path.open() as fh:
@@ -150,6 +167,7 @@ class JsonlBackend(CacheBackend):
                     try:
                         record = json.loads(line)
                     except ValueError:
+                        corrupt += 1
                         continue
                     if (
                         not isinstance(record, dict)
@@ -165,6 +183,7 @@ class JsonlBackend(CacheBackend):
         self._shards[name] = shard
         self._stamps[name] = stamps
         self._line_counts[name] = lines
+        self._corrupt_counts[name] = corrupt
         return shard
 
     # -------------------------------------------------------------- api
@@ -195,7 +214,7 @@ class JsonlBackend(CacheBackend):
         return out
 
     def storage_stats(self) -> dict:
-        shards = lines = live = stale = size = 0
+        shards = lines = live = corrupt = size = 0
         for path in sorted(self.root.glob("*.jsonl")):
             shards += 1
             size += path.stat().st_size
@@ -205,14 +224,17 @@ class JsonlBackend(CacheBackend):
             # full re-read of every shard
             live += len(self._load_shard(path.stem))
             lines += self._line_counts[path.stem]
-        # superseded duplicates plus corrupt / version-mismatched records
-        stale = lines - live
+            corrupt += self._corrupt_counts[path.stem]
+        # superseded duplicates plus version-mismatched records; torn /
+        # unparseable lines are reported separately as corrupt_lines
+        stale = lines - live - corrupt
         return {
             "backend": self.name,
             "keys": live,
             "files": shards,
             "bytes": size,
             "stale_records": stale,
+            "corrupt_lines": corrupt,
         }
 
     def compact(self, max_age_days: float | None = None,
@@ -221,15 +243,20 @@ class JsonlBackend(CacheBackend):
 
         ``max_age_days`` drops records older than the horizon;
         ``max_bytes`` then evicts oldest-first until the rewritten store
-        fits the budget.  Reports superseded/stale lines dropped and
-        policy evictions separately.
+        fits the budget.  Reports superseded/stale lines dropped, torn
+        lines repaired, and policy evictions separately.
         """
-        before = after = dropped = evicted = 0
+        before = after = dropped = corrupt_dropped = evicted = 0
         names = [path.stem for path in sorted(self.root.glob("*.jsonl"))]
         for name in names:
             before += self._shard_path(name).stat().st_size
             self._load_shard(name)
-            dropped += self._line_counts[name] - len(self._shards[name])
+            corrupt_dropped += self._corrupt_counts[name]
+            dropped += (
+                self._line_counts[name]
+                - self._corrupt_counts[name]
+                - len(self._shards[name])
+            )
 
         def _record_line(name: str, key: str) -> str:
             return json.dumps(
@@ -281,6 +308,7 @@ class JsonlBackend(CacheBackend):
                     fh.write(_record_line(name, key) + "\n")
             tmp.replace(path)
             self._line_counts[name] = len(self._shards[name])
+            self._corrupt_counts[name] = 0  # torn lines are never rewritten
             after += path.stat().st_size
         return {
             "backend": self.name,
@@ -288,6 +316,7 @@ class JsonlBackend(CacheBackend):
             "bytes_after": after,
             "bytes_reclaimed": before - after,
             "records_dropped": dropped,
+            "corrupt_dropped": corrupt_dropped,
             "records_evicted": evicted,
         }
 
@@ -363,6 +392,9 @@ class SqliteBackend(CacheBackend):
             "files": 1,
             "bytes": self.path.stat().st_size,
             "stale_records": total - live,
+            # sqlite writes are transactional — a torn record cannot
+            # exist structurally, so this is always 0 (shape parity)
+            "corrupt_lines": 0,
         }
 
     def compact(self, max_age_days: float | None = None,
@@ -456,6 +488,7 @@ class HttpCacheBackend(CacheBackend):
             "files": remote.get("files", 0),
             "bytes": remote.get("bytes", 0),
             "stale_records": remote.get("stale_records", 0),
+            "corrupt_lines": remote.get("corrupt_lines", 0),
         }
 
     def compact(self, max_age_days: float | None = None,
@@ -464,6 +497,260 @@ class HttpCacheBackend(CacheBackend):
                                     max_bytes=max_bytes)
         return {**info, "backend": self.name,
                 "remote_backend": info.get("backend")}
+
+
+#: Lazily-resolved exception classes the breaker treats as *transport*
+#: failures (anything else — e.g. an application-level ServiceError — is
+#: the caller's problem and never trips the breaker).  Resolved inside a
+#: function because importing :mod:`repro.service.client` at module top
+#: would be circular (service.server imports this module).
+_TRANSPORT_ERRORS: tuple | None = None
+
+
+def _transport_errors() -> tuple:
+    global _TRANSPORT_ERRORS
+    if _TRANSPORT_ERRORS is None:
+        from ..service.client import ServiceUnavailableError
+
+        _TRANSPORT_ERRORS = (
+            ServiceUnavailableError, ConnectionError, TimeoutError, OSError
+        )
+    return _TRANSPORT_ERRORS
+
+
+class CircuitBreakerBackend(CacheBackend):
+    """Degrade-gracefully wrapper for a remote (or flaky) cache backend.
+
+    State machine:
+
+    * **closed** — every call goes through; ``failure_threshold``
+      *consecutive* transport failures open the breaker;
+    * **open** — calls do not touch the remote at all: gets degrade to
+      misses, puts spill to the local journal (or are dropped when no
+      ``journal_dir`` was given), ``keys()`` returns ``[]``; after the
+      current backoff elapses the next call becomes a half-open probe;
+    * **half-open** — one probing call goes through; success closes the
+      breaker (and replays the journal), failure re-opens it with the
+      backoff doubled (capped at ``max_reset``).
+
+    The journal is a plain JSONL file of ``{"key":..., "row":...}``
+    entries appended while open and replayed — oldest first, directly to
+    the wrapped backend — on the first successful call after recovery.
+    A replay interrupted by a fresh outage keeps the unreplayed suffix.
+
+    Only *transport* errors (connection refused/reset, timeouts,
+    :class:`~repro.service.client.ServiceUnavailableError`) trip the
+    breaker; application-level errors propagate to the caller untouched.
+    """
+
+    def __init__(self, inner: CacheBackend,
+                 journal_dir: Path | None = None,
+                 failure_threshold: int = 3,
+                 reset_after: float = 1.0,
+                 max_reset: float = 60.0) -> None:
+        if failure_threshold < 1:
+            raise ReproError("failure_threshold must be >= 1")
+        self.inner = inner
+        self.name = inner.name
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.max_reset = max_reset
+        if journal_dir is None:
+            self.journal_path = None
+        else:
+            journal_dir = Path(journal_dir)
+            journal_dir.mkdir(parents=True, exist_ok=True)
+            self.journal_path = journal_dir / "spill-journal.jsonl"
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.opens = 0
+        self.spilled_puts = 0
+        self.dropped_puts = 0
+        self.degraded_gets = 0
+        self.replayed_puts = 0
+        self._backoff = reset_after
+        self._retry_at = 0.0
+        self._journal_entries = self._count_journal()
+
+    # ---------------------------------------------------------- breaker
+    def _count_journal(self) -> int:
+        if self.journal_path is None or not self.journal_path.exists():
+            return 0
+        with self.journal_path.open() as fh:
+            return sum(1 for line in fh if line.strip())
+
+    def _allow(self) -> bool:
+        """Whether the next call may touch the remote (half-open probes)."""
+        if self.state == "open":
+            if _now() >= self._retry_at:
+                self.state = "half-open"
+                return True
+            return False
+        return True
+
+    def _on_failure(self) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            # failed probe: back off harder before the next one
+            self._backoff = min(self._backoff * 2.0, self.max_reset)
+            self.state = "open"
+            self._retry_at = _now() + self._backoff
+        elif (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self.opens += 1
+            self._backoff = self.reset_after
+            self._retry_at = _now() + self._backoff
+
+    def _on_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self._backoff = self.reset_after
+        if self._journal_entries:
+            self._replay()
+
+    def _spill(self, key: str, row: dict) -> None:
+        if self.journal_path is None:
+            self.dropped_puts += 1
+            return
+        entry = json.dumps({"key": key, "row": row}, separators=(",", ":"))
+        with self.journal_path.open("a") as fh:
+            fh.write(entry + "\n")
+        self._journal_entries += 1
+        self.spilled_puts += 1
+
+    def _replay(self) -> None:
+        """Replay journaled puts to the recovered remote, oldest first.
+
+        Stores go straight to ``inner`` (not through :meth:`store` —
+        that would re-spill on failure and recurse through
+        :meth:`_on_success`).  A mid-replay transport failure keeps the
+        unreplayed suffix journaled and trips the breaker again.
+        """
+        if self.journal_path is None or not self.journal_path.exists():
+            self._journal_entries = 0
+            return
+        with self.journal_path.open() as fh:
+            entries = [line for line in fh if line.strip()]
+        done = 0
+        try:
+            for line in entries:
+                entry = json.loads(line)
+                self.inner.store(entry["key"], entry["row"])
+                done += 1
+        except _transport_errors():
+            remaining = entries[done:]
+            tmp = self.journal_path.with_suffix(".jsonl.tmp")
+            with tmp.open("w") as fh:
+                fh.writelines(remaining)
+            tmp.replace(self.journal_path)
+            self.replayed_puts += done
+            self._journal_entries = len(remaining)
+            self._on_failure()
+            return
+        self.journal_path.unlink()
+        self.replayed_puts += done
+        self._journal_entries = 0
+
+    def breaker_state(self) -> dict:
+        """The breaker's live state document (reported in stats)."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "failures": self.failures,
+            "opens": self.opens,
+            "retry_in": (
+                max(0.0, self._retry_at - _now())
+                if self.state == "open" else 0.0
+            ),
+            "journal_entries": self._journal_entries,
+            "spilled_puts": self.spilled_puts,
+            "dropped_puts": self.dropped_puts,
+            "degraded_gets": self.degraded_gets,
+            "replayed_puts": self.replayed_puts,
+        }
+
+    # -------------------------------------------------------------- api
+    def load(self, key: str) -> dict | None:
+        if not self._allow():
+            self.degraded_gets += 1
+            return None
+        try:
+            row = self.inner.load(key)
+        except _transport_errors():
+            self._on_failure()
+            self.degraded_gets += 1
+            return None
+        self._on_success()
+        return row
+
+    def store(self, key: str, row: dict) -> None:
+        if not self._allow():
+            self._spill(key, row)
+            return
+        try:
+            self.inner.store(key, row)
+        except _transport_errors():
+            self._on_failure()
+            self._spill(key, row)
+            return
+        self._on_success()
+
+    def keys(self) -> list[str]:
+        if not self._allow():
+            return []
+        try:
+            out = self.inner.keys()
+        except _transport_errors():
+            self._on_failure()
+            return []
+        self._on_success()
+        return out
+
+    def storage_stats(self) -> dict:
+        stats = None
+        if self._allow():
+            try:
+                stats = self.inner.storage_stats()
+                self._on_success()
+            except _transport_errors():
+                self._on_failure()
+        if stats is None:
+            stats = {
+                "backend": self.name,
+                "keys": 0,
+                "files": 0,
+                "bytes": 0,
+                "stale_records": 0,
+                "corrupt_lines": 0,
+                "degraded": True,
+            }
+        stats["breaker"] = self.breaker_state()
+        return stats
+
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        if not self._allow():
+            raise ReproError(
+                "remote cache breaker is open (remote unreachable); "
+                "compact cannot run while degraded"
+            )
+        try:
+            info = self.inner.compact(max_age_days=max_age_days,
+                                      max_bytes=max_bytes)
+        except _transport_errors():
+            self._on_failure()
+            raise
+        self._on_success()
+        return info
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 #: Registered backend names -> constructors.  Local backends take the
@@ -487,6 +774,14 @@ class ResultCache:
     The cache counts hits/misses/puts and guarantees that returned rows
     never alias internal state.
 
+    ``fallback_dir`` arms a :class:`CircuitBreakerBackend` around a
+    remote backend: when the remote becomes unreachable the cache
+    degrades (gets miss, puts journal to ``fallback_dir``) instead of
+    failing, and the journal is replayed on recovery.  It applies to the
+    ``"http"`` backend and to caller-constructed backend instances; the
+    local backends cannot lose transport, so pairing them with
+    ``fallback_dir`` is an error.
+
     >>> import tempfile
     >>> cache = ResultCache(tempfile.mkdtemp())       # jsonl by default
     >>> key = "ab" * 32                               # a task content hash
@@ -502,10 +797,17 @@ class ResultCache:
 
     def __init__(self, root: str | Path | None = None,
                  backend: str | CacheBackend = "jsonl",
-                 url: str | None = None) -> None:
+                 url: str | None = None,
+                 fallback_dir: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+        if fallback_dir is not None and not isinstance(backend, CacheBackend) \
+                and backend != HttpCacheBackend.name:
+            raise ReproError(
+                "'fallback_dir' only applies to remote cache backends "
+                f"(the {backend!r} backend has no transport to lose)"
+            )
         if isinstance(backend, CacheBackend):
             self._backend = backend
         elif backend == HttpCacheBackend.name:
@@ -534,6 +836,13 @@ class ResultCache:
                     f"the {backend!r} cache backend needs a root directory"
                 )
             self._backend = factory(self.root)
+        if fallback_dir is not None \
+                and not isinstance(self._backend, CircuitBreakerBackend):
+            journal_dir = Path(fallback_dir)
+            journal_dir.mkdir(parents=True, exist_ok=True)
+            self._backend = CircuitBreakerBackend(
+                self._backend, journal_dir=journal_dir
+            )
         self.hits = 0
         self.misses = 0
         self.puts = 0

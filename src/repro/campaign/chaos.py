@@ -1,0 +1,129 @@
+"""Fault-injection wrappers for cache backends (chaos testing).
+
+:class:`ChaosBackend` wraps any :class:`~repro.campaign.cache.CacheBackend`
+and injects *transport-shaped* failures (:class:`ChaosError`, a
+``ConnectionError``) according to a configurable schedule:
+
+* ``failure_rate`` — independent per-call failure probability, drawn
+  from a seeded private RNG (deterministic per construction);
+* ``fail_after`` / ``recover_after`` — a deterministic outage window on
+  the call counter: calls ``fail_after < n <= recover_after`` fail
+  (``recover_after=None`` means the outage never ends);
+* ``latency`` — seconds of ``time.sleep`` added to every delegated call.
+
+``ops`` restricts injection to a subset of operations (default: loads,
+stores and key listings; ``storage_stats``/``compact``/``close`` pass
+through so tests can always inspect the wrapped store).
+
+Because :class:`ChaosError` is a ``ConnectionError``, the
+:class:`~repro.campaign.cache.CircuitBreakerBackend` classifies injected
+failures as transport failures — exactly the seam the breaker and
+journal-replay tests drive.  Exported for future chaos tests; not used
+by any production path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..core.exceptions import ReproError
+from .cache import CacheBackend
+
+__all__ = ["ChaosError", "ChaosBackend"]
+
+
+class ChaosError(ConnectionError):
+    """An injected transport failure (never raised by real backends)."""
+
+
+class ChaosBackend(CacheBackend):
+    """A cache backend that fails on purpose.
+
+    >>> import tempfile
+    >>> from pathlib import Path
+    >>> from repro.campaign.cache import JsonlBackend
+    >>> inner = JsonlBackend(Path(tempfile.mkdtemp()))
+    >>> chaos = ChaosBackend(inner, fail_after=1)   # outage after 1 call
+    >>> chaos.load("ab" * 32) is None               # call 1: passes (miss)
+    True
+    >>> chaos.load("ab" * 32)                       # call 2: the outage
+    Traceback (most recent call last):
+        ...
+    repro.campaign.chaos.ChaosError: injected failure on 'load' (call 2)
+    """
+
+    #: Operations eligible for injection by default.
+    DEFAULT_OPS = ("load", "store", "keys")
+
+    def __init__(self, inner: CacheBackend,
+                 failure_rate: float = 0.0,
+                 fail_after: int | None = None,
+                 recover_after: int | None = None,
+                 latency: float = 0.0,
+                 ops: tuple[str, ...] = DEFAULT_OPS,
+                 seed: int = 0) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ReproError("failure_rate must be within [0, 1]")
+        if recover_after is not None and fail_after is None:
+            raise ReproError("recover_after needs fail_after")
+        if (fail_after is not None and recover_after is not None
+                and recover_after < fail_after):
+            raise ReproError("recover_after must be >= fail_after")
+        self.inner = inner
+        self.name = inner.name
+        self.failure_rate = failure_rate
+        self.fail_after = fail_after
+        self.recover_after = recover_after
+        self.latency = latency
+        self.ops = tuple(ops)
+        self.calls = 0
+        self.injected = 0
+        self._rng = random.Random(seed)
+
+    def _chaos(self, op: str) -> None:
+        """Count the call; raise :class:`ChaosError` when scheduled."""
+        if op not in self.ops:
+            return
+        self.calls += 1
+        if self.latency:
+            time.sleep(self.latency)
+        windowed = (
+            self.fail_after is not None
+            and self.calls > self.fail_after
+            and (self.recover_after is None
+                 or self.calls <= self.recover_after)
+        )
+        if windowed or (
+            self.failure_rate and self._rng.random() < self.failure_rate
+        ):
+            self.injected += 1
+            raise ChaosError(
+                f"injected failure on {op!r} (call {self.calls})"
+            )
+
+    # -------------------------------------------------------------- api
+    def load(self, key: str) -> dict | None:
+        self._chaos("load")
+        return self.inner.load(key)
+
+    def store(self, key: str, row: dict) -> None:
+        self._chaos("store")
+        self.inner.store(key, row)
+
+    def keys(self) -> list[str]:
+        self._chaos("keys")
+        return self.inner.keys()
+
+    def storage_stats(self) -> dict:
+        self._chaos("storage_stats")
+        return self.inner.storage_stats()
+
+    def compact(self, max_age_days: float | None = None,
+                max_bytes: int | None = None) -> dict:
+        self._chaos("compact")
+        return self.inner.compact(max_age_days=max_age_days,
+                                  max_bytes=max_bytes)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -61,7 +61,10 @@ def summarize(result_or_rows, title: str = "campaign summary") -> str:
     The ``cached-ok / cached-err / solved / retried`` columns break the
     task count down by how each row was obtained — on a resumed
     ``retry_errors`` run this is the at-a-glance answer to "what was
-    re-solved and what came from the cache".
+    re-solved and what came from the cache".  ``crashed`` counts tasks
+    quarantined after killing their worker process; ``budget`` counts
+    anytime rows whose solve budget ran out
+    (``execution.status == "budget_exhausted"``).
     """
     rows = _rows_of(result_or_rows)
     groups: dict[tuple, list[dict]] = {}
@@ -83,13 +86,19 @@ def summarize(result_or_rows, title: str = "campaign summary") -> str:
             str(resolutions.count("cached-error")),
             str(resolutions.count("solved")),
             str(resolutions.count("retried")),
+            str(resolutions.count("crashed")),
+            str(sum(
+                1 for r in members
+                if (r.get("execution") or {}).get("status")
+                == "budget_exhausted"
+            )),
             f"{statistics.mean(values):.4g}" if values else "-",
             f"{statistics.median(values):.4g}" if values else "-",
             f"{seconds:.3f}",
         ])
     return format_table(
         ["solver", "objective", "tasks", "ok", "errors", "cached-ok",
-         "cached-err", "solved", "retried",
+         "cached-err", "solved", "retried", "crashed", "budget",
          "mean value", "median value", "solve (s)"],
         table,
         title=title,

@@ -14,6 +14,12 @@ re-assembles rows in task order.  Guarantees:
 * **failure isolation** — a task that raises records an error row
   (``status="error"`` with the exception type and message) and the
   campaign continues; a poisoned instance can never kill the run;
+* **crash isolation** — a task that kills its worker process outright
+  (OOM, segfault, ``SIGKILL``) breaks only its chunk: the lost tasks are
+  re-executed in fresh single-worker pools with per-task bisection until
+  the killer is found and quarantined as an error row
+  (``resolution="crashed"``, never cached); every surviving row stays
+  bit-identical to a serial fault-free run;
 * **single-writer cache** — workers only compute; the parent process
   resolves hits before dispatch and writes misses after collection, so
   the JSONL cache needs no cross-process locking.
@@ -27,8 +33,11 @@ Result rows are plain JSON dicts::
      "period": 1.5, "latency": 9.0, "value": 1.5,
      "mapping": {...}, "algorithm": "bnb",
      "error": null, "error_type": null,
+     "execution": {"status": "completed" | "budget_exhausted" | "error"
+                   | "crashed", ...},
      "seconds": 0.004, "cached": false,
-     "resolution": "cached-ok" | "cached-error" | "solved" | "retried"}
+     "resolution": "cached-ok" | "cached-error" | "solved" | "retried"
+                   | "crashed"}
 
 ``resolution`` records *how* the row was obtained on this run:
 
@@ -37,19 +46,35 @@ Result rows are plain JSON dicts::
 * ``"solved"`` — computed fresh (cache miss or no cache);
 * ``"retried"`` — the cache held an error row for this key but
   ``retry_errors`` forced a re-solve (resuming a partially-failed
-  campaign after e.g. a solver fix; the re-put overwrites the old row).
+  campaign after e.g. a solver fix; the re-put overwrites the old row);
+* ``"crashed"`` — the task killed its worker process; quarantined as an
+  error row after bisection (transient by definition, never cached).
+
+``execution`` is the shared *execution report*: how the solve itself
+went.  ``"completed"`` is a normal exact/heuristic result;
+``"budget_exhausted"`` is an anytime incumbent (the report then carries
+``lower_bound`` / ``gap`` / ``budget`` / ``reason``, and
+``interrupted="task-timeout"`` when the runner's ``task_timeout`` — not
+the task's own budget — cut the solve short; such rows are not cached
+because the timeout is runner state, not task content); ``"error"`` /
+``"crashed"`` mirror the row status for failed tasks.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import multiprocessing
+import os
 import random
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..algorithms.budget import Budget
 from ..algorithms.problem import Objective
 from ..algorithms.registry import solve
 from ..algorithms.solve_context import ContextCache
@@ -81,7 +106,35 @@ def strip_volatile(row: dict) -> dict:
 # ----------------------------------------------------------------------
 # per-task solving (runs inside workers; must stay importable/top-level)
 # ----------------------------------------------------------------------
-def _dispatch(spec, task: Task, context=None):
+#: Fault-injection seam for the crash-isolation tests: a worker solving a
+#: task whose ``instance_id`` equals this env var SIGKILLs itself.  Only
+#: worker processes die (the serial reference path is immune), and env
+#: vars propagate through both fork and spawn start methods.
+_FAULT_KILL_ENV = "REPRO_FAULT_KILL_INSTANCE"
+
+
+def _maybe_inject_fault(task: Task) -> None:
+    target = os.environ.get(_FAULT_KILL_ENV)
+    if (
+        target
+        and task.instance_id == target
+        and multiprocessing.parent_process() is not None
+    ):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _task_budget(cfg: dict, task_timeout: float | None) -> Budget | None:
+    """The effective solve budget: config budget tightened by the runner's
+    per-task timeout (exact paths only — heuristics are fast by design)."""
+    if cfg.get("mode", "auto") not in ("auto", "exact"):
+        return None
+    cfg_budget = Budget.from_mapping(cfg)
+    if task_timeout is None:
+        return cfg_budget
+    return Budget(max_seconds=task_timeout).merged(cfg_budget)
+
+
+def _dispatch(spec, task: Task, context=None, budget: Budget | None = None):
     objective = Objective(task.objective)
     cfg = task.solver
     mode = cfg.get("mode", "auto")
@@ -94,6 +147,7 @@ def _dispatch(spec, task: Task, context=None):
             exact_fallback=cfg.get("exact_fallback", False),
             engine=cfg.get("engine", "bnb"),
             context=context,
+            budget=budget,
         )
     if mode == "exact":
         from ..algorithms.brute_force import optimal
@@ -105,6 +159,7 @@ def _dispatch(spec, task: Task, context=None):
             latency_bound=task.latency_bound,
             engine=cfg.get("engine", "bnb"),
             context=context,
+            budget=budget,
         )
     if mode == "heuristic":
         if task.period_bound is not None or task.latency_bound is not None:
@@ -143,8 +198,40 @@ def _dispatch(spec, task: Task, context=None):
     raise ReproError(f"unknown solver mode {mode!r}")
 
 
-def solve_task(task: Task, context_cache: ContextCache | None = None
-               ) -> tuple[dict, float]:
+def _execution_report(meta: dict, cfg: dict,
+                      task_timeout: float | None) -> tuple[dict, bool]:
+    """The row's execution report; returns ``(report, cacheable)``.
+
+    A budget-exhausted report carries the anytime fields.  When the
+    exhaustion was (or may have been) driven by the runner's
+    ``task_timeout`` rather than the task's own budget, the row is marked
+    ``interrupted="task-timeout"`` and declared uncacheable: the timeout
+    is runner state, not task content, so caching it would alias the
+    untimed key.
+    """
+    status = meta.get("status", "completed")
+    report: dict = {"status": status}
+    if status != "budget_exhausted":
+        return report, True
+    report.update(
+        lower_bound=meta.get("lower_bound"),
+        gap=meta.get("gap"),
+        budget=meta.get("budget"),
+        reason=meta.get("budget_reason"),
+    )
+    cfg_seconds = cfg.get("max_seconds")
+    if (
+        task_timeout is not None
+        and meta.get("budget_reason") == "max_seconds"
+        and (cfg_seconds is None or task_timeout < cfg_seconds)
+    ):
+        report["interrupted"] = "task-timeout"
+        return report, False
+    return report, True
+
+
+def solve_task(task: Task, context_cache: ContextCache | None = None,
+               task_timeout: float | None = None) -> tuple[dict, float]:
     """Solve one task; returns ``(payload, seconds)``.
 
     The payload is the deterministic, cacheable part of the result row.
@@ -156,7 +243,11 @@ def solve_task(task: Task, context_cache: ContextCache | None = None
     tasks of the same instance — the hot path of a bi-criteria threshold
     sweep, where every task is the same instance under a different bound.
     Rows are bit-identical with or without it.
+
+    ``task_timeout`` converts a runaway exact solve into a budgeted row
+    (see :func:`_task_budget`) instead of hanging the campaign.
     """
+    _maybe_inject_fault(task)
     t0 = time.perf_counter()
     try:
         if context_cache is not None:
@@ -165,7 +256,11 @@ def solve_task(task: Task, context_cache: ContextCache | None = None
         else:
             context = None
             spec = spec_from_dict(task.instance)
-        solution = _dispatch(spec, task, context)
+        budget = _task_budget(task.solver, task_timeout)
+        solution = _dispatch(spec, task, context, budget)
+        execution, cacheable = _execution_report(
+            solution.meta, task.solver, task_timeout
+        )
         payload = {
             "status": "ok",
             "period": solution.period,
@@ -175,7 +270,10 @@ def solve_task(task: Task, context_cache: ContextCache | None = None
             "algorithm": solution.meta.get("algorithm"),
             "error": None,
             "error_type": None,
+            "execution": execution,
         }
+        if not cacheable:
+            payload["_cacheable"] = False
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         payload = {
             "status": "error",
@@ -186,6 +284,7 @@ def solve_task(task: Task, context_cache: ContextCache | None = None
             "algorithm": None,
             "error": str(exc),
             "error_type": type(exc).__name__,
+            "execution": {"status": "error"},
             # only deterministic failures (model/solver semantics, all
             # ReproError subclasses) may be cached; a transient error
             # (MemoryError, OSError, ...) must be retried on the next run
@@ -195,7 +294,8 @@ def solve_task(task: Task, context_cache: ContextCache | None = None
 
 
 def _run_chunk(
-    tasks: list[Task], context_cache: ContextCache | None = None
+    tasks: list[Task], context_cache: ContextCache | None = None,
+    task_timeout: float | None = None,
 ) -> list[tuple[int, dict, float]]:
     """Worker entry point: solve a contiguous chunk of tasks.
 
@@ -207,9 +307,25 @@ def _run_chunk(
         context_cache = ContextCache()
     out = []
     for task in tasks:
-        payload, seconds = solve_task(task, context_cache)
+        payload, seconds = solve_task(task, context_cache, task_timeout)
         out.append((task.index, payload, seconds))
     return out
+
+
+def _quarantined_payload() -> dict:
+    """The error payload recorded for a task that killed its worker."""
+    return {
+        "status": "error",
+        "period": None,
+        "latency": None,
+        "value": None,
+        "mapping": None,
+        "algorithm": None,
+        "error": "worker process died while solving this task "
+                 "(killed, crashed, or out of memory)",
+        "error_type": "WorkerCrashError",
+        "execution": {"status": "crashed"},
+    }
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +357,7 @@ def execute_tasks(
     progress=None,
     retry_errors: bool = False,
     context_cache: ContextCache | None = None,
+    task_timeout: float | None = None,
 ) -> list[dict]:
     """Execute a task list; returns result rows in task order.
 
@@ -265,6 +382,12 @@ def execute_tasks(
     (as :func:`repro.analysis.pareto.pareto_front` does).  Parallel runs
     ship no contexts to workers — each chunk builds its own — and stay
     row-identical to serial runs.
+
+    ``task_timeout`` caps each exact solve's wall-clock seconds (see
+    :func:`solve_task`).  A worker process that dies outright loses only
+    its chunk: the lost tasks are re-run in fresh single-worker pools
+    with bisection until the killer task is quarantined as an error row
+    (``resolution="crashed"``); surviving rows are unaffected.
     """
     if context_cache is None:
         context_cache = ContextCache()
@@ -309,10 +432,47 @@ def execute_tasks(
         if progress is not None:
             progress(done, len(tasks))
 
+    def quarantine(task: Task) -> None:
+        nonlocal done
+        rows[task.index] = _compose_row(
+            task, _quarantined_payload(), 0.0, False, "crashed"
+        )
+        done += 1
+        if progress is not None:
+            progress(done, len(tasks))
+
+    def rescue_lost(lost: list[Task]) -> None:
+        """Re-run tasks whose pool died, bisecting to isolate the killer.
+
+        Each candidate group gets a fresh single-worker pool; a group
+        that completes is consumed normally, a crashed singleton is the
+        killer (quarantined), a crashed group splits in half.  Cost is
+        O(log k) extra pool spawns per killer — the killer-free tasks
+        re-run at most that many times but only their *final, successful*
+        run is consumed, so determinism is untouched.
+        """
+        stack = [sorted(lost, key=lambda t: t.index)]
+        while stack:
+            group = stack.pop()
+            rescue = ProcessPoolExecutor(max_workers=1)
+            try:
+                consume(rescue.submit(
+                    _run_chunk, group, None, task_timeout
+                ).result())
+            except BrokenProcessPool:
+                if len(group) == 1:
+                    quarantine(group[0])
+                else:
+                    mid = len(group) // 2
+                    stack.append(group[mid:])
+                    stack.append(group[:mid])
+            finally:
+                rescue.shutdown()
+
     if misses:
         if workers <= 1:
             for task in misses:
-                consume(_run_chunk([task], context_cache))
+                consume(_run_chunk([task], context_cache, task_timeout))
         else:
             if chunk_size is None:
                 chunk_size = max(1, math.ceil(len(misses) / (workers * 4)))
@@ -321,12 +481,23 @@ def execute_tasks(
                 for i in range(0, len(misses), chunk_size)
             ]
             executor = ProcessPoolExecutor(max_workers=workers)
+            lost: list[Task] = []
             try:
-                futures = [executor.submit(_run_chunk, c) for c in chunks]
-                for future in as_completed(futures):
-                    consume(future.result())
+                futmap = {
+                    executor.submit(_run_chunk, c, None, task_timeout): c
+                    for c in chunks
+                }
+                for future in as_completed(futmap):
+                    try:
+                        consume(future.result())
+                    except BrokenProcessPool:
+                        # a dead worker breaks the whole pool: every
+                        # unfinished chunk lands here; collect and rescue
+                        lost.extend(futmap[future])
             finally:
                 executor.shutdown()
+            if lost:
+                rescue_lost(lost)
     return [rows[task.index] for task in tasks]
 
 
@@ -354,6 +525,7 @@ def run_campaign(
     chunk_size: int | None = None,
     progress=None,
     retry_errors: bool = False,
+    task_timeout: float | None = None,
 ) -> CampaignResult:
     """Expand a :class:`CampaignSpec` and execute its full grid."""
     tasks = spec.tasks()
@@ -361,7 +533,7 @@ def run_campaign(
     rows = execute_tasks(
         tasks, cache=cache, workers=workers,
         chunk_size=chunk_size, progress=progress,
-        retry_errors=retry_errors,
+        retry_errors=retry_errors, task_timeout=task_timeout,
     )
     wall = time.perf_counter() - t0
     stats = {
@@ -370,6 +542,11 @@ def run_campaign(
         "errors": sum(1 for r in rows if r["status"] == "error"),
         "cache_hits": sum(1 for r in rows if r["cached"]),
         "retried": sum(1 for r in rows if r["resolution"] == "retried"),
+        "crashed": sum(1 for r in rows if r["resolution"] == "crashed"),
+        "budget_exhausted": sum(
+            1 for r in rows
+            if r.get("execution", {}).get("status") == "budget_exhausted"
+        ),
         "workers": workers,
         "seconds": wall,
     }

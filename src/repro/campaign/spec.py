@@ -32,6 +32,7 @@ import json
 import random
 from dataclasses import dataclass, field, replace
 
+from ..algorithms.budget import Budget
 from ..core.exceptions import ReproError
 from ..generators import (
     random_fork,
@@ -78,6 +79,12 @@ class SolverConfig:
       fork-latency LPT), seeded by ``seed``;
     * ``"random"`` — best of ``samples`` random valid mappings, the honesty
       baseline, seeded by ``seed``.
+
+    ``max_seconds`` / ``max_nodes`` cap exact solves (modes ``"auto"`` and
+    ``"exact"``) with a :class:`repro.Budget`; exhausted solves come back
+    as anytime rows (``execution.status == "budget_exhausted"``) instead
+    of running forever.  Budget knobs join the cache key, so a budgeted
+    row never aliases an exact one.
     """
 
     name: str
@@ -86,6 +93,8 @@ class SolverConfig:
     engine: str = "bnb"
     seed: int = 0
     samples: int = 64
+    max_seconds: float | None = None
+    max_nodes: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -98,6 +107,16 @@ class SolverConfig:
             )
         if self.samples < 1:
             raise ReproError("samples must be >= 1")
+        # validate the budget knobs eagerly (Budget.__post_init__ raises)
+        Budget.from_mapping(
+            {"max_seconds": self.max_seconds, "max_nodes": self.max_nodes}
+        )
+
+    def budget(self) -> "Budget | None":
+        """The solve :class:`repro.Budget`, or ``None`` when unbudgeted."""
+        return Budget.from_mapping(
+            {"max_seconds": self.max_seconds, "max_nodes": self.max_nodes}
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +126,8 @@ class SolverConfig:
             "engine": self.engine,
             "seed": self.seed,
             "samples": self.samples,
+            "max_seconds": self.max_seconds,
+            "max_nodes": self.max_nodes,
         }
 
     @classmethod
@@ -134,7 +155,13 @@ def canonical_solver_dict(cfg: dict) -> dict:
         out["engine"] = cfg.get("engine", "bnb")
     elif mode == "exact":
         out["engine"] = cfg.get("engine", "bnb")
-    elif mode == "heuristic":
+    if mode in ("auto", "exact"):
+        # budget knobs change the result, so they key — but only when set,
+        # keeping every pre-budget cache key byte-identical
+        for knob in ("max_seconds", "max_nodes"):
+            if cfg.get(knob) is not None:
+                out[knob] = cfg[knob]
+    if mode == "heuristic":
         out["seed"] = cfg.get("seed", 0)
     elif mode == "random":
         out["seed"] = cfg.get("seed", 0)

@@ -204,6 +204,16 @@ def _objective(args) -> Objective:
     return Objective.PERIOD if args.objective == "period" else Objective.LATENCY
 
 
+def _budget(args):
+    """A :class:`~repro.algorithms.budget.Budget` from CLI flags, or None."""
+    from .algorithms.budget import Budget
+
+    return Budget.from_mapping({
+        "max_seconds": getattr(args, "max_seconds", None),
+        "max_nodes": getattr(args, "max_nodes", None),
+    })
+
+
 def _solve_spec(spec, args, out) -> object | None:
     objective = _objective(args)
     entry = classify(
@@ -220,6 +230,7 @@ def _solve_spec(spec, args, out) -> object | None:
             latency_bound=args.latency_bound,
             exact_fallback=getattr(args, "exact", False),
             engine=getattr(args, "engine", "bnb"),
+            budget=_budget(args),
         )
     except NPHardError as exc:
         if getattr(args, "heuristic", False) and args.graph == "pipeline":
@@ -232,6 +243,12 @@ def _solve_spec(spec, args, out) -> object | None:
         else:
             print(f"NP-hard: {exc}", file=out)
             return None
+    meta = getattr(solution, "meta", {}) or {}
+    if meta.get("status") == "budget_exhausted":
+        print(f"budget    : exhausted ({meta.get('budget_reason')}) after "
+              f"{meta.get('nodes')} nodes — incumbent within "
+              f"{meta.get('gap', float('inf')):.2%} of proven lower bound "
+              f"{meta.get('lower_bound'):.6g}", file=out)
     print(f"solution  : {solution.describe()}", file=out)
     return solution
 
@@ -294,6 +311,7 @@ def _open_cache(args):
     backend = getattr(args, "cache_backend", "jsonl")
     url = getattr(args, "cache_url", None)
     cache_dir = getattr(args, "cache_dir", None)
+    fallback_dir = getattr(args, "cache_fallback_dir", None)
     if backend == "http" or url is not None:
         if url is None:
             raise ReproError("--cache-backend http needs --cache-url "
@@ -307,7 +325,12 @@ def _open_cache(args):
                 "(the cache lives server-side); drop it or use a "
                 "local backend"
             )
-        return ResultCache(url=url, backend="http")
+        return ResultCache(url=url, backend="http",
+                           fallback_dir=fallback_dir)
+    if fallback_dir is not None:
+        raise ReproError("--cache-fallback-dir only applies to "
+                         "--cache-backend http (local backends have no "
+                         "transport to lose)")
     if cache_dir is None:
         return None
     return ResultCache(cache_dir, backend=backend)
@@ -325,6 +348,7 @@ def _cmd_campaign_run(args, out) -> int:
     result = run_campaign(
         spec, cache=cache, workers=args.workers,
         chunk_size=args.chunk_size, retry_errors=args.retry_errors,
+        task_timeout=args.task_timeout,
     )
     if args.out is not None:
         save_rows(args.out, result)
@@ -335,10 +359,14 @@ def _cmd_campaign_run(args, out) -> int:
         f", {s['cache_hits']} from cache" if cache is not None else ""
     )
     retry_note = f", {s['retried']} retried" if args.retry_errors else ""
+    crash_note = f", {s['crashed']} crashed" if s.get("crashed") else ""
+    budget_note = (f", {s['budget_exhausted']} budget-exhausted"
+                   if s.get("budget_exhausted") else "")
     print(
         f"{s['tasks']} tasks in {s['seconds']:.3f}s "
         f"({s['workers']} workers): {s['ok']} ok, "
-        f"{s['errors']} errors{cache_note}{retry_note}",
+        f"{s['errors']} errors{cache_note}{retry_note}"
+        f"{crash_note}{budget_note}",
         file=out,
     )
     return 0
@@ -475,6 +503,8 @@ def _cmd_serve(args, out) -> int:
         solve_workers=args.solve_workers,
         verbose=args.verbose,
         out=out,
+        cache_url=args.cache_url,
+        cache_fallback_dir=args.cache_fallback_dir,
     )
 
 
@@ -495,6 +525,8 @@ def _cmd_submit(args, out) -> int:
             "engine": args.engine,
             "seed": args.seed,
             "samples": args.samples,
+            "max_seconds": args.max_seconds,
+            "max_nodes": args.max_nodes,
         },
     }
     client = ServiceClient(args.url, timeout=args.timeout)
@@ -507,6 +539,11 @@ def _cmd_submit(args, out) -> int:
     if row["status"] != "ok":
         print(f"error     : {row['error_type']}: {row['error']}", file=out)
         return 2
+    execution = row.get("execution") or {}
+    if execution.get("status") == "budget_exhausted":
+        print(f"budget    : exhausted ({execution.get('reason')}) — "
+              f"incumbent within {execution.get('gap', 0.0):.2%} of lower "
+              f"bound {execution.get('lower_bound')!r}", file=out)
     print(f"solution  : period={row['period']!r} "
           f"latency={row['latency']!r} value={row['value']!r} "
           f"[{row['algorithm']}]", file=out)
@@ -519,6 +556,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Benoit & Robert (2007) workflow-mapping reproduction",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_budget_flags(p) -> None:
+        p.add_argument("--max-seconds", type=float, default=None,
+                       help="wall-clock budget for exact solves; on "
+                            "exhaustion the best incumbent is returned "
+                            "with a proven lower bound and gap")
+        p.add_argument("--max-nodes", type=int, default=None,
+                       help="search-node budget for exact solves "
+                            "(deterministic anytime cutoff); a bounded "
+                            "budget also lifts the exact-engine size guard")
 
     p_table = sub.add_parser("table1", help="print (and validate) Table 1")
     p_table.add_argument("--validate", action="store_true")
@@ -535,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "branch-and-bound (default) or flat enumeration")
     p_solve.add_argument("--heuristic", action="store_true",
                          help="portfolio heuristic for NP-hard pipelines")
+    _add_budget_flags(p_solve)
 
     p_scen = sub.add_parser("scenario", help="solve a named scenario")
     p_scen.add_argument("name")
@@ -547,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--engine", choices=("bnb", "enumerate"),
                         default="bnb")
     p_scen.add_argument("--heuristic", action="store_true")
+    _add_budget_flags(p_scen)
 
     p_sim = sub.add_parser("simulate", help="solve then simulate")
     _add_instance_flags(p_sim)
@@ -555,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="bnb")
     p_sim.add_argument("--heuristic", action="store_true")
     p_sim.add_argument("--data-sets", type=int, default=500)
+    _add_budget_flags(p_sim)
 
     p_camp = sub.add_parser(
         "campaign", help="run / resume / aggregate experiment campaigns"
@@ -575,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solver-service address for "
                             "--cache-backend http, e.g. "
                             "http://127.0.0.1:8300")
+        p.add_argument("--cache-fallback-dir", default=None,
+                       help="arm a circuit breaker around the http cache: "
+                            "while the service is unreachable, gets degrade "
+                            "to misses and puts spill to a journal here, "
+                            "replayed to the service on recovery")
 
     p_run = camp_sub.add_parser(
         "run", help="execute a campaign spec through the sharded runner"
@@ -590,6 +645,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-solve cached error rows (resume a "
                             "partially-failed campaign after a fix); ok "
                             "rows still come from the cache")
+    p_run.add_argument("--task-timeout", type=float, default=None,
+                       help="per-task wall-clock cap for exact solves: a "
+                            "runaway task becomes an uncacheable "
+                            "budget-exhausted row instead of hanging "
+                            "the campaign")
     p_run.add_argument("--out", default=None,
                        help="write result rows to this JSONL file")
 
@@ -652,11 +712,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8300,
                          help="listen port (0 = ephemeral)")
-    p_serve.add_argument("--cache-dir", required=True,
-                         help="server-side result cache directory")
-    p_serve.add_argument("--cache-backend", choices=("jsonl", "sqlite"),
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="server-side result cache directory "
+                              "(jsonl/sqlite backends)")
+    p_serve.add_argument("--cache-backend",
+                         choices=("jsonl", "sqlite", "http"),
                          default="jsonl",
-                         help="server-side cache storage format")
+                         help="server-side cache storage format; 'http' "
+                              "makes this server a solving tier in front "
+                              "of an upstream cache service (--cache-url)")
+    p_serve.add_argument("--cache-url", default=None,
+                         help="upstream cache-service address for "
+                              "--cache-backend http")
+    p_serve.add_argument("--cache-fallback-dir", default=None,
+                         help="circuit-breaker spill journal directory "
+                              "for --cache-backend http: while the "
+                              "upstream is unreachable, gets degrade to "
+                              "misses and puts spill here, replayed on "
+                              "recovery (breaker state in /v1/stats)")
     p_serve.add_argument("--solve-workers", type=int, default=4,
                          help="solver thread-pool size")
     p_serve.add_argument("--verbose", action="store_true",
@@ -682,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="sample count for --mode random")
     p_submit.add_argument("--timeout", type=float, default=120.0,
                           help="per-request timeout in seconds")
+    _add_budget_flags(p_submit)
     return parser
 
 

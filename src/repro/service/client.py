@@ -1,7 +1,7 @@
 """HTTP client for the solver service (stdlib ``urllib`` only).
 
 :class:`ServiceClient` wraps the service API (:mod:`repro.service.server`)
-with per-request timeouts and bounded exponential-backoff retries on
+with per-request timeouts and jittered, deadline-capped retries on
 *transport* failures (connection refused/reset, timeouts, 502/503).
 Application-level responses are never retried: a 404 on a cache probe is
 a miss, a 400 is a caller error, and a solve that returns an error *row*
@@ -15,6 +15,7 @@ a single instance can be shared across threads.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -42,8 +43,15 @@ class ServiceUnavailableError(ServiceError):
 class ServiceClient:
     """Typed access to a running solver service.
 
-    ``retries`` counts *additional* attempts after the first; backoff
-    sleeps ``backoff * 2**attempt`` seconds between them.
+    ``retries`` counts *additional* attempts after the first.  Waits
+    between attempts use *decorrelated jitter*: each wait is drawn
+    uniformly from ``[backoff, 3 * previous_wait]`` (capped at
+    ``backoff_cap``), so a fleet of campaign workers that all hit a
+    restarting server fans back in spread out instead of in lockstep.
+    ``retry_deadline`` caps the *total* time spent retrying one request:
+    when the next wait would cross it, the client gives up — returning
+    the last retryable HTTP answer if the server ever answered, raising
+    :class:`ServiceUnavailableError` otherwise.
 
     Construction is offline (one ``urllib`` request per call, nothing
     persistent), so a single instance can be shared across threads:
@@ -62,11 +70,17 @@ class ServiceClient:
     """
 
     def __init__(self, url: str, timeout: float = 30.0, retries: int = 3,
-                 backoff: float = 0.2) -> None:
+                 backoff: float = 0.2, backoff_cap: float = 5.0,
+                 retry_deadline: float = 60.0) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.retry_deadline = retry_deadline
+        # seams: tests pin the jitter draw and capture the sleeps
+        self._rng = random.Random()
+        self._sleep = time.sleep
 
     # -------------------------------------------------------------- http
     def _request(self, method: str, path: str,
@@ -82,7 +96,10 @@ class ServiceClient:
         if doc is not None:
             data = json.dumps(doc).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        started = time.monotonic()
+        sleep = self.backoff
         last_error: Exception | None = None
+        last_http: tuple[int, dict] | None = None
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(
                 self.url + path, data=data, method=method, headers=headers
@@ -96,6 +113,7 @@ class ServiceClient:
                 body = self._parse(exc.read())
                 if exc.code in _RETRY_STATUSES and attempt < self.retries:
                     last_error = exc
+                    last_http = (exc.code, body)
                 else:
                     return exc.code, body
             except (urllib.error.URLError, ConnectionError, TimeoutError,
@@ -103,7 +121,14 @@ class ServiceClient:
                 last_error = exc
                 if attempt >= self.retries:
                     break
-            time.sleep(self.backoff * 2 ** attempt)
+            # decorrelated jitter: next wait ~ U[backoff, 3 * previous]
+            sleep = min(self.backoff_cap,
+                        self._rng.uniform(self.backoff, sleep * 3.0))
+            if time.monotonic() - started + sleep > self.retry_deadline:
+                break
+            self._sleep(sleep)
+        if last_http is not None:
+            return last_http
         raise ServiceUnavailableError(
             f"solver service at {self.url} unreachable after "
             f"{self.retries + 1} attempts: {last_error}"

@@ -351,31 +351,54 @@ def make_server(
     cache_backend: str = "jsonl",
     solve_workers: int = 4,
     verbose: bool = False,
+    cache_url: str | None = None,
+    cache_fallback_dir: str | None = None,
 ) -> SolverHTTPServer:
     """Build a ready-to-run server (``port=0`` picks an ephemeral port).
 
     Pass an open ``cache``, or ``cache_dir``/``cache_backend`` to have
-    one opened.  The server owns the service; run it with
+    one opened.  ``cache_backend="http"`` with ``cache_url`` makes this
+    server a solving tier in front of an upstream cache service;
+    ``cache_fallback_dir`` then wraps the upstream in a
+    :class:`~repro.campaign.cache.CircuitBreakerBackend` whose spill
+    journal lives there — breaker state shows up under ``/v1/stats``
+    storage stats.  The server owns the service; run it with
     ``serve_forever()`` (tests/benchmarks typically do so in a daemon
     thread and read ``server.url``).
     """
     if cache is None:
-        if cache_dir is None:
-            raise ReproError("make_server needs a cache or a cache_dir")
-        cache = ResultCache(cache_dir, backend=cache_backend)
+        if cache_backend == "http":
+            if cache_url is None:
+                raise ReproError(
+                    "cache_backend='http' needs cache_url "
+                    "(the upstream cache-service address)"
+                )
+            cache = ResultCache(url=cache_url, backend="http",
+                                fallback_dir=cache_fallback_dir)
+        else:
+            if cache_dir is None:
+                raise ReproError("make_server needs a cache or a cache_dir")
+            cache = ResultCache(cache_dir, backend=cache_backend,
+                                fallback_dir=cache_fallback_dir)
     service = SolveService(cache, solve_workers=solve_workers)
     return SolverHTTPServer((host, port), service, verbose=verbose)
 
 
-def serve(host: str, port: int, cache_dir: str, cache_backend: str = "jsonl",
-          solve_workers: int = 4, verbose: bool = False, out=None) -> int:
+def serve(host: str, port: int, cache_dir: str | None = None,
+          cache_backend: str = "jsonl",
+          solve_workers: int = 4, verbose: bool = False, out=None,
+          cache_url: str | None = None,
+          cache_fallback_dir: str | None = None) -> int:
     """Blocking CLI entry point: announce the URL, serve until SIGINT."""
     server = make_server(host=host, port=port, cache_dir=cache_dir,
                          cache_backend=cache_backend,
-                         solve_workers=solve_workers, verbose=verbose)
+                         solve_workers=solve_workers, verbose=verbose,
+                         cache_url=cache_url,
+                         cache_fallback_dir=cache_fallback_dir)
+    where = cache_url if cache_backend == "http" else cache_dir
     # flush=True: launcher scripts block on this line to learn the URL
     print(f"solver service listening on {server.url} "
-          f"[{cache_backend} cache at {cache_dir}, "
+          f"[{cache_backend} cache at {where}, "
           f"{solve_workers} solve workers]", file=out, flush=True)
     try:
         server.serve_forever()

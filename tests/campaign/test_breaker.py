@@ -1,0 +1,182 @@
+"""Circuit-breaker cache backend: state machine, journal, campaigns.
+
+Driven through :class:`~repro.campaign.chaos.ChaosBackend` — its
+injected :class:`~repro.campaign.chaos.ChaosError` is a
+``ConnectionError``, which the breaker classifies as a transport
+failure.  Time is pinned through the cache module's ``_now`` seam so
+backoff arithmetic is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.campaign.cache as cache_mod
+from repro.campaign import (
+    CampaignSpec,
+    ChaosBackend,
+    CircuitBreakerBackend,
+    JsonlBackend,
+    ResultCache,
+    run_campaign,
+    strip_volatile,
+)
+from repro.core import ReproError
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+ROW = {"status": "ok", "value": 1.5}
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    now = [0.0]
+    monkeypatch.setattr(cache_mod, "_now", lambda: now[0])
+    return now
+
+
+def _rig(tmp_path, journal=True, **chaos_kwargs):
+    root = tmp_path / "remote"
+    root.mkdir(exist_ok=True)
+    inner = JsonlBackend(root)
+    chaos = ChaosBackend(inner, **chaos_kwargs)
+    journal_dir = None
+    if journal:
+        journal_dir = tmp_path / "journal"
+        journal_dir.mkdir(exist_ok=True)
+    breaker = CircuitBreakerBackend(chaos, journal_dir=journal_dir)
+    return inner, chaos, breaker
+
+
+def test_threshold_opens_spills_and_recovery_replays(tmp_path, clock):
+    # calls 1-2 succeed, 3-6 are the outage, 7+ succeed again
+    inner, chaos, breaker = _rig(tmp_path, fail_after=2, recover_after=6)
+    breaker.store(KEY_A, ROW)                        # call 1
+    assert breaker.load(KEY_A) == ROW                # call 2
+    assert breaker.state == "closed"
+
+    assert breaker.load(KEY_A) is None               # call 3: degraded miss
+    assert breaker.load(KEY_A) is None               # call 4
+    breaker.store(KEY_B, {"v": 2})                   # call 5: opens + spills
+    assert breaker.state == "open"
+    assert breaker.opens == 1
+    assert breaker.spilled_puts == 1
+
+    # while open the remote is never touched: spill without a chaos call
+    calls_before = chaos.calls
+    breaker.store(KEY_C, {"v": 3})
+    assert chaos.calls == calls_before
+    assert breaker.breaker_state()["journal_entries"] == 2
+    assert breaker.degraded_gets == 2
+
+    clock[0] = 1.0                                   # backoff elapsed
+    assert breaker.load(KEY_A) is None               # call 6: failed probe
+    assert breaker.state == "open"
+    # failed probe doubles the backoff: 1.0 -> 2.0
+    assert breaker.breaker_state()["retry_in"] == pytest.approx(2.0)
+
+    clock[0] = 3.0
+    assert breaker.load(KEY_A) == ROW                # call 7: recovery
+    assert breaker.state == "closed"
+    # the journal replayed straight into the remote, oldest first
+    assert breaker.replayed_puts == 2
+    assert breaker.breaker_state()["journal_entries"] == 0
+    assert breaker.journal_path is not None
+    assert not breaker.journal_path.exists()
+    assert inner.load(KEY_B) == {"v": 2}
+    assert inner.load(KEY_C) == {"v": 3}
+
+
+def test_without_journal_puts_are_dropped(tmp_path, clock):
+    root = tmp_path / "remote"
+    root.mkdir()
+    chaos = ChaosBackend(JsonlBackend(root), fail_after=0)
+    breaker = CircuitBreakerBackend(chaos, failure_threshold=1)
+    breaker.store(KEY_A, ROW)        # failure -> open -> dropped
+    breaker.store(KEY_B, ROW)        # open -> dropped without a call
+    assert breaker.state == "open"
+    assert breaker.dropped_puts == 2
+    assert breaker.spilled_puts == 0
+
+
+def test_degraded_stats_carry_breaker_state_and_compact_refuses(
+        tmp_path, clock):
+    _, _, breaker = _rig(tmp_path, fail_after=0)
+    breaker.failure_threshold = 1
+    assert breaker.load(KEY_A) is None               # opens
+    stats = breaker.storage_stats()                  # open: degraded stub
+    assert stats["degraded"] is True
+    assert stats["keys"] == 0
+    assert stats["breaker"]["state"] == "open"
+    assert stats["breaker"]["degraded_gets"] == 1
+    with pytest.raises(ReproError, match="breaker is open"):
+        breaker.compact()
+
+
+def test_journal_survives_process_restart(tmp_path, clock):
+    _, _, breaker = _rig(tmp_path, fail_after=0)
+    breaker.failure_threshold = 1
+    breaker.store(KEY_A, ROW)                        # opens + spills
+    assert breaker.breaker_state()["journal_entries"] == 1
+    # a fresh breaker over the same journal dir picks the entries up
+    root = tmp_path / "remote"
+    reborn = CircuitBreakerBackend(
+        ChaosBackend(JsonlBackend(root)),            # healthy this time
+        journal_dir=tmp_path / "journal",
+    )
+    assert reborn.breaker_state()["journal_entries"] == 1
+    assert reborn.load(KEY_A) is None                # success -> replay
+    assert reborn.replayed_puts == 1
+    assert reborn.load(KEY_A) == ROW
+
+
+def test_campaign_survives_cache_outage(tmp_path):
+    spec = CampaignSpec(
+        name="outage",
+        instances=(
+            {"type": "random", "graph": "pipeline", "count": 3, "seed": 7,
+             "n": [3, 5], "p": 3},
+        ),
+        objectives=("period", "latency"),
+        solvers=({"name": "exact", "mode": "auto", "exact_fallback": True},),
+    )
+    reference = run_campaign(spec, workers=0)
+    tasks = reference.stats["tasks"]
+    root = tmp_path / "remote"
+    root.mkdir()
+    journal = tmp_path / "journal"
+    journal.mkdir()
+    # each task is one load (miss) + one store; fail the middle third
+    chaos = ChaosBackend(JsonlBackend(root), fail_after=3,
+                         recover_after=2 * tasks - 3)
+    breaker = CircuitBreakerBackend(chaos, journal_dir=journal,
+                                    failure_threshold=2, reset_after=0.0)
+    result = run_campaign(spec, cache=ResultCache(backend=breaker), workers=0)
+    # every row is present and bit-identical despite the outage
+    assert [strip_volatile(r) for r in result.rows] == \
+        [strip_volatile(r) for r in reference.rows]
+    assert breaker.opens >= 1
+    assert breaker.spilled_puts >= 1
+    # the journal was fully replayed once the remote recovered...
+    assert breaker.breaker_state()["journal_entries"] == 0
+    assert breaker.replayed_puts == breaker.spilled_puts
+    # ...so a healthy second run over the same store is 100% cache hits
+    second = run_campaign(spec, cache=ResultCache(root), workers=0)
+    assert second.stats["cache_hits"] == tasks
+    assert [strip_volatile(r) for r in second.rows] == \
+        [strip_volatile(r) for r in reference.rows]
+
+
+def test_resultcache_fallback_dir_wraps_and_validates(tmp_path):
+    with pytest.raises(ReproError, match="fallback_dir"):
+        ResultCache(tmp_path / "local", backend="jsonl",
+                    fallback_dir=tmp_path / "journal")
+    root = tmp_path / "remote"
+    root.mkdir()
+    chaos = ChaosBackend(JsonlBackend(root))
+    cache = ResultCache(backend=chaos, fallback_dir=tmp_path / "journal")
+    assert isinstance(cache._backend, CircuitBreakerBackend)
+    assert (tmp_path / "journal").is_dir()
+    stats = cache.storage_stats()
+    assert stats["breaker"]["state"] == "closed"

@@ -234,6 +234,31 @@ class TestJsonlBackend:
         # a second compact is a no-op
         assert cache.compact()["records_dropped"] == 0
 
+    def test_torn_trailing_line_is_counted_and_repaired(self, tmp_path):
+        # simulate a crash mid-append: the shard ends in half a record
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"value": 1})
+        cache.put(KEY_B, {"value": 2})
+        shard = tmp_path / "aa.jsonl"
+        whole = shard.read_text()
+        line = json.dumps({"version": CACHE_VERSION, "key": KEY_A,
+                           "row": {"value": 99}})
+        shard.write_text(whole + line[: len(line) // 2])  # torn append
+        fresh = ResultCache(tmp_path)
+        # the torn write is lost (its key keeps the previous value)...
+        assert fresh.get(KEY_A) == {"value": 1}
+        assert fresh.get(KEY_B) == {"value": 2}
+        stats = fresh.storage_stats()
+        assert stats["corrupt_lines"] == 1
+        assert stats["stale_records"] == 0
+        # ...and compact repairs the shard in place
+        info = fresh.compact()
+        assert info["corrupt_dropped"] == 1
+        assert info["records_dropped"] == 0
+        repaired = ResultCache(tmp_path)
+        assert repaired.get(KEY_A) == {"value": 1}
+        assert repaired.storage_stats()["corrupt_lines"] == 0
+
     def test_compact_drops_corrupt_and_stale_version_lines(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(KEY_A, {"value": 1})
@@ -243,8 +268,12 @@ class TestJsonlBackend:
             fh.write(json.dumps({"version": CACHE_VERSION + 1,
                                  "key": KEY_B, "row": {}}) + "\n")
         fresh = ResultCache(tmp_path)
-        assert fresh.storage_stats()["stale_records"] == 2
-        assert fresh.compact()["records_dropped"] == 2
+        stats = fresh.storage_stats()
+        assert stats["stale_records"] == 1  # the version-mismatched record
+        assert stats["corrupt_lines"] == 1  # the unparseable garbage line
+        info = fresh.compact()
+        assert info["records_dropped"] == 1
+        assert info["corrupt_dropped"] == 1
         assert ResultCache(tmp_path).get(KEY_A) == {"value": 1}
 
 

@@ -1,0 +1,162 @@
+"""Crash-isolated workers: quarantine, rescue, and task timeouts.
+
+The fault hook (`REPRO_FAULT_KILL_INSTANCE`) SIGKILLs any *worker*
+process that picks up a task of the named instance — the closest
+reproducible stand-in for an OOM kill or a segfaulting native library.
+The runner must quarantine exactly the killer tasks and keep every
+surviving row bit-identical to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    run_campaign,
+    strip_volatile,
+)
+from repro.campaign.runner import _FAULT_KILL_ENV
+
+
+def _instance(iid: str, works: list) -> dict:
+    return {
+        "type": "explicit",
+        "id": iid,
+        "application": {"kind": "pipeline", "works": works},
+        "platform": {"kind": "platform", "speeds": [1.0, 1.0, 1.0]},
+    }
+
+
+def crash_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="crashy",
+        instances=(
+            _instance("alpha", [14.0, 4.0, 2.0, 4.0]),
+            _instance("victim", [3.0, 3.0, 3.0]),
+            _instance("omega", [5.0, 1.0, 2.0, 8.0]),
+        ),
+        objectives=("period", "latency"),
+        solvers=({"name": "exact", "mode": "auto", "exact_fallback": True},),
+    )
+
+
+def test_killer_task_is_quarantined_and_survivors_identical(monkeypatch):
+    spec = crash_spec()
+    reference = run_campaign(spec, workers=0)
+    monkeypatch.setenv(_FAULT_KILL_ENV, "victim")
+    # chunk_size=3 puts the killer in a chunk with innocent neighbours,
+    # exercising the bisection rescue, not just single-task quarantine
+    result = run_campaign(spec, workers=2, chunk_size=3)
+    crashed = [r for r in result.rows if r["instance_id"] == "victim"]
+    survivors = [r for r in result.rows if r["instance_id"] != "victim"]
+    reference_survivors = [
+        r for r in reference.rows if r["instance_id"] != "victim"
+    ]
+    assert len(crashed) == 2
+    for row in crashed:
+        assert row["status"] == "error"
+        assert row["error_type"] == "WorkerCrashError"
+        assert row["resolution"] == "crashed"
+        assert row["execution"] == {"status": "crashed"}
+    assert [strip_volatile(r) for r in survivors] == \
+        [strip_volatile(r) for r in reference_survivors]
+    assert result.stats["crashed"] == 2
+    assert result.stats["errors"] == 2
+
+
+def test_serial_reference_path_is_immune_to_the_fault_hook(monkeypatch):
+    monkeypatch.setenv(_FAULT_KILL_ENV, "victim")
+    result = run_campaign(crash_spec(), workers=0)
+    assert result.stats["errors"] == 0
+    assert result.stats["crashed"] == 0
+
+
+def test_crashed_rows_are_never_cached(tmp_path, monkeypatch):
+    spec = crash_spec()
+    cache = ResultCache(tmp_path / "cache")
+    monkeypatch.setenv(_FAULT_KILL_ENV, "victim")
+    first = run_campaign(spec, cache=cache, workers=2, chunk_size=1)
+    assert first.stats["crashed"] == 2
+    # the crash is transient runner state: once the fault clears, the
+    # same campaign re-solves exactly the quarantined tasks
+    monkeypatch.delenv(_FAULT_KILL_ENV)
+    healed = run_campaign(spec, cache=cache, workers=2, chunk_size=1)
+    assert healed.stats["errors"] == 0
+    assert healed.stats["crashed"] == 0
+    reference = run_campaign(spec, workers=0)
+    assert [strip_volatile(r) for r in healed.rows] == \
+        [strip_volatile(r) for r in reference.rows]
+
+
+def test_task_timeout_converts_runaway_solve_into_budgeted_row(tmp_path):
+    # a 10-branch fork-join on a heterogeneous platform: the unbudgeted
+    # exact solve runs for minutes; the runner's timeout turns it into
+    # an anytime row in ~0.2s
+    spec = CampaignSpec(
+        name="runaway",
+        instances=(
+            {
+                "type": "explicit",
+                "id": "big",
+                "application": {
+                    "kind": "fork-join",
+                    "root_work": 2.0,
+                    "branch_works": [3, 1, 4, 1, 5, 9, 2, 6, 5, 3],
+                    "join_work": 1.5,
+                },
+                "platform": {
+                    "kind": "platform", "speeds": [1, 2, 3, 2, 1, 2]
+                },
+            },
+        ),
+        objectives=("latency",),
+        solvers=({"name": "exact", "mode": "exact", "engine": "bnb"},),
+    )
+    cache = ResultCache(tmp_path / "cache")
+    result = run_campaign(spec, cache=cache, workers=0, task_timeout=0.2)
+    (row,) = result.rows
+    assert row["status"] == "ok"
+    execution = row["execution"]
+    assert execution["status"] == "budget_exhausted"
+    assert execution["reason"] == "max_seconds"
+    assert execution["interrupted"] == "task-timeout"
+    assert execution["lower_bound"] > 0.0
+    assert execution["gap"] >= 0.0
+    assert result.stats["budget_exhausted"] == 1
+    # the timeout is runner state, not task content — caching the row
+    # would alias the untimed cache key
+    assert cache.keys() == []
+
+
+def test_config_budget_rows_are_cached(tmp_path):
+    spec = CampaignSpec(
+        name="budgeted",
+        instances=(
+            {
+                "type": "explicit",
+                "id": "big",
+                "application": {
+                    "kind": "pipeline",
+                    "works": [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8],
+                },
+                "platform": {
+                    "kind": "platform", "speeds": [1, 2, 3, 2, 1, 2, 3, 1]
+                },
+            },
+        ),
+        objectives=("period",),
+        solvers=(
+            {"name": "exact", "mode": "exact", "engine": "bnb",
+             "max_nodes": 2000},
+        ),
+    )
+    cache = ResultCache(tmp_path / "cache")
+    first = run_campaign(spec, cache=cache, workers=0)
+    (row,) = first.rows
+    assert row["execution"]["status"] == "budget_exhausted"
+    assert "interrupted" not in row["execution"]
+    assert len(cache.keys()) == 1   # the budget is task content: cacheable
+    again = run_campaign(spec, cache=cache, workers=0)
+    assert again.stats["cache_hits"] == 1
+    assert again.stats["budget_exhausted"] == 1
+    assert strip_volatile(again.rows[0]) == strip_volatile(row)

@@ -199,3 +199,35 @@ class TestTaskKeys:
         ))
         assert a.key != b.key
         assert instance_digest(a.instance) == instance_digest(b.instance)
+
+    def test_budget_knobs_key_exact_modes_only(self):
+        base = self.task()
+        budgeted = self.task(solvers=({"name": "auto", "max_nodes": 2000},))
+        tighter = self.task(solvers=({"name": "auto", "max_nodes": 1000},))
+        timed = self.task(solvers=({"name": "auto", "max_seconds": 1.5},))
+        assert len({base.key, budgeted.key, tighter.key, timed.key}) == 4
+        # budgets cannot affect heuristic/random solves, so they don't key
+        assert canonical_solver_dict(
+            {"name": "a", "mode": "random", "max_nodes": 2000}
+        ) == canonical_solver_dict({"name": "b", "mode": "random"})
+
+    def test_unset_budget_keys_are_byte_identical_to_pre_budget(self):
+        # None budget knobs must not appear in the canonical dict at all:
+        # every cache row written before budgets existed stays reachable
+        assert canonical_solver_dict({"name": "a"}) == \
+            canonical_solver_dict(
+                {"name": "a", "max_seconds": None, "max_nodes": None}
+            )
+        assert "max_nodes" not in canonical_solver_dict({"name": "a"})
+
+    def test_budget_validation_at_spec_parse_time(self):
+        with pytest.raises(ReproError, match="max_nodes"):
+            SolverConfig.from_dict({"name": "bad", "max_nodes": 0})
+        with pytest.raises(ReproError, match="max_seconds"):
+            SolverConfig.from_dict({"name": "bad", "max_seconds": -1.0})
+        cfg = SolverConfig.from_dict(
+            {"name": "ok", "max_seconds": 2.0, "max_nodes": 500}
+        )
+        assert cfg.budget().to_dict() == \
+            {"max_seconds": 2.0, "max_nodes": 500}
+        assert SolverConfig.from_dict({"name": "ok"}).budget() is None
