@@ -8,9 +8,16 @@ is recorded but not gated: its request latencies are floored by the
 loopback HTTP round-trip, see PERFORMANCE.md).  The *recorded* numbers
 must clear the floors future PRs may not regress:
 
+* the matrix section of ``BENCH_exact.json`` — branch-and-bound must
+  stay >= 10x faster than flat enumeration at every measured size, and
+  every entry must carry the search-effort counters (``bnb_nodes`` /
+  ``bnb_pruned``) the instrumented engines now report — together these
+  gate that per-solve instrumentation stays free on the hot path (the
+  counters are read post-solve from state the search already kept);
 * the sweep section of ``BENCH_exact.json`` — context-reuse must stay
   >= 2x faster than cold per-point solves (and the sweep rows must have
-  been verified bit-identical when the file was generated);
+  been verified bit-identical when the file was generated), with
+  search-effort totals present in every entry;
 * the budget section of ``BENCH_exact.json`` — the anytime contract:
   incumbents were verified monotone in the node budget and sound
   against their lower bounds, every recorded gap is finite, and the
@@ -36,8 +43,14 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 
 #: Floors for the committed trajectory (single-core honest, see module doc).
+MIN_MATRIX_SPEEDUP = 10.0
 MIN_SWEEP_SPEEDUP = 2.0
 MIN_WARM_HIT_FRACTION = 0.95
+
+#: Search-effort fields the instrumented engines must keep recording —
+#: their absence would mean the free post-solve instrumentation was lost.
+MATRIX_EFFORT_FIELDS = ("bnb_nodes", "bnb_pruned")
+SWEEP_EFFORT_FIELDS = ("cold_effort", "context_effort")
 
 
 def _fail(message: str) -> None:
@@ -45,19 +58,48 @@ def _fail(message: str) -> None:
     raise SystemExit(1)
 
 
+def check_matrix(path: Path, doc: dict) -> list[str]:
+    """The instrumentation-overhead gate: engine speedups must hold at
+    their historical floor *with* the effort counters recorded."""
+    entries = doc.get("entries", [])
+    if not entries:
+        _fail(f"{path.name} has no matrix entries — regenerate with "
+              "PYTHONPATH=src python benchmarks/bench_exact_engines.py")
+    lines = []
+    for entry in entries:
+        label = f"matrix {entry['n']}x{entry['p']}"
+        missing = [f for f in MATRIX_EFFORT_FIELDS if f not in entry]
+        if missing:
+            _fail(f"{label}: search-effort fields {missing} missing — "
+                  "engine instrumentation was lost")
+        if entry["speedup"] < MIN_MATRIX_SPEEDUP:
+            _fail(f"{label}: bnb speedup {entry['speedup']}x fell below "
+                  f"the {MIN_MATRIX_SPEEDUP}x floor (instrumentation "
+                  "overhead on the hot path?)")
+        lines.append(
+            f"  {label}: {entry['speedup']}x (>= {MIN_MATRIX_SPEEDUP}x), "
+            f"{entry['bnb_nodes']} nodes / {entry['bnb_pruned']} pruned"
+        )
+    return lines
+
+
 def check_exact(path: Path) -> list[str]:
     doc = json.loads(path.read_text())
+    lines = check_matrix(path, doc)
     sweep = doc.get("sweep", {})
     entries = sweep.get("entries", [])
     if not entries:
         _fail(f"{path.name} has no sweep section — regenerate with "
               "PYTHONPATH=src python benchmarks/bench_exact_engines.py")
-    lines = []
     for entry in entries:
         label = (f"sweep {entry['engine']} {entry['n']}x{entry['p']} "
                  f"({entry['points']} points)")
         if not entry.get("rows_identical"):
             _fail(f"{label}: rows were not verified bit-identical")
+        missing = [f for f in SWEEP_EFFORT_FIELDS if f not in entry]
+        if missing:
+            _fail(f"{label}: search-effort totals {missing} missing — "
+                  "regenerate after restoring SolveStats timing blocks")
         if entry["speedup"] < MIN_SWEEP_SPEEDUP:
             _fail(f"{label}: context-reuse speedup {entry['speedup']}x "
                   f"fell below the {MIN_SWEEP_SPEEDUP}x floor")

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Validate a Prometheus exposition payload from the solver service.
+
+The CI observability smoke drives a campaign through a live ``repro
+serve`` instance, scrapes ``GET /metrics``, and pipes the payload
+through this script.  It checks three things:
+
+* every line of the payload obeys the text exposition format 0.0.4
+  (``# HELP``/``# TYPE`` comments, ``name{labels} value`` samples);
+* the metric families the dashboards rely on are all present
+  (``REQUIRED_FAMILIES``);
+* traffic actually registered — ``repro_solves_total`` summed over its
+  ``(engine, status)`` series is positive, so a silently-unwired
+  metrics layer fails the build rather than scraping zeros forever.
+
+Usage::
+
+    python build_tools/check_metrics.py http://127.0.0.1:8321/metrics
+    python build_tools/check_metrics.py /tmp/metrics.txt
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import urllib.request
+
+#: Families the service must always export (see docs/OBSERVABILITY.md).
+REQUIRED_FAMILIES = (
+    "repro_solve_requests_total",
+    "repro_solves_total",
+    "repro_coalesced_total",
+    "repro_cache_served_total",
+    "repro_solve_errors_total",
+    "repro_cache_ops_total",
+    "repro_inflight_solves",
+    "repro_solve_seconds",
+    "repro_request_seconds",
+    "repro_http_requests_total",
+)
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) .+$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(
+    rf'^({_NAME})'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (-?(\d+(\.\d+)?([eE][+-]?\d+)?|[0-9.]+)|\+Inf|-Inf|NaN)$"
+)
+
+
+def _fail(message: str) -> None:
+    print(f"METRICS: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def fetch(source: str) -> str:
+    if source.startswith(("http://", "https://")):
+        with urllib.request.urlopen(source, timeout=30) as response:
+            return response.read().decode("utf-8")
+    with open(source, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def check(text: str) -> dict[str, float]:
+    """Validate the payload; return ``{sample line -> value}``."""
+    if not text.strip():
+        _fail("empty exposition payload")
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not (_HELP_RE.match(line) or _TYPE_RE.match(line)):
+                _fail(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            _fail(f"line {lineno}: malformed sample: {line!r}")
+        samples[line.rsplit(" ", 1)[0]] = float(match.group(4))
+    for family in REQUIRED_FAMILIES:
+        if f"# TYPE {family} " not in text:
+            _fail(f"required family missing: {family}")
+    solves = sum(
+        value for name, value in samples.items()
+        if name.startswith("repro_solves_total")
+    )
+    if solves <= 0:
+        _fail("repro_solves_total is zero: no solve was ever counted")
+    return samples
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    samples = check(fetch(argv[1]))
+    solves = sum(
+        value for name, value in samples.items()
+        if name.startswith("repro_solves_total")
+    )
+    print(
+        f"metrics OK: {len(samples)} samples, "
+        f"{len(REQUIRED_FAMILIES)} required families, "
+        f"{solves:.0f} solves counted"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -263,6 +263,7 @@ class _Search:
         self.best_groups: list[tuple] | None = None
         self.nodes = 0
         self.pruned = 0
+        self.memo_hits = 0  # context child-expansion replays (pipeline)
         # budget plumbing: the hot loops gate on a local `metered` flag,
         # so the unbudgeted path pays one bool test per node
         self.meter = meter
@@ -412,7 +413,8 @@ def _pipeline_children(
 
 
 def _pipeline_node_views(
-    state: dict, pool: _SpeedPool, stage: int, allow_dp: bool, value_col: int
+    state: dict, pool: _SpeedPool, stage: int, allow_dp: bool,
+    value_col: int, search: _Search,
 ):
     """The child expansion of a node, pre-sorted for one objective.
 
@@ -435,6 +437,8 @@ def _pipeline_node_views(
             allow_dp,
         )
         state["children"][key] = views
+    else:
+        search.memo_hits += 1  # same cost class as the nodes counter
     view = views.get(value_col)
     if view is None:
         view = tuple(sorted(views["gen"], key=lambda ch: ch[value_col]))
@@ -475,7 +479,7 @@ def _solve_pipeline(
             search.pruned += 1
             return
         view = _pipeline_node_views(
-            children_memo, pool, stage, allow_dp, value_col
+            children_memo, pool, stage, allow_dp, value_col, search
         )
         for pos, (g_period, g_delay, length, nz, kind) in enumerate(view):
             new_period = cur_period if g_period <= cur_period else g_period
@@ -1002,6 +1006,7 @@ def optimal(
         "algorithm": "bnb",
         "nodes": search.nodes,
         "pruned": search.pruned,
+        "memo_hits": search.memo_hits,
         "status": status,
     }
     if status == "budget_exhausted":

@@ -311,11 +311,15 @@ _MAX_ENUM_CACHE = 200_000
 
 
 def _enumerated_candidates(spec: ProblemSpec, context):
-    """``(groups, period, latency)`` of every valid mapping, in oracle order.
+    """``(candidates, replayed)``: every valid mapping, in oracle order.
 
-    With a context the list is built once and replayed by later threshold
-    solves; without one (or past :data:`_MAX_ENUM_CACHE` candidates) it is
-    a streaming generator, exactly the historical behaviour.
+    ``candidates`` yields ``(groups, period, latency)`` triples;
+    ``replayed`` is True when they come from a context's priced cache
+    (each consumed candidate then counts as one memo hit — a mapping
+    construction and pricing avoided).  With a context the list is built
+    once and replayed by later threshold solves; without one (or past
+    :data:`_MAX_ENUM_CACHE` candidates) it is a streaming generator,
+    exactly the historical behaviour.
     """
 
     def generate():
@@ -324,24 +328,25 @@ def _enumerated_candidates(spec: ProblemSpec, context):
             yield mapping.groups, period, latency
 
     if context is None:
-        return generate()
+        return generate(), False
     state = context.table("enumerate")
     if state.get("too_big"):
-        return generate()
+        return generate(), False
     candidates = state.get("candidates")
-    if candidates is None:
-        generator = generate()
-        candidates = []
-        for item in generator:
-            candidates.append(item)
-            if len(candidates) > _MAX_ENUM_CACHE:
-                # too large to keep: this call streams the already-priced
-                # prefix plus the live generator's remainder; later calls
-                # enumerate cold
-                state["too_big"] = True
-                return itertools.chain(candidates, generator)
-        state["candidates"] = candidates
-    return candidates
+    if candidates is not None:
+        return candidates, True
+    generator = generate()
+    candidates = []
+    for item in generator:
+        candidates.append(item)
+        if len(candidates) > _MAX_ENUM_CACHE:
+            # too large to keep: this call streams the already-priced
+            # prefix plus the live generator's remainder; later calls
+            # enumerate cold
+            state["too_big"] = True
+            return itertools.chain(candidates, generator), False
+    state["candidates"] = candidates
+    return candidates, False
 
 
 def optimal_enumerated(
@@ -383,7 +388,8 @@ def optimal_enumerated(
     nodes = 0
     next_check = CHECK_EVERY if meter is not None else float("inf")
     exhausted = False
-    for groups, period, latency in _enumerated_candidates(spec, context):
+    candidates, replayed = _enumerated_candidates(spec, context)
+    for groups, period, latency in candidates:
         nodes += 1
         if nodes >= next_check:
             next_check = nodes + CHECK_EVERY
@@ -416,7 +422,14 @@ def optimal_enumerated(
     mapping = mapping_cls(
         application=app, platform=platform, groups=groups
     )
-    meta: dict = {"algorithm": "brute-force", "status": "optimal"}
+    meta: dict = {
+        "algorithm": "brute-force",
+        "status": "optimal",
+        # every candidate priced is one search node; a replayed context
+        # cache served all of them as memo hits
+        "nodes": nodes,
+        "memo_hits": nodes if replayed else 0,
+    }
     if exhausted:
         from .bnb import root_lower_bound
 
@@ -424,7 +437,6 @@ def optimal_enumerated(
         value = period if objective is Objective.PERIOD else latency
         meta.update(
             status="budget_exhausted",
-            nodes=nodes,
             lower_bound=lower,
             gap=(value - lower) / lower if lower > 0.0 else 0.0,
             budget=meter.budget.to_dict(),

@@ -15,15 +15,19 @@ Turns "solve one instance" into "run an experiment campaign":
   (``workers=0`` serial mode is the bit-identical reference);
   ``retry_errors=True`` resumes a partially-failed campaign re-solving
   only the cached error rows;
-* :mod:`repro.campaign.report` — summary tables, heuristic-gap statistics
-  and multi-instance Pareto comparisons over result rows;
+* :mod:`repro.campaign.report` — summary tables, per-engine timing
+  breakdowns, heuristic-gap statistics and multi-instance Pareto
+  comparisons over result rows;
+* :mod:`repro.campaign.profile` — latency-percentile / search-effort
+  profiles aggregated from the ``timing`` blocks a warm cache already
+  holds (see ``docs/OBSERVABILITY.md``);
 * :mod:`repro.campaign.chaos` — fault-injection wrappers
   (:class:`ChaosBackend`) for exercising the fault-tolerance layer: the
   crash-isolating runner, the :class:`CircuitBreakerBackend` remote-cache
   breaker and its spill journal (see ``docs/ROBUSTNESS.md``).
 
 Exposed on the CLI as ``python -m repro campaign run / report / pareto /
-cache``.
+cache / profile``.
 
 Quick start::
 
@@ -51,6 +55,13 @@ from .cache import (
     SqliteBackend,
 )
 from .chaos import ChaosBackend, ChaosError
+from .profile import (
+    collect_timings,
+    percentile,
+    profile_doc,
+    profile_groups,
+    profile_table,
+)
 from .report import (
     heuristic_gap,
     load_pareto_fronts,
@@ -58,6 +69,7 @@ from .report import (
     pareto_fronts_doc,
     save_pareto_fronts,
     summarize,
+    timing_breakdown,
 )
 from .runner import (
     VOLATILE_FIELDS,
@@ -93,9 +105,15 @@ __all__ = [
     "save_rows",
     "load_rows",
     "summarize",
+    "timing_breakdown",
     "heuristic_gap",
     "pareto_comparison",
     "pareto_fronts_doc",
     "save_pareto_fronts",
     "load_pareto_fronts",
+    "percentile",
+    "collect_timings",
+    "profile_groups",
+    "profile_doc",
+    "profile_table",
 ]

@@ -852,6 +852,18 @@ class ResultCache:
         """Name of the storage backend in use."""
         return self._backend.name
 
+    @property
+    def breaker_state(self) -> str | None:
+        """The circuit breaker's state (``"closed"`` / ``"half-open"`` /
+        ``"open"``), or ``None`` when no breaker wraps the backend.
+
+        Reads an in-memory attribute — unlike :meth:`storage_stats` it
+        never touches the network, so a metrics scrape can poll it.
+        """
+        if isinstance(self._backend, CircuitBreakerBackend):
+            return self._backend.state
+        return None
+
     # -------------------------------------------------------------- api
     def get(self, key: str) -> dict | None:
         """The cached row for ``key``, or ``None`` (counts hit/miss).

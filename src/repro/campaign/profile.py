@@ -1,0 +1,152 @@
+"""Solve-time profiling from cached ``timing`` blocks.
+
+Every campaign row (and every ``/v1/solve`` response) carries a volatile
+``timing`` block — the :class:`~repro.obs.solvestats.SolveStats` of the
+solve that produced it — and the block rides *inside* the cached
+payload.  A warm result cache is therefore a profiling data set:
+``campaign profile`` aggregates it into per-``(engine, n, p)``
+latency percentiles and search-effort totals without re-solving
+anything.
+
+:func:`collect_timings` pulls the blocks out of a cache or a row list,
+:func:`profile_groups` aggregates them, :func:`profile_doc` wraps the
+aggregate in a versioned JSON artifact, and :func:`profile_table`
+renders the human view.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..analysis.report import format_table
+from ..core.exceptions import ReproError
+
+__all__ = [
+    "percentile",
+    "collect_timings",
+    "profile_groups",
+    "profile_doc",
+    "profile_table",
+]
+
+#: ``kind`` discriminator / format version of the profile artifact.
+PROFILE_DOC_KIND = "solve-profile"
+PROFILE_DOC_VERSION = 1
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-quantile (0..1) by the nearest-rank method.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.0
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.95)
+    4.0
+    >>> percentile([7.0], 0.99)
+    7.0
+    """
+    if not values:
+        raise ReproError("percentile of an empty sequence")
+    ordered = sorted(values)
+    rank = max(1, round(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def collect_timings(cache=None, rows=None) -> list[dict]:
+    """Every ``timing`` block found in a cache and/or result rows.
+
+    ``cache`` is a :class:`~repro.campaign.cache.ResultCache` (all keys
+    are scanned); ``rows`` is an iterable of result-row dicts (as stored
+    in a results JSONL).  Rows without a block — errors from before the
+    field existed, quarantined crashes — are skipped.
+    """
+    timings: list[dict] = []
+    if cache is not None:
+        for key in cache.keys():
+            payload = cache.get(key)
+            timing = (payload or {}).get("timing")
+            if timing:
+                timings.append(timing)
+    if rows is not None:
+        for row in rows:
+            timing = row.get("timing")
+            if timing:
+                timings.append(timing)
+    return timings
+
+
+def _group_key(timing: dict) -> tuple:
+    return (
+        timing.get("engine") or "-",
+        timing.get("n") if timing.get("n") is not None else -1,
+        timing.get("p") if timing.get("p") is not None else -1,
+    )
+
+
+def profile_groups(timings: list[dict]) -> list[dict]:
+    """Aggregate timing blocks per ``(engine, n, p)`` group.
+
+    Each group reports the sample count, wall-second percentiles
+    (p50/p95/p99 by nearest rank) and totals of the search-effort
+    counters the engines maintained (nodes / pruned / memo hits).
+    Groups are sorted by engine, then instance size.
+    """
+    buckets: dict[tuple, list[dict]] = {}
+    for timing in timings:
+        buckets.setdefault(_group_key(timing), []).append(timing)
+    groups = []
+    for (engine, n, p), members in sorted(buckets.items()):
+        seconds = [t.get("seconds", 0.0) for t in members]
+        groups.append({
+            "engine": engine,
+            "n": None if n == -1 else n,
+            "p": None if p == -1 else p,
+            "count": len(members),
+            "seconds_total": sum(seconds),
+            "p50": percentile(seconds, 0.50),
+            "p95": percentile(seconds, 0.95),
+            "p99": percentile(seconds, 0.99),
+            "mean": statistics.mean(seconds),
+            "nodes": sum(t.get("nodes") or 0 for t in members),
+            "pruned": sum(t.get("pruned") or 0 for t in members),
+            "memo_hits": sum(t.get("memo_hits") or 0 for t in members),
+        })
+    return groups
+
+
+def profile_doc(timings: list[dict]) -> dict:
+    """The machine-readable profile artifact (``--out`` of the CLI verb)."""
+    return {
+        "kind": PROFILE_DOC_KIND,
+        "version": PROFILE_DOC_VERSION,
+        "samples": len(timings),
+        "groups": profile_groups(timings),
+    }
+
+
+def profile_table(timings: list[dict],
+                  title: str = "solve profile") -> str:
+    """Human-readable percentile table; ``""`` when nothing to report."""
+    groups = profile_groups(timings)
+    if not groups:
+        return ""
+    table = [
+        [
+            g["engine"],
+            "-" if g["n"] is None else str(g["n"]),
+            "-" if g["p"] is None else str(g["p"]),
+            str(g["count"]),
+            f"{1e3 * g['p50']:.2f}",
+            f"{1e3 * g['p95']:.2f}",
+            f"{1e3 * g['p99']:.2f}",
+            str(g["nodes"]),
+            str(g["pruned"]),
+            str(g["memo_hits"]),
+        ]
+        for g in groups
+    ]
+    return format_table(
+        ["engine", "n", "p", "solves", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+         "nodes", "pruned", "memo hits"],
+        table,
+        title=title,
+    )

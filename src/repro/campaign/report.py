@@ -13,9 +13,11 @@ from pathlib import Path
 
 from ..analysis.report import format_table
 from ..core.exceptions import ReproError
+from .profile import percentile
 
 __all__ = [
     "summarize",
+    "timing_breakdown",
     "heuristic_gap",
     "pareto_comparison",
     "pareto_fronts_doc",
@@ -100,6 +102,49 @@ def summarize(result_or_rows, title: str = "campaign summary") -> str:
         ["solver", "objective", "tasks", "ok", "errors", "cached-ok",
          "cached-err", "solved", "retried", "crashed", "budget",
          "mean value", "median value", "solve (s)"],
+        table,
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# per-engine timing breakdown
+# ----------------------------------------------------------------------
+def timing_breakdown(result_or_rows,
+                     title: str = "engine timing breakdown") -> str:
+    """One line per solving engine: wall time and search effort.
+
+    Aggregates the volatile ``timing`` blocks
+    (:class:`~repro.obs.solvestats.SolveStats`) of the rows that carry
+    one — cached rows keep their original solve's block, so the table
+    reports what the solves *cost when they ran*, not this run's cache
+    lookups.  Returns ``""`` when no row has timing (results saved
+    before the field existed); callers can print the result unguarded.
+    """
+    rows = _rows_of(result_or_rows)
+    groups: dict[str, list[dict]] = {}
+    for row in rows:
+        timing = row.get("timing")
+        if timing:
+            groups.setdefault(timing.get("engine") or "-", []).append(timing)
+    if not groups:
+        return ""
+    table = []
+    for engine, timings in sorted(groups.items()):
+        seconds = [t.get("seconds", 0.0) for t in timings]
+        table.append([
+            engine,
+            str(len(timings)),
+            f"{sum(seconds):.3f}",
+            f"{1e3 * statistics.mean(seconds):.2f}",
+            f"{1e3 * percentile(seconds, 0.95):.2f}",
+            str(sum(t.get("nodes") or 0 for t in timings)),
+            str(sum(t.get("pruned") or 0 for t in timings)),
+            str(sum(t.get("memo_hits") or 0 for t in timings)),
+        ])
+    return format_table(
+        ["engine", "rows", "total (s)", "mean (ms)", "p95 (ms)",
+         "nodes", "pruned", "memo hits"],
         table,
         title=title,
     )

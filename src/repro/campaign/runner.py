@@ -35,6 +35,8 @@ Result rows are plain JSON dicts::
      "error": null, "error_type": null,
      "execution": {"status": "completed" | "budget_exhausted" | "error"
                    | "crashed", ...},
+     "timing": {"seconds": 0.004, "engine": "bnb", "status": "completed",
+                "nodes": 310, "pruned": 88, "memo_hits": 0, ...},
      "seconds": 0.004, "cached": false,
      "resolution": "cached-ok" | "cached-error" | "solved" | "retried"
                    | "crashed"}
@@ -49,6 +51,12 @@ Result rows are plain JSON dicts::
   campaign after e.g. a solver fix; the re-put overwrites the old row);
 * ``"crashed"`` — the task killed its worker process; quarantined as an
   error row after bisection (transient by definition, never cached).
+
+``timing`` is the per-solve :class:`~repro.obs.solvestats.SolveStats`
+block (wall seconds, search effort, instance shape).  It is volatile —
+wall time and memo hits legitimately differ between runs — and it rides
+*inside* the cached payload, so a warm cache doubles as a profiling data
+set (``campaign profile`` aggregates it without re-solving anything).
 
 ``execution`` is the shared *execution report*: how the solve itself
 went.  ``"completed"`` is a normal exact/heuristic result;
@@ -80,6 +88,8 @@ from ..algorithms.registry import solve
 from ..algorithms.solve_context import ContextCache
 from ..core.application import ForkApplication
 from ..core.exceptions import ReproError
+from ..obs.solvestats import SolveStats
+from ..obs.tracing import NULL_TRACER, new_trace_id
 from ..serialization import mapping_to_dict, spec_from_dict
 from .spec import CampaignSpec, Task
 
@@ -95,7 +105,10 @@ __all__ = [
 
 #: Row fields that legitimately differ between runs (timing, cache state).
 #: Everything else is deterministic and must be identical serial vs parallel.
-VOLATILE_FIELDS = ("seconds", "cached", "resolution")
+#: ``timing`` is the per-solve :class:`~repro.obs.solvestats.SolveStats`
+#: block — wall seconds and context-dependent memo hits make it volatile
+#: by nature (cache keys never see it: keys hash task *content* only).
+VOLATILE_FIELDS = ("seconds", "cached", "resolution", "timing")
 
 
 def strip_volatile(row: dict) -> dict:
@@ -249,6 +262,7 @@ def solve_task(task: Task, context_cache: ContextCache | None = None,
     """
     _maybe_inject_fault(task)
     t0 = time.perf_counter()
+    spec = None
     try:
         if context_cache is not None:
             context = context_cache.for_document(task.instance)
@@ -261,6 +275,7 @@ def solve_task(task: Task, context_cache: ContextCache | None = None,
         execution, cacheable = _execution_report(
             solution.meta, task.solver, task_timeout
         )
+        seconds = time.perf_counter() - t0
         payload = {
             "status": "ok",
             "period": solution.period,
@@ -271,10 +286,15 @@ def solve_task(task: Task, context_cache: ContextCache | None = None,
             "error": None,
             "error_type": None,
             "execution": execution,
+            "timing": SolveStats.from_solution(
+                solution, spec=spec, seconds=seconds,
+                objective=task.objective,
+            ).to_dict(),
         }
         if not cacheable:
             payload["_cacheable"] = False
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        seconds = time.perf_counter() - t0
         payload = {
             "status": "error",
             "period": None,
@@ -285,12 +305,18 @@ def solve_task(task: Task, context_cache: ContextCache | None = None,
             "error": str(exc),
             "error_type": type(exc).__name__,
             "execution": {"status": "error"},
+            "timing": SolveStats(
+                seconds=seconds, status="error", objective=task.objective,
+                graph=spec.graph_kind.value if spec is not None else None,
+                n=spec.application.n if spec is not None else None,
+                p=spec.platform.p if spec is not None else None,
+            ).to_dict(),
             # only deterministic failures (model/solver semantics, all
             # ReproError subclasses) may be cached; a transient error
             # (MemoryError, OSError, ...) must be retried on the next run
             "_cacheable": isinstance(exc, ReproError),
         }
-    return payload, time.perf_counter() - t0
+    return payload, seconds
 
 
 def _run_chunk(
@@ -358,6 +384,8 @@ def execute_tasks(
     retry_errors: bool = False,
     context_cache: ContextCache | None = None,
     task_timeout: float | None = None,
+    tracer=NULL_TRACER,
+    trace: str | None = None,
 ) -> list[dict]:
     """Execute a task list; returns result rows in task order.
 
@@ -388,6 +416,11 @@ def execute_tasks(
     its chunk: the lost tasks are re-run in fresh single-worker pools
     with bisection until the killer task is quarantined as an error row
     (``resolution="crashed"``); surviving rows are unaffected.
+
+    ``tracer`` (a :class:`~repro.obs.tracing.Tracer`) records cache-get /
+    solve / cache-put spans stamped with ``trace``.  Parallel runs emit
+    solve spans when the chunk lands in the parent — workers never touch
+    the trace file — using each payload's measured wall seconds.
     """
     if context_cache is None:
         context_cache = ContextCache()
@@ -395,7 +428,16 @@ def execute_tasks(
     misses: list[Task] = []
     retrying: set[int] = set()
     for task in tasks:
-        payload = cache.get(task.key) if cache is not None else None
+        if cache is None:
+            payload = None
+        elif tracer.active:
+            t0 = time.perf_counter()
+            payload = cache.get(task.key)
+            tracer.emit("cache-get", time.perf_counter() - t0,
+                        trace=trace, key=task.key,
+                        hit=payload is not None)
+        else:
+            payload = cache.get(task.key)
         if payload is not None and retry_errors \
                 and payload.get("status") == "error":
             retrying.add(task.index)
@@ -426,8 +468,19 @@ def execute_tasks(
             resolution = "retried" if index in retrying else "solved"
             rows[index] = _compose_row(task, payload, seconds, False,
                                        resolution)
+            if tracer.active:
+                timing = payload.get("timing") or {}
+                tracer.emit("solve", seconds, trace=trace, key=task.key,
+                            engine=timing.get("engine"),
+                            status=timing.get("status"))
             if cache is not None and cacheable:
-                cache.put(task.key, payload)
+                if tracer.active:
+                    t0 = time.perf_counter()
+                    cache.put(task.key, payload)
+                    tracer.emit("cache-put", time.perf_counter() - t0,
+                                trace=trace, key=task.key)
+                else:
+                    cache.put(task.key, payload)
         done += len(chunk_result)
         if progress is not None:
             progress(done, len(tasks))
@@ -526,14 +579,22 @@ def run_campaign(
     progress=None,
     retry_errors: bool = False,
     task_timeout: float | None = None,
+    tracer=NULL_TRACER,
 ) -> CampaignResult:
-    """Expand a :class:`CampaignSpec` and execute its full grid."""
+    """Expand a :class:`CampaignSpec` and execute its full grid.
+
+    With an active ``tracer`` the whole run shares one trace id: every
+    cache-get / solve / cache-put span carries it, plus a final
+    ``campaign`` span with the run statistics.
+    """
     tasks = spec.tasks()
+    trace = new_trace_id() if tracer.active else None
     t0 = time.perf_counter()
     rows = execute_tasks(
         tasks, cache=cache, workers=workers,
         chunk_size=chunk_size, progress=progress,
         retry_errors=retry_errors, task_timeout=task_timeout,
+        tracer=tracer, trace=trace,
     )
     wall = time.perf_counter() - t0
     stats = {
@@ -550,6 +611,11 @@ def run_campaign(
         "workers": workers,
         "seconds": wall,
     }
+    if tracer.active:
+        tracer.emit("campaign", wall, trace=trace, name=spec.name,
+                    tasks=stats["tasks"], ok=stats["ok"],
+                    errors=stats["errors"],
+                    cache_hits=stats["cache_hits"], workers=workers)
     return CampaignResult(name=spec.name, rows=rows, stats=stats)
 
 

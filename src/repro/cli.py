@@ -23,7 +23,12 @@ Commands
       ``--cache-backend {jsonl,sqlite,http}`` selects the cache storage
       (``http`` shares a remote solver-service cache via
       ``--cache-url``);
-    * ``campaign report`` — aggregate a saved result file;
+    * ``campaign report`` — aggregate a saved result file (summary,
+      per-engine timing breakdown, optional heuristic-gap table);
+    * ``campaign profile`` — aggregate the per-solve ``timing`` blocks
+      a warm cache (and/or results file) already holds into
+      p50/p95/p99 latency percentiles per (engine, n, p) — no
+      re-solving;
     * ``campaign pareto`` — trace (period, latency) Pareto fronts of one
       or more instances (``--file`` / ``--scenario``) through the
       runner, sharing the cache/workers/engine knobs; ``--out`` writes
@@ -36,7 +41,9 @@ Commands
     Run the HTTP solver service (:mod:`repro.service`): a threaded
     solve/cache server with single-flight request coalescing over a
     local cache directory.  Clients share solves through
-    ``POST /v1/solve`` and the cache through ``GET/PUT /v1/cache/<key>``.
+    ``POST /v1/solve`` and the cache through ``GET/PUT /v1/cache/<key>``;
+    ``GET /metrics`` serves Prometheus metrics, and ``--trace-log``
+    appends per-request spans to a JSON-lines file.
 ``submit``
     POST one instance (same flags as ``solve``) to a running solver
     service and print the result.
@@ -77,11 +84,12 @@ Examples
     python -m repro campaign pareto --scenario image-pipeline --points 16
     python -m repro campaign pareto --file instance.json --exact --workers 4 \\
         --cache-dir .repro-cache --out fronts.json
+    python -m repro campaign profile --cache-dir .repro-cache
     python -m repro campaign cache stats --cache-dir .repro-cache
     python -m repro campaign cache compact --cache-dir .repro-cache \\
         --max-age-days 30 --max-bytes 10000000
     python -m repro serve --port 8300 --cache-dir .repro-cache \\
-        --cache-backend sqlite --solve-workers 4
+        --cache-backend sqlite --solve-workers 4 --trace-log spans.jsonl
     python -m repro submit --url http://127.0.0.1:8300 --graph pipeline \\
         --works 14,4,2,4 --speeds 1,1,1 --objective period
     python -m repro campaign run --spec campaign.json \\
@@ -338,6 +346,7 @@ def _open_cache(args):
 
 def _cmd_campaign_run(args, out) -> int:
     from .campaign import CampaignSpec, run_campaign, save_rows, summarize
+    from .obs.tracing import NULL_TRACER, Tracer
 
     with open(args.spec) as fh:
         spec = CampaignSpec.from_dict(json.load(fh))
@@ -345,11 +354,17 @@ def _cmd_campaign_run(args, out) -> int:
     if args.retry_errors and cache is None:
         raise ReproError("--retry-errors needs --cache-dir (the error rows "
                          "to retry live in the cache)")
-    result = run_campaign(
-        spec, cache=cache, workers=args.workers,
-        chunk_size=args.chunk_size, retry_errors=args.retry_errors,
-        task_timeout=args.task_timeout,
-    )
+    tracer = Tracer(args.trace_log) if args.trace_log else NULL_TRACER
+    try:
+        result = run_campaign(
+            spec, cache=cache, workers=args.workers,
+            chunk_size=args.chunk_size, retry_errors=args.retry_errors,
+            task_timeout=args.task_timeout, tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    if args.trace_log:
+        print(f"[spans -> {args.trace_log}]", file=out)
     if args.out is not None:
         save_rows(args.out, result)
         print(f"[rows -> {args.out}]", file=out)
@@ -373,10 +388,18 @@ def _cmd_campaign_run(args, out) -> int:
 
 
 def _cmd_campaign_report(args, out) -> int:
-    from .campaign import heuristic_gap, load_rows, summarize
+    from .campaign import (
+        heuristic_gap,
+        load_rows,
+        summarize,
+        timing_breakdown,
+    )
 
     result = load_rows(args.results)
     print(summarize(result, title=f"campaign {result.name!r}"), file=out)
+    breakdown = timing_breakdown(result)
+    if breakdown:
+        print(breakdown, file=out)
     if args.baseline is not None:
         _, text = heuristic_gap(result, baseline=args.baseline)
         print(text, file=out)
@@ -482,12 +505,42 @@ def _cmd_campaign_cache(args, out) -> int:
     return 0
 
 
+def _cmd_campaign_profile(args, out) -> int:
+    from .campaign import (
+        collect_timings,
+        load_rows,
+        profile_doc,
+        profile_table,
+    )
+
+    rows = load_rows(args.results).rows if args.results is not None else None
+    cache = _open_cache(args)
+    if cache is None and rows is None:
+        raise ReproError(
+            "campaign profile needs --cache-dir (or --cache-backend http "
+            "--cache-url URL) and/or --results"
+        )
+    timings = collect_timings(cache=cache, rows=rows)
+    if not timings:
+        print("no timing blocks found (empty cache/results, or rows "
+              "saved before the timing field existed)", file=out)
+        return 2
+    print(profile_table(timings), file=out)
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            json.dump(profile_doc(timings), fh, indent=2)
+            fh.write("\n")
+        print(f"[profile -> {args.out}]", file=out)
+    return 0
+
+
 def _cmd_campaign(args, out) -> int:
     handlers = {
         "run": _cmd_campaign_run,
         "report": _cmd_campaign_report,
         "pareto": _cmd_campaign_pareto,
         "cache": _cmd_campaign_cache,
+        "profile": _cmd_campaign_profile,
     }
     return handlers[args.campaign_command](args, out)
 
@@ -505,6 +558,7 @@ def _cmd_serve(args, out) -> int:
         out=out,
         cache_url=args.cache_url,
         cache_fallback_dir=args.cache_fallback_dir,
+        trace_log=args.trace_log,
     )
 
 
@@ -547,6 +601,12 @@ def _cmd_submit(args, out) -> int:
     print(f"solution  : period={row['period']!r} "
           f"latency={row['latency']!r} value={row['value']!r} "
           f"[{row['algorithm']}]", file=out)
+    timing = row.get("timing") or {}
+    if timing.get("seconds") is not None:
+        nodes = timing.get("nodes")
+        effort = f", {nodes} nodes" if nodes is not None else ""
+        print(f"timing    : {1e3 * timing['seconds']:.2f} ms solve wall "
+              f"time [{timing.get('engine') or '-'}{effort}]", file=out)
     return 0
 
 
@@ -652,6 +712,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "the campaign")
     p_run.add_argument("--out", default=None,
                        help="write result rows to this JSONL file")
+    p_run.add_argument("--trace-log", default=None,
+                       help="append cache-get/solve/cache-put spans to "
+                            "this JSON-lines file (one trace id per run)")
 
     p_rep = camp_sub.add_parser(
         "report", help="aggregate a saved campaign result file"
@@ -706,6 +769,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="evict oldest records until the store fits this byte budget")
 
+    p_prof = camp_sub.add_parser(
+        "profile",
+        help="aggregate cached per-solve timing blocks into latency "
+             "percentiles per (engine, n, p) — no re-solving",
+    )
+    _add_cache_flags(p_prof)
+    p_prof.add_argument("--results", default=None,
+                        help="also (or instead) read timing blocks from "
+                             "this results JSONL file")
+    p_prof.add_argument("--out", default=None,
+                        help="write the machine-readable profile JSON "
+                             "artifact here")
+
     p_serve = sub.add_parser(
         "serve", help="run the HTTP solve/cache server (repro.service)"
     )
@@ -734,6 +810,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="solver thread-pool size")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every request to stderr")
+    p_serve.add_argument("--trace-log", default=None,
+                         help="append request/cache-get/coalesce-wait/"
+                              "solve/cache-put spans to this JSON-lines "
+                              "file (trace ids from X-Repro-Trace)")
 
     p_submit = sub.add_parser(
         "submit", help="POST one solve to a running solver service"

@@ -1,0 +1,48 @@
+"""Observability: metrics, per-solve stats, and span tracing.
+
+Dependency-free instrumentation threaded through every layer:
+
+* :mod:`repro.obs.metrics` — a thread-safe metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with labeled
+  series) rendered in the Prometheus text exposition format; the solver
+  service serves it at ``GET /metrics``;
+* :mod:`repro.obs.solvestats` — :class:`SolveStats`, the per-solve
+  timing/effort record (wall seconds, nodes, prunes, memo hits, budget
+  status) that lands in the volatile ``timing`` block of every campaign
+  row and ``/v1/solve`` response;
+* :mod:`repro.obs.tracing` — :class:`Tracer`, a JSON-lines span writer
+  behind ``--trace-log`` on ``serve`` and ``campaign run``, with trace
+  ids propagated client → server via the ``X-Repro-Trace`` header.
+
+Everything is zero-cost when unused: the engines only bump plain
+integer counters they already maintain, the runner gates span emission
+on ``tracer.active``, and :data:`~repro.obs.metrics.NULL_REGISTRY` /
+:data:`~repro.obs.tracing.NULL_TRACER` absorb instrumentation calls as
+no-ops.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .solvestats import SolveStats
+from .tracing import NULL_TRACER, TRACE_HEADER, Tracer, new_trace_id, read_spans
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "TRACE_HEADER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SolveStats",
+    "Tracer",
+    "new_trace_id",
+    "read_spans",
+]

@@ -1,0 +1,84 @@
+"""Per-solve timing and search-effort statistics.
+
+A :class:`SolveStats` captures *how* one solve went — wall seconds,
+engine, search nodes, prune count, memo hits, budget status — plus the
+instance shape ``(graph, n, p)`` so aggregations can group by it without
+re-parsing the instance.  :meth:`SolveStats.to_dict` is the ``timing``
+block of every campaign row and ``/v1/solve`` response; the block is a
+:data:`~repro.campaign.runner.VOLATILE_FIELDS` member, so cache keys and
+the serial==parallel bit-identity guarantee are untouched.
+
+The engines pay nothing for this: every field is read *after* the solve
+from counters the search already maintained (``nodes`` / ``pruned`` /
+``memo_hits`` on the branch-and-bound :class:`~repro.algorithms.bnb._Search`,
+the candidate count of the enumerator) — there is no callback or metric
+call inside a hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SolveStats"]
+
+#: Solution meta statuses mapped to the execution-report vocabulary.
+_STATUS_MAP = {"optimal": "completed", None: "completed"}
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """One solve's timing/effort record (all effort fields optional).
+
+    ``status`` uses the execution-report vocabulary: ``"completed"``,
+    ``"budget_exhausted"`` or ``"error"``.  ``engine`` is the solving
+    algorithm's name (``"bnb"``, ``"brute-force"``, a polynomial
+    theorem's label, ...), not the requested engine knob.
+    """
+
+    seconds: float
+    engine: str | None = None
+    status: str = "completed"
+    objective: str | None = None
+    nodes: int | None = None
+    pruned: int | None = None
+    memo_hits: int | None = None
+    budget_reason: str | None = None
+    graph: str | None = None
+    n: int | None = None
+    p: int | None = None
+
+    def to_dict(self) -> dict:
+        """The ``timing`` block: fixed keys, JSON-ready."""
+        return {
+            "seconds": self.seconds,
+            "engine": self.engine,
+            "status": self.status,
+            "objective": self.objective,
+            "nodes": self.nodes,
+            "pruned": self.pruned,
+            "memo_hits": self.memo_hits,
+            "budget_reason": self.budget_reason,
+            "graph": self.graph,
+            "n": self.n,
+            "p": self.p,
+        }
+
+    @classmethod
+    def from_solution(cls, solution, spec=None, seconds: float = 0.0,
+                      objective: str | None = None) -> "SolveStats":
+        """Stats of a finished solve (``solution.meta`` + instance shape)."""
+        meta = getattr(solution, "meta", None) or {}
+        status = meta.get("status")
+        return cls(
+            seconds=seconds,
+            engine=meta.get("algorithm"),
+            status=_STATUS_MAP.get(status, status),
+            objective=objective,
+            nodes=meta.get("nodes"),
+            pruned=meta.get("pruned"),
+            memo_hits=meta.get("memo_hits"),
+            budget_reason=meta.get("budget_reason"),
+            graph=spec.graph_kind.value if spec is not None else None,
+            n=spec.application.n if spec is not None else None,
+            p=spec.platform.p if spec is not None else None,
+        )

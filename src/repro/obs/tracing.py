@@ -1,0 +1,153 @@
+"""Span-based tracing: structured JSON lines behind ``--trace-log``.
+
+A :class:`Tracer` appends one JSON object per finished span to a file.
+Span schema (one line each, ``separators=(",", ":")``)::
+
+    {"ts": 1754650000.123456,   # wall-clock start (unix seconds)
+     "span": "solve",           # span name
+     "seconds": 0.0042,         # measured duration
+     "trace": "9f2ab4c1d0e3f587",  # trace id shared by one request/run
+     "ok": true,                # false when the span body raised
+     ...}                       # free-form fields (key, engine, hit, ...)
+
+Trace ids tie the spans of one logical operation together across
+processes: the service client sends its id in the
+:data:`TRACE_HEADER` (``X-Repro-Trace``) HTTP header and the server's
+request / cache-get / coalesce-wait / solve / cache-put spans all carry
+it, so one grep over the server's trace log reconstructs a request's
+timeline.  The campaign runner stamps every span of a run with one id.
+
+Tracers are thread-safe (one lock around the write) and cheap when
+disabled: :data:`NULL_TRACER` absorbs ``emit`` calls and hands out
+no-op spans, and instrumented code gates extra clock reads on
+``tracer.active``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["TRACE_HEADER", "NULL_TRACER", "Tracer", "new_trace_id",
+           "read_spans"]
+
+#: HTTP header propagating a trace id from client to server.
+TRACE_HEADER = "X-Repro-Trace"
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Tracer:
+    """JSON-lines span writer (append mode, flushed per span)."""
+
+    active = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, span: str, seconds: float, trace: str | None = None,
+             ts: float | None = None, **fields) -> None:
+        """Record one finished span of ``seconds`` duration.
+
+        ``ts`` is the span's wall-clock start (defaults to now minus the
+        duration); ``fields`` with ``None`` values are dropped so the
+        lines stay grep-friendly.
+        """
+        doc = {
+            "ts": round(time.time() - seconds if ts is None else ts, 6),
+            "span": span,
+            "seconds": round(seconds, 6),
+        }
+        if trace is not None:
+            doc["trace"] = trace
+        doc.update(
+            (k, v) for k, v in fields.items() if v is not None
+        )
+        line = json.dumps(doc, separators=(",", ":"))
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    @contextmanager
+    def span(self, name: str, trace: str | None = None, **fields):
+        """Measure a block; yields a dict for fields known only inside.
+
+        >>> import tempfile, os
+        >>> path = tempfile.mktemp()
+        >>> with Tracer(path) as tracer:
+        ...     with tracer.span("work", trace="abc123") as sp:
+        ...         sp["items"] = 3
+        >>> [(s["span"], s["trace"], s["items"]) for s in read_spans(path)]
+        [('work', 'abc123', 3)]
+        >>> os.unlink(path)
+        """
+        ts = time.time()
+        t0 = time.perf_counter()
+        extra = dict(fields)
+        ok = True
+        try:
+            yield extra
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            self.emit(name, time.perf_counter() - t0, trace=trace, ts=ts,
+                      ok=ok, **extra)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _NullTracer:
+    """Absorbs spans when tracing is off (``tracer.active`` gates cost)."""
+
+    active = False
+
+    def emit(self, span, seconds, trace=None, ts=None, **fields) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name, trace=None, **fields):
+        yield {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: Shared no-op tracer (tracing disabled).
+NULL_TRACER = _NullTracer()
+
+
+def read_spans(path: str | Path) -> list[dict]:
+    """Parse a trace log back into span dicts (tests, CI smoke checks)."""
+    out = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                out.append(json.loads(line))
+    return out

@@ -21,6 +21,7 @@ import urllib.error
 import urllib.request
 
 from ..core.exceptions import ReproError
+from ..obs.tracing import TRACE_HEADER
 
 __all__ = ["ServiceError", "ServiceUnavailableError", "ServiceClient"]
 
@@ -84,18 +85,23 @@ class ServiceClient:
 
     # -------------------------------------------------------------- http
     def _request(self, method: str, path: str,
-                 doc: dict | None = None) -> tuple[int, dict]:
+                 doc: dict | None = None,
+                 headers: dict | None = None) -> tuple[int, dict]:
         """One API call; returns ``(status, parsed-json-body)``.
 
         Transport failures and retryable statuses are retried with
         backoff; any other HTTP error status is returned to the caller
-        (the typed methods below decide what it means).
+        (the typed methods below decide what it means).  ``headers``
+        are merged over the defaults (e.g. the trace-id header).
         """
         data = None
-        headers = {"Accept": "application/json"}
+        base_headers = {"Accept": "application/json"}
         if doc is not None:
             data = json.dumps(doc).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            base_headers["Content-Type"] = "application/json"
+        if headers:
+            base_headers.update(headers)
+        headers = base_headers
         started = time.monotonic()
         sleep = self.backoff
         last_error: Exception | None = None
@@ -143,8 +149,9 @@ class ServiceClient:
         return doc if isinstance(doc, dict) else {"value": doc}
 
     def _expect_ok(self, method: str, path: str,
-                   doc: dict | None = None) -> dict:
-        status, body = self._request(method, path, doc)
+                   doc: dict | None = None,
+                   headers: dict | None = None) -> dict:
+        status, body = self._request(method, path, doc, headers=headers)
         if status != 200:
             raise ServiceError(
                 f"{method} {path} failed with HTTP {status}: "
@@ -159,28 +166,49 @@ class ServiceClient:
         return self._expect_ok("GET", "/v1/healthz")
 
     def wait_ready(self, timeout: float = 10.0,
-                   interval: float = 0.05) -> dict:
-        """Poll ``/v1/healthz`` until the service answers (or timeout)."""
-        deadline = time.monotonic() + timeout
+                   interval: float = 0.05, log=None) -> dict:
+        """Poll ``/v1/healthz`` until the service answers (or timeout).
+
+        ``log`` is an optional ``callable(message)`` (e.g. a logger
+        method or ``print``) told about each failed attempt and the
+        final success, with attempt counts and elapsed seconds — so a
+        slow service start is visible instead of a silent stall.
+        """
+        started = time.monotonic()
+        deadline = started + timeout
+        attempts = 0
         while True:
+            attempts += 1
             try:
-                return self.healthz()
-            except ServiceError:
+                health = self.healthz()
+                if log is not None and attempts > 1:
+                    log(f"solver service at {self.url} ready after "
+                        f"{attempts} attempts "
+                        f"({time.monotonic() - started:.2f}s)")
+                return health
+            except ServiceError as exc:
+                elapsed = time.monotonic() - started
+                if log is not None:
+                    log(f"solver service at {self.url} not ready "
+                        f"(attempt {attempts}, {elapsed:.2f}s): {exc}")
                 if time.monotonic() >= deadline:
                     raise ServiceUnavailableError(
                         f"solver service at {self.url} not ready "
-                        f"within {timeout}s"
+                        f"within {timeout}s ({attempts} attempts)"
                     ) from None
             time.sleep(interval)
 
-    def solve(self, doc: dict) -> dict:
+    def solve(self, doc: dict, trace: str | None = None) -> dict:
         """POST a solve request document; returns the service response.
 
         The response carries ``key`` / ``row`` / ``cached`` /
         ``coalesced``; a ``row`` with ``status="error"`` is a valid
         answer (the solve failed deterministically), not an exception.
+        ``trace`` is sent in the ``X-Repro-Trace`` header so the
+        server's spans for this request share the caller's trace id.
         """
-        return self._expect_ok("POST", "/v1/solve", doc)
+        headers = {TRACE_HEADER: trace} if trace else None
+        return self._expect_ok("POST", "/v1/solve", doc, headers=headers)
 
     def cache_get(self, key: str) -> dict | None:
         """The cached row for ``key``, or ``None`` (404 is a miss)."""
@@ -203,6 +231,32 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._expect_ok("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``.
+
+        One un-retried request — a scrape is periodic by nature, so a
+        failed one is simply the next scrape's problem.  Returns text,
+        not JSON (use :meth:`stats` for a structured view).
+        """
+        request = urllib.request.Request(
+            self.url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"GET /metrics failed with HTTP {exc.code}",
+                status=exc.code,
+            ) from exc
+        except (urllib.error.URLError, ConnectionError, TimeoutError,
+                OSError) as exc:
+            raise ServiceUnavailableError(
+                f"solver service at {self.url} unreachable: {exc}"
+            ) from exc
 
     def compact(self, max_age_days: float | None = None,
                 max_bytes: int | None = None) -> dict:

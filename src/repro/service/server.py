@@ -38,6 +38,21 @@ arriving later is a plain cache hit.
 
 All cache access goes through one lock (the backends themselves are not
 thread-safe); solves run outside the lock.
+
+Observability
+-------------
+``GET /metrics`` serves the Prometheus text exposition of the service's
+:class:`~repro.obs.metrics.MetricsRegistry`.  The service keeps its
+authoritative request/solve/coalesce/error counts as plain ints under
+its one lock (they are what ``/v1/stats`` reports); a scrape copies them
+into the registry from a single-lock snapshot, so ``/metrics`` and
+``/v1/stats`` can never disagree about the same instant.  Latency
+histograms (``repro_solve_seconds``, ``repro_request_seconds``) and the
+per-endpoint HTTP counter are observed live at event time — histograms
+cannot be reconstructed at scrape time.  With ``trace_log`` set, every
+``/v1/solve`` request emits request / cache-get / coalesce-wait / solve
+/ cache-put spans stamped with the client's ``X-Repro-Trace`` id (or a
+fresh one).
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ from __future__ import annotations
 import copy
 import json
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -52,6 +68,8 @@ from ..core.exceptions import ReproError
 from ..campaign.cache import ResultCache
 from ..campaign.runner import solve_task
 from ..campaign.spec import SolverConfig, Task
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, TRACE_HEADER, Tracer, new_trace_id
 
 __all__ = [
     "SERVICE_VERSION",
@@ -122,7 +140,9 @@ class SolveService:
     front, tests and benchmarks may call it directly).
     """
 
-    def __init__(self, cache: ResultCache, solve_workers: int = 4) -> None:
+    def __init__(self, cache: ResultCache, solve_workers: int = 4,
+                 registry: MetricsRegistry | None = None,
+                 tracer=None) -> None:
         self.cache = cache
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, solve_workers), thread_name_prefix="solve"
@@ -136,15 +156,62 @@ class SolveService:
             "served_from_cache": 0,
             "errors": 0,
         }
+        #: labeled solve counts by ``(engine, status)``, under ``_lock``
+        self._solve_counts: dict[tuple[str, str], int] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_solve_requests_total", "Solve requests received.")
+        self._m_solves = reg.counter(
+            "repro_solves_total", "Solves executed, by engine and status.",
+            ("engine", "status"))
+        self._m_coalesced = reg.counter(
+            "repro_coalesced_total",
+            "Requests that piggybacked on an in-flight identical solve.")
+        self._m_cache_served = reg.counter(
+            "repro_cache_served_total",
+            "Solve requests answered straight from the result cache.")
+        self._m_errors = reg.counter(
+            "repro_solve_errors_total",
+            "Solves that produced an error row (deterministic verdicts).")
+        self._m_cache_ops = reg.counter(
+            "repro_cache_ops_total",
+            "Result-cache operations, by op and outcome.", ("op", "result"))
+        self._m_inflight = reg.gauge(
+            "repro_inflight_solves", "Solve flights currently running.")
+        self._m_breaker = reg.gauge(
+            "repro_cache_breaker_state",
+            "Remote-cache circuit breaker: 0 closed, 1 half-open, 2 open.",
+        ) if cache.breaker_state is not None else None
+        self._h_solve = reg.histogram(
+            "repro_solve_seconds", "Solve wall time, by engine and status.",
+            ("engine", "status"))
+        self._h_request = reg.histogram(
+            "repro_request_seconds", "HTTP request wall time, by endpoint.",
+            ("endpoint",))
+        self._m_http = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            ("endpoint", "code"))
 
     # -------------------------------------------------------------- solve
-    def solve(self, doc: dict) -> dict:
-        """Resolve one solve request: cache hit, new flight, or piggyback."""
+    def solve(self, doc: dict, trace: str | None = None) -> dict:
+        """Resolve one solve request: cache hit, new flight, or piggyback.
+
+        ``trace`` stamps this request's spans (cache-get, coalesce-wait,
+        and — for the request that starts the flight — solve/cache-put).
+        """
         task = task_from_doc(doc)
         key = task.key
+        tracer = self.tracer
         with self._lock:
             self._counters["requests"] += 1
+            t0 = time.perf_counter() if tracer.active else 0.0
             row = self.cache.get(key)
+            if tracer.active:
+                tracer.emit("cache-get", time.perf_counter() - t0,
+                            trace=trace, key=key, hit=row is not None)
             if row is not None:
                 self._counters["served_from_cache"] += 1
                 return {"key": key, "row": row,
@@ -154,23 +221,48 @@ class SolveService:
             if coalesced:
                 self._counters["coalesced"] += 1
             else:
-                future = self._pool.submit(self._solve_and_store, key, task)
+                future = self._pool.submit(
+                    self._solve_and_store, key, task, trace
+                )
                 self._inflight[key] = future
-        payload = future.result()
+        if coalesced and tracer.active:
+            with tracer.span("coalesce-wait", trace=trace, key=key):
+                payload = future.result()
+        else:
+            payload = future.result()
         return {"key": key, "row": copy.deepcopy(payload),
                 "cached": False, "coalesced": coalesced}
 
-    def _solve_and_store(self, key: str, task: Task) -> dict:
+    def _solve_and_store(self, key: str, task: Task,
+                         trace: str | None = None) -> dict:
         """Worker-pool body of a flight: solve, cache, deregister."""
         try:
-            payload, _seconds = solve_task(task)
+            tracer = self.tracer
+            payload, seconds = solve_task(task)
             cacheable = payload.pop("_cacheable", True)
+            timing = payload.get("timing") or {}
+            engine = timing.get("engine") or "unknown"
+            status = timing.get("status") or "completed"
+            # histograms are observed live (outside the service lock —
+            # the family has its own); counters sync at scrape time
+            self._h_solve.labels(engine=engine, status=status) \
+                .observe(seconds)
+            if tracer.active:
+                tracer.emit("solve", seconds, trace=trace, key=key,
+                            engine=engine, status=status)
             with self._lock:
                 self._counters["solves"] += 1
+                pair = (engine, status)
+                self._solve_counts[pair] = self._solve_counts.get(pair, 0) + 1
                 if payload.get("status") == "error":
                     self._counters["errors"] += 1
                 if cacheable:
+                    t0 = time.perf_counter() if tracer.active else 0.0
                     self.cache.put(key, payload)
+                    if tracer.active:
+                        tracer.emit("cache-put",
+                                    time.perf_counter() - t0,
+                                    trace=trace, key=key)
             return payload
         finally:
             # deregistered after the put: a request landing between the
@@ -198,18 +290,61 @@ class SolveService:
             return self.cache.compact(max_age_days=max_age_days,
                                       max_bytes=max_bytes)
 
+    # ------------------------------------------------------ observability
+    def _snapshot_locked(self) -> dict:
+        """One consistent snapshot of every counter (caller holds ``_lock``).
+
+        Both ``/v1/stats`` and ``/metrics`` are rendered from this, so
+        the two endpoints can never disagree about the same instant.
+        """
+        return {
+            "service": {**self._counters, "inflight": len(self._inflight)},
+            "cache_counters": dict(self.cache.stats),
+            "solve_counts": dict(self._solve_counts),
+            "breaker": self.cache.breaker_state,
+        }
+
     def stats(self) -> dict:
         with self._lock:
+            snap = self._snapshot_locked()
             storage = self.cache.storage_stats()
-            return {
-                "service": {**self._counters,
-                            "inflight": len(self._inflight)},
-                "cache": {"counters": dict(self.cache.stats),
-                          "storage": storage},
-            }
+        return {
+            "service": snap["service"],
+            "cache": {"counters": snap["cache_counters"],
+                      "storage": storage},
+        }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: sync counters from a snapshot, render.
+
+        Unlike :meth:`stats` this never calls ``storage_stats`` — a
+        scrape must not hit the network when the cache backend is remote.
+        """
+        with self._lock:
+            snap = self._snapshot_locked()
+        svc = snap["service"]
+        self._m_requests.set_to(svc["requests"])
+        self._m_coalesced.set_to(svc["coalesced"])
+        self._m_cache_served.set_to(svc["served_from_cache"])
+        self._m_errors.set_to(svc["errors"])
+        self._m_inflight.set(svc["inflight"])
+        for (engine, status), count in snap["solve_counts"].items():
+            self._m_solves.labels(engine=engine, status=status) \
+                .set_to(count)
+        cache_counts = snap["cache_counters"]
+        ops = self._m_cache_ops
+        ops.labels(op="get", result="hit").set_to(cache_counts["hits"])
+        ops.labels(op="get", result="miss").set_to(cache_counts["misses"])
+        ops.labels(op="put", result="ok").set_to(cache_counts["puts"])
+        if self._m_breaker is not None and snap["breaker"] is not None:
+            self._m_breaker.set(
+                {"closed": 0, "half-open": 1, "open": 2}[snap["breaker"]]
+            )
+        return self.registry.render()
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        self.tracer.close()
         with self._lock:
             self.cache.close()
 
@@ -231,9 +366,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------ helpers
     def _send(self, status: int, doc: dict) -> None:
-        body = json.dumps(doc).encode("utf-8")
+        self._send_bytes(status, json.dumps(doc).encode("utf-8"),
+                         "application/json")
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -260,10 +404,50 @@ class _Handler(BaseHTTPRequestHandler):
     def _path(self) -> str:
         return self.path.split("?", 1)[0]
 
+    _ENDPOINTS = ("/metrics", "/v1/healthz", "/v1/stats", "/v1/keys",
+                  "/v1/solve", "/v1/compact")
+
+    def _endpoint(self) -> str:
+        """The metrics label for this request's path (bounded cardinality:
+        cache keys collapse to ``/v1/cache``, unknown paths to ``other``)."""
+        path = self._path()
+        if path.startswith("/v1/cache/"):
+            return "/v1/cache"
+        return path if path in self._ENDPOINTS else "other"
+
+    def _timed(self, body) -> None:
+        """Run one request body, observing latency + endpoint/code counts."""
+        service = self.service
+        endpoint = self._endpoint()
+        self._last_status = 0
+        t0 = time.perf_counter()
+        try:
+            body()
+        finally:
+            service._h_request.labels(endpoint=endpoint) \
+                .observe(time.perf_counter() - t0)
+            service._m_http.labels(
+                endpoint=endpoint, code=self._last_status
+            ).inc()
+
     # ------------------------------------------------------------ methods
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self._timed(self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self._timed(self._do_post)
+
+    def do_PUT(self) -> None:  # noqa: N802 — stdlib naming
+        self._timed(self._do_put)
+
+    def _do_get(self) -> None:
         path = self._path()
-        if path == "/v1/healthz":
+        if path == "/metrics":
+            self._dispatch(lambda: self._send_text(
+                200, self.service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            ))
+        elif path == "/v1/healthz":
             self._send(200, {"status": "ok", "service": "repro-solver",
                              "version": SERVICE_VERSION})
         elif path == "/v1/stats":
@@ -286,12 +470,25 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send(404, {"error": f"unknown path {path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+    def _do_post(self) -> None:
         path = self._path()
         if path == "/v1/solve":
-            self._dispatch(
-                lambda: self._send(200, self.service.solve(self._read_json()))
-            )
+
+            def _solve():
+                doc = self._read_json()
+                tracer = self.service.tracer
+                trace = self.headers.get(TRACE_HEADER)
+                if tracer.active:
+                    if not trace:
+                        trace = new_trace_id()
+                    with tracer.span("request", trace=trace,
+                                     endpoint="/v1/solve"):
+                        result = self.service.solve(doc, trace=trace)
+                else:
+                    result = self.service.solve(doc, trace=trace)
+                self._send(200, result)
+
+            self._dispatch(_solve)
         elif path == "/v1/compact":
 
             def _compact():
@@ -305,7 +502,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send(404, {"error": f"unknown path {path!r}"})
 
-    def do_PUT(self) -> None:  # noqa: N802 — stdlib naming
+    def _do_put(self) -> None:
         path = self._path()
         if path.startswith("/v1/cache/"):
             key = path[len("/v1/cache/"):]
@@ -353,6 +550,8 @@ def make_server(
     verbose: bool = False,
     cache_url: str | None = None,
     cache_fallback_dir: str | None = None,
+    registry: MetricsRegistry | None = None,
+    trace_log: str | None = None,
 ) -> SolverHTTPServer:
     """Build a ready-to-run server (``port=0`` picks an ephemeral port).
 
@@ -365,6 +564,10 @@ def make_server(
     storage stats.  The server owns the service; run it with
     ``serve_forever()`` (tests/benchmarks typically do so in a daemon
     thread and read ``server.url``).
+
+    ``registry`` shares a :class:`~repro.obs.metrics.MetricsRegistry`
+    (one is created otherwise); ``trace_log`` appends per-request spans
+    to a JSON-lines file (closed with the service).
     """
     if cache is None:
         if cache_backend == "http":
@@ -380,7 +583,9 @@ def make_server(
                 raise ReproError("make_server needs a cache or a cache_dir")
             cache = ResultCache(cache_dir, backend=cache_backend,
                                 fallback_dir=cache_fallback_dir)
-    service = SolveService(cache, solve_workers=solve_workers)
+    tracer = Tracer(trace_log) if trace_log else None
+    service = SolveService(cache, solve_workers=solve_workers,
+                           registry=registry, tracer=tracer)
     return SolverHTTPServer((host, port), service, verbose=verbose)
 
 
@@ -388,13 +593,15 @@ def serve(host: str, port: int, cache_dir: str | None = None,
           cache_backend: str = "jsonl",
           solve_workers: int = 4, verbose: bool = False, out=None,
           cache_url: str | None = None,
-          cache_fallback_dir: str | None = None) -> int:
+          cache_fallback_dir: str | None = None,
+          trace_log: str | None = None) -> int:
     """Blocking CLI entry point: announce the URL, serve until SIGINT."""
     server = make_server(host=host, port=port, cache_dir=cache_dir,
                          cache_backend=cache_backend,
                          solve_workers=solve_workers, verbose=verbose,
                          cache_url=cache_url,
-                         cache_fallback_dir=cache_fallback_dir)
+                         cache_fallback_dir=cache_fallback_dir,
+                         trace_log=trace_log)
     where = cache_url if cache_backend == "http" else cache_dir
     # flush=True: launcher scripts block on this line to learn the URL
     print(f"solver service listening on {server.url} "

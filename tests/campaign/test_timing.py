@@ -1,0 +1,211 @@
+"""The ``timing`` block: present on every row, volatile, trace spans."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    VOLATILE_FIELDS,
+    run_campaign,
+    strip_volatile,
+)
+from repro.campaign.runner import execute_tasks, solve_task
+from repro.campaign.spec import Task
+from repro.obs import Tracer, read_spans
+
+TIMING_KEYS = [
+    "seconds", "engine", "status", "objective", "nodes", "pruned",
+    "memo_hits", "budget_reason", "graph", "n", "p",
+]
+
+
+def small_spec(**overrides):
+    fields = dict(
+        name="timing",
+        instances=(
+            {"type": "random", "graph": "pipeline", "count": 3, "seed": 11,
+             "n": [3, 4], "p": 3},
+        ),
+        objectives=("period",),
+        solvers=(
+            {"name": "exact", "mode": "auto", "exact_fallback": True},
+        ),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def _poison_task(index=0):
+    return Task(
+        index=index, instance_id="poisoned",
+        instance={
+            "kind": "instance",
+            "application": {"kind": "pipeline", "works": [-1.0, 2.0]},
+            "platform": {"kind": "platform", "speeds": [1.0]},
+            "allow_data_parallel": False,
+        },
+        objective="period", period_bound=None, latency_bound=None,
+        solver={"name": "exact", "mode": "auto", "exact_fallback": True},
+    )
+
+
+class TestTimingBlock:
+    def test_every_row_carries_timing(self):
+        result = run_campaign(small_spec(), workers=0)
+        assert result.rows
+        for row in result.rows:
+            timing = row["timing"]
+            assert list(timing) == TIMING_KEYS
+            assert timing["seconds"] >= 0.0
+            assert timing["engine"] == row["algorithm"]
+            assert timing["status"] == "completed"
+            assert timing["objective"] == "period"
+            assert timing["graph"] == "pipeline"
+            assert timing["n"] >= 3 and timing["p"] == 3
+
+    def test_timing_is_volatile(self):
+        # regression guard for the VOLATILE_FIELDS contract: wall time
+        # and memo hits legitimately differ between runs, so timing must
+        # never enter bit-identity comparisons or cache keys
+        assert "timing" in VOLATILE_FIELDS
+        row = {"index": 0, "timing": {"seconds": 1.0}, "status": "ok"}
+        assert "timing" not in strip_volatile(row)
+
+    def test_serial_and_parallel_identical_up_to_timing(self):
+        spec = small_spec()
+        serial = run_campaign(spec, workers=0)
+        parallel = run_campaign(spec, workers=2, chunk_size=1)
+        assert [strip_volatile(r) for r in serial.rows] == \
+            [strip_volatile(r) for r in parallel.rows]
+
+    def test_error_rows_carry_timing_too(self):
+        payload, seconds = solve_task(_poison_task())
+        assert payload["status"] == "error"
+        timing = payload["timing"]
+        assert timing["status"] == "error"
+        assert timing["engine"] is None
+        assert timing["seconds"] == seconds
+
+    def test_timing_rides_inside_the_cached_payload(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(spec, cache=cache, workers=0)
+        warm = run_campaign(spec, cache=cache, workers=0)
+        assert warm.stats["cache_hits"] == warm.stats["tasks"]
+        # the warm rows replay the original solves' timing blocks
+        for cold_row, warm_row in zip(cold.rows, warm.rows):
+            assert warm_row["timing"] == cold_row["timing"]
+
+    def test_solve_engine_hot_path_unchanged(self):
+        # the unbudgeted, untraced path must not grow per-node callbacks:
+        # SolveStats reads counters the search already kept, after the
+        # solve.  Spot-check that meta and timing agree exactly.
+        payload, _ = solve_task(Task(
+            index=0, instance_id="hot",
+            instance={
+                "kind": "instance",
+                "application": {"kind": "pipeline",
+                                "works": [3.0, 5.0, 2.0, 4.0]},
+                "platform": {"kind": "platform", "speeds": [2.0, 1.0, 1.0]},
+                "allow_data_parallel": False,
+            },
+            objective="period", period_bound=None, latency_bound=None,
+            solver={"name": "exact", "mode": "exact", "engine": "bnb"},
+        ))
+        timing = payload["timing"]
+        assert timing["engine"] == "bnb"
+        assert timing["nodes"] > 0
+        assert timing["pruned"] is not None
+
+
+class TestRunTracing:
+    def test_campaign_spans(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        trace_path = tmp_path / "spans.jsonl"
+        with Tracer(trace_path) as tracer:
+            result = run_campaign(spec, cache=cache, workers=0,
+                                  tracer=tracer)
+        spans = read_spans(trace_path)
+        names = [s["span"] for s in spans]
+        tasks = result.stats["tasks"]
+        assert names.count("cache-get") == tasks
+        assert names.count("solve") == tasks
+        assert names.count("cache-put") == tasks
+        assert names[-1] == "campaign"
+        # one trace id stamps the whole run
+        assert len({s["trace"] for s in spans}) == 1
+        campaign = spans[-1]
+        assert campaign["tasks"] == tasks and campaign["ok"] == tasks
+        hits = [s for s in spans if s["span"] == "cache-get" and s["hit"]]
+        assert hits == []                     # cold run: all misses
+        solve = next(s for s in spans if s["span"] == "solve")
+        assert solve["engine"] and solve["status"] == "completed"
+
+    def test_warm_run_emits_hit_spans_and_no_solves(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(spec, cache=cache, workers=0)
+        trace_path = tmp_path / "spans.jsonl"
+        with Tracer(trace_path) as tracer:
+            run_campaign(spec, cache=cache, workers=0, tracer=tracer)
+        spans = read_spans(trace_path)
+        gets = [s for s in spans if s["span"] == "cache-get"]
+        assert gets and all(s["hit"] for s in gets)
+        assert not any(s["span"] == "solve" for s in spans)
+
+    def test_parallel_run_traces_from_the_parent(self, tmp_path):
+        # workers cannot share the trace file; solve spans are emitted at
+        # consume time in the parent with the measured wall seconds
+        spec = small_spec()
+        trace_path = tmp_path / "spans.jsonl"
+        with Tracer(trace_path) as tracer:
+            result = run_campaign(spec, workers=2, chunk_size=1,
+                                  tracer=tracer)
+        spans = read_spans(trace_path)
+        solves = [s for s in spans if s["span"] == "solve"]
+        assert len(solves) == result.stats["tasks"]
+
+    def test_null_tracer_is_default(self):
+        # no tracer argument: no spans, no file, rows unaffected
+        result = run_campaign(small_spec(), workers=0)
+        assert result.stats["errors"] == 0
+
+    def test_execute_tasks_spans_carry_explicit_trace(self, tmp_path):
+        tasks = [_poison_task()]
+        trace_path = tmp_path / "spans.jsonl"
+        with Tracer(trace_path) as tracer:
+            rows = execute_tasks(tasks, tracer=tracer, trace="fixed01")
+        assert rows[0]["status"] == "error"
+        spans = read_spans(trace_path)
+        assert spans and all(s["trace"] == "fixed01" for s in spans)
+        solve = next(s for s in spans if s["span"] == "solve")
+        assert solve["status"] == "error"
+
+
+class TestTimingBreakdownReport:
+    def test_breakdown_table(self):
+        from repro.campaign import timing_breakdown
+
+        result = run_campaign(small_spec(), workers=0)
+        text = timing_breakdown(result)
+        assert "engine timing breakdown" in text
+        assert "nodes" in text and "memo hits" in text
+
+    def test_empty_without_timing(self):
+        from repro.campaign import timing_breakdown
+
+        rows = [{"status": "ok", "seconds": 0.1}]      # pre-timing row
+        assert timing_breakdown(rows) == ""
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_saved_rows_round_trip_timing(tmp_path, workers):
+    from repro.campaign import load_rows, save_rows
+
+    result = run_campaign(small_spec(), workers=workers)
+    path = tmp_path / "rows.jsonl"
+    save_rows(path, result)
+    loaded = load_rows(path)
+    assert [r["timing"] for r in loaded.rows] == \
+        [r["timing"] for r in result.rows]

@@ -1,0 +1,180 @@
+"""Metrics registry: counters, gauges, histograms, text exposition."""
+
+import threading
+
+import pytest
+
+from repro.core import ReproError
+from repro.obs import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs.")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("jobs_total", "Jobs.")
+        with pytest.raises(ReproError):
+            c.inc(-1.0)
+
+    def test_labeled_children_are_memoized(self):
+        c = MetricsRegistry().counter("jobs_total", "Jobs.", ("status",))
+        c.labels(status="ok").inc()
+        c.labels(status="ok").inc()
+        c.labels(status="error").inc()
+        assert c.value(status="ok") == 2.0
+        assert c.value(status="error") == 1.0
+
+    def test_wrong_label_names_rejected(self):
+        c = MetricsRegistry().counter("jobs_total", "Jobs.", ("status",))
+        with pytest.raises(ReproError):
+            c.labels(state="ok")
+
+    def test_set_to_mirrors_external_count(self):
+        c = MetricsRegistry().counter("jobs_total", "Jobs.")
+        c.set_to(41)
+        assert c.value() == 41.0
+
+    def test_concurrent_increments_all_land(self):
+        # 8 threads x 1000 increments: the family lock must make the
+        # total exact, not approximately 8000
+        c = MetricsRegistry().counter("jobs_total", "Jobs.", ("worker",))
+
+        def spin(worker):
+            child = c.labels(worker=worker % 2)
+            for _ in range(1000):
+                child.inc()
+
+        threads = [
+            threading.Thread(target=spin, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(worker=0) + c.value(worker=1) == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("inflight", "In flight.")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        # le= is <=: a value exactly on a bound lands in that bucket
+        h = MetricsRegistry().histogram(
+            "lat", "Latency.", buckets=(0.1, 1.0, 10.0)
+        )
+        h.observe(0.1)
+        h.observe(0.5)
+        h.observe(10.0)
+        h.observe(99.0)    # +Inf only
+        child = h.child()
+        assert child.counts == [1, 1, 1]   # per-bucket, non-cumulative
+        assert child.count == 4
+        assert child.sum == pytest.approx(109.6)
+
+    def test_cumulative_render(self):
+        h = MetricsRegistry().histogram(
+            "lat", "Latency.", buckets=(1.0, 2.0)
+        )
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = h.render()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 101" in text
+        assert "lat_count 3" in text
+
+    def test_default_latency_buckets(self):
+        h = MetricsRegistry().histogram("lat", "Latency.")
+        assert h.buckets == LATENCY_BUCKETS
+        assert h.buckets[0] == 0.0005 and h.buckets[-1] == 60.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().histogram("lat", "L.", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", "Jobs.", ("status",))
+        b = reg.counter("jobs_total", "Jobs.", ("status",))
+        assert a is b
+
+    def test_conflicting_redeclaration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "Jobs.")
+        with pytest.raises(ReproError):
+            reg.gauge("jobs_total", "Jobs.")
+        with pytest.raises(ReproError):
+            reg.counter("jobs_total", "Jobs.", ("status",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError):
+            reg.counter("bad-name", "Nope.")
+        with pytest.raises(ReproError):
+            reg.counter("ok_name", "Nope.", ("bad-label",))
+
+    def test_exposition_golden(self):
+        # the full text format, families sorted by name, samples by label
+        reg = MetricsRegistry()
+        c = reg.counter("repro_solves_total", "Solves.",
+                        ("engine", "status"))
+        c.labels(engine="bnb", status="completed").inc(3)
+        c.labels(engine="brute-force", status="completed").inc()
+        g = reg.gauge("repro_inflight_solves", "In flight.")
+        g.set(2)
+        h = reg.histogram("repro_solve_seconds", "Seconds.",
+                          buckets=(0.01, 1.0))
+        h.observe(0.005)
+        assert reg.render() == (
+            "# HELP repro_inflight_solves In flight.\n"
+            "# TYPE repro_inflight_solves gauge\n"
+            "repro_inflight_solves 2\n"
+            "# HELP repro_solve_seconds Seconds.\n"
+            "# TYPE repro_solve_seconds histogram\n"
+            'repro_solve_seconds_bucket{le="0.01"} 1\n'
+            'repro_solve_seconds_bucket{le="1"} 1\n'
+            'repro_solve_seconds_bucket{le="+Inf"} 1\n'
+            "repro_solve_seconds_sum 0.005\n"
+            "repro_solve_seconds_count 1\n"
+            "# HELP repro_solves_total Solves.\n"
+            "# TYPE repro_solves_total counter\n"
+            'repro_solves_total{engine="bnb",status="completed"} 3\n'
+            'repro_solves_total{engine="brute-force",status="completed"} 1\n'
+        )
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "X.", ("why",))
+        c.labels(why='a "quoted\\path"\nnewline').inc()
+        assert (
+            'x_total{why="a \\"quoted\\\\path\\"\\nnewline"} 1'
+            in reg.render()
+        )
+
+    def test_null_registry_absorbs_everything(self):
+        c = NULL_REGISTRY.counter("x_total", "X.", ("a",))
+        c.inc()
+        c.labels(a=1).inc(5)
+        NULL_REGISTRY.gauge("g", "G.").set(3)
+        NULL_REGISTRY.histogram("h", "H.").observe(1.0)
+        assert NULL_REGISTRY.render() == ""

@@ -1,0 +1,70 @@
+"""SolveStats: the per-solve timing/effort record behind ``timing``."""
+
+import repro
+from repro.algorithms import brute_force as bf
+from repro.algorithms.problem import Objective, ProblemSpec
+from repro.obs import SolveStats
+
+
+def _spec():
+    return ProblemSpec(
+        repro.PipelineApplication.from_works([3, 5, 2]),
+        repro.Platform.heterogeneous([2, 1]),
+        False,
+    )
+
+
+class TestToDict:
+    def test_fixed_keys(self):
+        doc = SolveStats(seconds=0.5).to_dict()
+        assert list(doc) == [
+            "seconds", "engine", "status", "objective", "nodes", "pruned",
+            "memo_hits", "budget_reason", "graph", "n", "p",
+        ]
+        assert doc["seconds"] == 0.5
+        assert doc["status"] == "completed"
+
+    def test_json_ready(self):
+        import json
+
+        doc = SolveStats(seconds=0.1, engine="bnb", nodes=7,
+                         graph="pipeline", n=3, p=2).to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestFromSolution:
+    def test_maps_meta_and_instance_shape(self):
+        spec = _spec()
+        solution = bf.optimal(spec, Objective.PERIOD, engine="bnb")
+        stats = SolveStats.from_solution(
+            solution, spec=spec, seconds=0.25, objective="period"
+        )
+        assert stats.engine == "bnb"
+        assert stats.status == "completed"     # "optimal" normalized
+        assert stats.seconds == 0.25
+        assert stats.objective == "period"
+        assert stats.nodes == solution.meta["nodes"]
+        assert stats.pruned == solution.meta["pruned"]
+        assert stats.memo_hits == solution.meta["memo_hits"]
+        assert stats.graph == "pipeline"
+        assert (stats.n, stats.p) == (3, 2)
+
+    def test_budget_exhausted_status_passes_through(self):
+        from repro.algorithms.budget import Budget
+
+        spec = ProblemSpec(
+            repro.PipelineApplication.from_works(list(range(1, 13))),
+            repro.Platform.heterogeneous([2, 1, 3, 1, 2, 1, 2, 1]),
+            False,
+        )
+        solution = bf.optimal(spec, Objective.PERIOD,
+                              budget=Budget(max_nodes=64))
+        stats = SolveStats.from_solution(solution, spec=spec, seconds=1.0)
+        assert stats.status == "budget_exhausted"
+        assert stats.budget_reason == "max_nodes"
+
+    def test_without_spec_shape_is_none(self):
+        solution = bf.optimal(_spec(), Objective.PERIOD, engine="enumerate")
+        stats = SolveStats.from_solution(solution, seconds=0.0)
+        assert stats.engine == "brute-force"
+        assert stats.graph is None and stats.n is None and stats.p is None

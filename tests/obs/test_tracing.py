@@ -1,0 +1,93 @@
+"""Span tracing: JSON-lines emission, span context manager, null tracer."""
+
+import json
+import threading
+
+from repro.obs import NULL_TRACER, Tracer, new_trace_id, read_spans
+
+
+class TestTracer:
+    def test_emit_writes_one_json_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("solve", 0.25, trace="abc", engine="bnb",
+                        skipped=None)
+        spans = read_spans(path)
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["span"] == "solve"
+        assert span["seconds"] == 0.25
+        assert span["trace"] == "abc"
+        assert span["engine"] == "bnb"
+        assert "skipped" not in span          # None fields are dropped
+        assert span["ts"] > 0
+
+    def test_span_context_manager_records_ok_flag(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("work", trace="t1") as sp:
+                sp["items"] = 3
+            try:
+                with tracer.span("boom", trace="t1"):
+                    raise ValueError("nope")
+            except ValueError:
+                pass
+        ok, boom = read_spans(path)
+        assert ok["span"] == "work" and ok["ok"] is True
+        assert ok["items"] == 3
+        assert boom["span"] == "boom" and boom["ok"] is False
+
+    def test_append_mode_across_tracers(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("a", 0.1)
+        with Tracer(path) as tracer:
+            tracer.emit("b", 0.2)
+        assert [s["span"] for s in read_spans(path)] == ["a", "b"]
+
+    def test_emit_after_close_is_silent(self, tmp_path):
+        tracer = Tracer(tmp_path / "spans.jsonl")
+        tracer.close()
+        tracer.emit("late", 0.1)              # no raise, no write
+        assert read_spans(tmp_path / "spans.jsonl") == []
+
+    def test_concurrent_emission_keeps_lines_whole(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path) as tracer:
+            threads = [
+                threading.Thread(target=lambda i=i: [
+                    tracer.emit("spin", 0.001, worker=i) for _ in range(50)
+                ])
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # every line must parse — interleaved torn writes would not
+        spans = read_spans(path)
+        assert len(spans) == 400
+        assert all(s["span"] == "spin" for s in spans)
+
+    def test_lines_are_compact_json(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("x", 0.1)
+        raw = path.read_text().strip()
+        assert json.loads(raw)
+        assert ": " not in raw and ", " not in raw
+
+
+class TestNullTracer:
+    def test_absorbs_everything(self):
+        assert NULL_TRACER.active is False
+        NULL_TRACER.emit("x", 1.0, trace="t")
+        with NULL_TRACER.span("y", trace="t") as sp:
+            sp["ignored"] = 1
+        NULL_TRACER.close()
+
+    def test_new_trace_ids_are_distinct_hex(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert a != b
+        assert len(a) == 16
+        int(a, 16)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.campaign.runner import solve_task
+from repro.campaign.runner import solve_task, strip_volatile
 from repro.service import ServiceError, ServiceUnavailableError
 from repro.service.client import ServiceClient
 from repro.service.server import task_from_doc
@@ -59,7 +59,9 @@ class TestSolveEndpoint:
     def test_row_matches_in_process_solve(self, client, pipeline_request):
         response = client.solve(pipeline_request)
         payload, _seconds = solve_task(task_from_doc(pipeline_request))
-        assert response["row"] == payload
+        # the volatile timing block differs (wall seconds); all solve
+        # content must match bit-identically
+        assert strip_volatile(response["row"]) == strip_volatile(payload)
         assert response["key"] == task_from_doc(pipeline_request).key
 
     def test_deterministic_error_row_is_cached(self, client):

@@ -5,7 +5,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 import repro.service.server as server_mod
-from repro.campaign.runner import solve_task
+from repro.campaign.runner import solve_task, strip_volatile
 from repro.service.server import task_from_doc
 
 
@@ -74,7 +74,10 @@ class TestSingleFlight:
             ))
         reference, _seconds = solve_task(task_from_doc(request))
         for response in responses:
-            assert response["row"] == reference
+            # timing is volatile (wall seconds differ); everything else
+            # must match bit for bit
+            assert strip_volatile(response["row"]) \
+                == strip_volatile(reference)
 
     def test_different_requests_do_not_coalesce(self, client, monkeypatch):
         calls = []
