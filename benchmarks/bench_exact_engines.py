@@ -13,8 +13,17 @@ cold per-point solves vs one shared
 ``analysis.pareto_front`` / ``campaign pareto`` hot path) — asserting
 bit-identical rows, measures the **anytime budget curve** (incumbent
 quality vs ``max_nodes`` on n=12..16 pipelines the unbudgeted guard
-refuses), and writes ``BENCH_exact.json`` at the repository root so
-future PRs can track the speedup trajectory.
+refuses), measures the **MILP frontier** (instances at and past ``n = 14``
+closed *exactly* — gap 0 — by :mod:`repro.algorithms.milp`, plus a
+budgeted anytime entry and the LP-vs-combinatorial bound comparison),
+and writes ``BENCH_exact.json`` at the repository root so future PRs can
+track the speedup trajectory.
+
+The MILP section needs an installed backend (PuLP/CBC or SciPy);
+``--milp-only`` regenerates just that section into an existing
+``BENCH_exact.json`` (the CI milp job's refresh path)::
+
+    PYTHONPATH=src python benchmarks/bench_exact_engines.py --milp-only
 
 The pytest entry point runs the same harness on the cheap ``(5, 5)`` /
 ``(6, 6)`` sizes only (flat enumeration at ``(7, 7)`` takes >60 s — fine
@@ -32,6 +41,8 @@ import sys
 import time
 from pathlib import Path
 from types import SimpleNamespace
+
+import pytest
 
 import repro
 from repro.algorithms import brute_force as bf
@@ -58,6 +69,11 @@ BUDGET_FULL = ((12, 8), (14, 8), (16, 8))
 BUDGET_QUICK = ((12, 8),)
 #: Node-budget grid for the anytime quality curve.
 BUDGET_GRID = (512, 2048, 8192)
+#: MILP frontier shapes — closed exactly (gap 0), past the bnb guard.
+MILP_FULL = ((12, 8), (14, 8))
+MILP_QUICK = ((11, 6),)
+#: Budgeted MILP showcase: (n, p, max_seconds) — far past exact reach.
+MILP_BUDGETED = (20, 8, 2.0)
 
 
 def _instance(rng: random.Random, n: int, p: int):
@@ -302,6 +318,80 @@ def run_budget_curve(shapes=BUDGET_FULL, grid=BUDGET_GRID,
     return entries
 
 
+def run_milp(shapes=MILP_FULL, budgeted=MILP_BUDGETED,
+             seed=SEED) -> dict | None:
+    """The MILP frontier: instances closed *exactly* past the bnb guard.
+
+    Solves each (n, p) het pipeline to a proven optimum (gap 0) with the
+    MILP engine, recording wall time, the LP-relaxation bound and the
+    combinatorial root bound (the LP one must be at least as tight to be
+    worth its solve), plus one budgeted anytime entry far past exact
+    reach.  Returns ``None`` when no backend is installed — the committed
+    ``BENCH_exact.json`` must carry the section, so regenerating without
+    a backend fails the regression gate rather than silently dropping it.
+    """
+    from repro.algorithms import bnb, milp
+    from repro.algorithms.budget import Budget
+
+    if not milp.milp_available():
+        return None
+    rng = random.Random(seed + 4)
+    entries = []
+    for n, p in shapes:
+        spec = _instance(rng, n, p)
+        t0 = time.perf_counter()
+        sol = bf.optimal(spec, Objective.PERIOD, engine="milp")
+        seconds = time.perf_counter() - t0
+        assert sol.meta["status"] == "optimal", sol.meta
+        lp_bound = milp.lp_lower_bound(spec, Objective.PERIOD)
+        root_bound = bnb.root_lower_bound(spec, Objective.PERIOD)
+        assert lp_bound <= sol.period * (1 + FLOAT_TOL), (
+            f"unsound LP bound at n={n}: {lp_bound} > {sol.period}"
+        )
+        entries.append({
+            "n": n,
+            "p": p,
+            "objective": "period",
+            "status": "optimal",
+            "optimum": sol.period,
+            "gap": 0.0,
+            "seconds": round(seconds, 6),
+            "nodes": sol.meta["nodes"],
+            "lp_bound": lp_bound,
+            "combinatorial_bound": root_bound,
+        })
+    n, p, max_seconds = budgeted
+    spec = _instance(rng, n, p)
+    t0 = time.perf_counter()
+    sol = bf.optimal(spec, Objective.PERIOD, engine="milp",
+                     budget=Budget(max_seconds=max_seconds))
+    seconds = time.perf_counter() - t0
+    meta = sol.meta
+    value = sol.period
+    lower = meta.get("lower_bound", value)
+    gap = meta.get("gap", 0.0)
+    assert 0.0 <= gap < float("inf"), f"unsound budgeted gap {gap}"
+    assert value >= lower - FLOAT_TOL * max(1.0, lower), (
+        f"budgeted incumbent {value} below its bound {lower}"
+    )
+    return {
+        "backend": milp.backend_name(),
+        "frontier_n": max(e["n"] for e in entries),
+        "entries": entries,
+        "budgeted": {
+            "n": n,
+            "p": p,
+            "objective": "period",
+            "max_seconds": max_seconds,
+            "status": meta["status"],
+            "value": value,
+            "lower_bound": lower,
+            "gap": round(gap, 6),
+            "seconds": round(seconds, 6),
+        },
+    }
+
+
 def _rows(payload: dict) -> list[list[str]]:
     return [
         [
@@ -362,16 +452,63 @@ def _render_budget(entries: list[dict]) -> str:
     )
 
 
-def main() -> int:
+def _render_milp(section: dict) -> str:
+    rows = [
+        [
+            f"{e['n']}x{e['p']}",
+            e["status"],
+            f"{e['optimum']:.4g}",
+            f"{e['gap'] * 100:.1f}%",
+            f"{e['lp_bound']:.4g}",
+            f"{e['combinatorial_bound']:.4g}",
+            f"{e['seconds']:.2f}",
+        ]
+        for e in section["entries"]
+    ]
+    b = section["budgeted"]
+    rows.append([
+        f"{b['n']}x{b['p']}",
+        f"{b['status']} ({b['max_seconds']}s)",
+        f"{b['value']:.4g}",
+        f"{b['gap'] * 100:.1f}%",
+        f"{b['lower_bound']:.4g}",
+        "-",
+        f"{b['seconds']:.2f}",
+    ])
+    return format_table(
+        ["n x p", "status", "value", "gap", "lp bnd", "comb bnd", "s"],
+        rows,
+        title=f"milp frontier ({section['backend']} backend)",
+    )
+
+
+def main(milp_only: bool = False) -> int:
+    if milp_only:
+        # refresh just the milp section of an existing trajectory file
+        # (the CI milp job's path: no 100 s+ enumerate matrix)
+        milp_section = run_milp(MILP_FULL)
+        if milp_section is None:
+            print("no MILP backend installed; cannot regenerate the milp "
+                  "section", file=sys.stderr)
+            return 1
+        payload = json.loads(RESULT_PATH.read_text())
+        payload["milp"] = milp_section
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(_render_milp(milp_section))
+        print(f"[milp section -> {RESULT_PATH}]")
+        return 0
     # the sweep ratio is the gated number — measure it before the 100 s+
     # enumerate matrix heats the process (allocator state after that run
     # inflates the ~30 ms context pass disproportionately)
     sweeps = run_sweeps(SWEEP_FULL)
     budget = run_budget_curve(BUDGET_FULL)
+    milp_section = run_milp(MILP_FULL)
     payload = run_matrix(FULL_SIZES)
     payload["showcase"] = run_showcase()
     payload["sweep"] = {"entries": sweeps}
     payload["budget"] = {"grid": list(BUDGET_GRID), "entries": budget}
+    if milp_section is not None:
+        payload["milp"] = milp_section
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(_render(payload))
     sc = payload["showcase"]
@@ -383,6 +520,11 @@ def main() -> int:
         )
     print(_render_sweeps(payload["sweep"]["entries"]))
     print(_render_budget(payload["budget"]["entries"]))
+    if milp_section is not None:
+        print(_render_milp(milp_section))
+    else:
+        print("[milp section skipped: no backend installed — the "
+              "regression gate will fail on a file regenerated this way]")
     print(f"[results -> {RESULT_PATH}]")
     return 0
 
@@ -425,5 +567,18 @@ def test_sweep_context_quick(report):
     report("exact_sweep", _render_sweeps(entries))
 
 
+@pytest.mark.milp
+def test_milp_frontier_quick(report):
+    # one live proof past the bnb guard (n=11 > 10) closed at gap 0; the
+    # committed BENCH_exact.json records the full n>=14 frontier and
+    # check_bench_regressions.py gates *that*
+    section = run_milp(MILP_QUICK, budgeted=(14, 8, 0.2))
+    assert section is not None  # marker guarantees a backend
+    entry = section["entries"][0]
+    assert entry["status"] == "optimal" and entry["gap"] == 0.0
+    assert section["frontier_n"] > 10
+    report("exact_milp", _render_milp(section))
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(milp_only="--milp-only" in sys.argv[1:]))

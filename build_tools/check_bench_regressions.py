@@ -46,6 +46,11 @@ ROOT = Path(__file__).resolve().parent.parent
 MIN_MATRIX_SPEEDUP = 10.0
 MIN_SWEEP_SPEEDUP = 2.0
 MIN_WARM_HIT_FRACTION = 0.95
+#: The MILP engine must keep closing instances past the combinatorial
+#: guard (frontier strictly beyond n=10) and hold the ISSUE 10 acceptance
+#: floor: at least one n >= 14 instance closed exactly (gap 0).
+MIN_MILP_FRONTIER_N = 10
+MIN_MILP_EXACT_N = 14
 
 #: Search-effort fields the instrumented engines must keep recording —
 #: their absence would mean the free post-solve instrumentation was lost.
@@ -105,6 +110,59 @@ def check_exact(path: Path) -> list[str]:
                   f"fell below the {MIN_SWEEP_SPEEDUP}x floor")
         lines.append(f"  {label}: {entry['speedup']}x (>= {MIN_SWEEP_SPEEDUP}x)")
     lines += check_budget(path, doc)
+    lines += check_milp(path, doc)
+    return lines
+
+
+def check_milp(path: Path, doc: dict) -> list[str]:
+    """The MILP frontier gate: the committed trajectory must prove the
+    engine closes instances past the combinatorial guard, exactly."""
+    section = doc.get("milp")
+    if not section:
+        _fail(f"{path.name} has no milp section — regenerate with an MILP "
+              "backend installed: PYTHONPATH=src python "
+              "benchmarks/bench_exact_engines.py --milp-only")
+    entries = section.get("entries", [])
+    closed = [e for e in entries
+              if e.get("status") == "optimal" and e.get("gap") == 0.0]
+    if not closed:
+        _fail("milp: no instance closed exactly (gap 0)")
+    frontier = max(e["n"] for e in closed)
+    if frontier <= MIN_MILP_FRONTIER_N:
+        _fail(f"milp: closed frontier n={frontier} regressed to within "
+              f"the combinatorial guard (must exceed "
+              f"n={MIN_MILP_FRONTIER_N})")
+    if not any(e["n"] >= MIN_MILP_EXACT_N for e in closed):
+        _fail(f"milp: no n>={MIN_MILP_EXACT_N} instance closed exactly — "
+              "the ISSUE 10 acceptance floor")
+    lines = []
+    for e in entries:
+        label = f"milp {e['n']}x{e['p']}"
+        for field in ("lp_bound", "combinatorial_bound"):
+            if field not in e:
+                _fail(f"{label}: {field} missing — bound comparison was "
+                      "lost")
+        if e["lp_bound"] > e["optimum"] * (1 + 1e-9):
+            _fail(f"{label}: LP bound {e['lp_bound']} exceeds the optimum "
+                  f"{e['optimum']} — unsound relaxation")
+        lines.append(
+            f"  {label}: {e['status']} gap {e['gap'] * 100:.1f}% "
+            f"in {e['seconds']:.2f}s ({section['backend']})"
+        )
+    budgeted = section.get("budgeted")
+    if not budgeted:
+        _fail("milp: no budgeted anytime entry recorded")
+    gap = budgeted["gap"]
+    if not (0.0 <= gap < float("inf")):
+        _fail(f"milp budgeted: non-finite or negative gap {gap}")
+    if budgeted["value"] < budgeted["lower_bound"] * (1 - 1e-9):
+        _fail(f"milp budgeted: incumbent {budgeted['value']} below its "
+              f"dual bound {budgeted['lower_bound']}")
+    lines.append(
+        f"  milp budgeted {budgeted['n']}x{budgeted['p']} "
+        f"({budgeted['max_seconds']}s): {budgeted['status']}, "
+        f"gap {gap * 100:.1f}%"
+    )
     return lines
 
 

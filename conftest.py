@@ -1,0 +1,40 @@
+"""Repo-root pytest plumbing shared by ``tests/`` and ``benchmarks/``.
+
+Registers the project markers and implements the single shared
+``requires_milp`` auto-skip: every test marked ``@pytest.mark.milp``
+exercises the optional MILP engine (:mod:`repro.algorithms.milp`) and is
+skipped — not errored — when neither of its backends (PuLP/CBC or SciPy's
+HiGHS) is installed, so the dependency-free tier-1 job stays green while
+the dedicated CI job (which installs ``pulp``) runs the full suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "milp: needs an MILP backend (PuLP/CBC or scipy); auto-skipped "
+        "when neither is installed (see repro.algorithms.milp)",
+    )
+    config.addinivalue_line(
+        "markers", "slow: long-running; excluded from quick loops"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    try:
+        from repro.algorithms import milp
+
+        available = milp.milp_available()
+        reason = milp.INSTALL_HINT
+    except Exception as exc:  # pragma: no cover — repro not importable
+        available, reason = False, str(exc)
+    if available:
+        return
+    requires_milp = pytest.mark.skip(reason=f"requires_milp: {reason}")
+    for item in items:
+        if "milp" in item.keywords:
+            item.add_marker(requires_milp)

@@ -1,6 +1,22 @@
-"""Setup shim: enables legacy editable installs on environments without the
-``wheel`` package (pip falls back to ``setup.py develop``).  All metadata
-lives in pyproject.toml."""
-from setuptools import setup
+"""Minimal packaging metadata (the project is usually run from source
+with ``PYTHONPATH=src``; installing is only needed for the optional
+extras, e.g. ``pip install -e .[milp]`` for the MILP engine backend)."""
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-conf-cluster-benoitr07",
+    version="0.10.0",
+    description=(
+        "Reproduction of Benoit & Robert (CLUSTER 2007): mapping "
+        "pipeline and fork graphs onto heterogeneous platforms"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    extras_require={
+        # backend for repro.algorithms.milp (engine="milp"); an installed
+        # scipy also works as a fallback without this extra
+        "milp": ["pulp>=2.7"],
+    },
+)

@@ -17,6 +17,7 @@ from . import (
     fork_hom_platform,
     forkjoin,
     lemmas,
+    milp,
     pipeline_het_platform,
     pipeline_hom_platform,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "budget",
     "exact",
     "lemmas",
+    "milp",
     "pipeline_hom_platform",
     "pipeline_het_platform",
     "fork_hom_platform",

@@ -274,7 +274,11 @@ def optimal(
       faster (usable to roughly ``n = 9..10``, ``p = 8``);
     * ``"enumerate"`` — the historical flat enumeration
       (:func:`optimal_enumerated`), kept as the oracle for the equivalence
-      property tests and the engine benchmarks.
+      property tests and the engine benchmarks;
+    * ``"milp"`` — the mixed-integer programming formulation of
+      :mod:`repro.algorithms.milp` over an optional backend (PuLP/CBC or
+      SciPy/HiGHS), closing instances well past the combinatorial
+      engines (roughly ``n = 20..30``).
 
     ``context`` (a :class:`~repro.algorithms.solve_context.SolveContext`
     built for this instance) lets the repeated solves of a bi-criteria
@@ -293,6 +297,13 @@ def optimal(
         from .bnb import optimal as bnb_optimal
 
         return bnb_optimal(
+            spec, objective, period_bound, latency_bound, context=context,
+            budget=budget,
+        )
+    if engine == "milp":
+        from .milp import optimal as milp_optimal
+
+        return milp_optimal(
             spec, objective, period_bound, latency_bound, context=context,
             budget=budget,
         )

@@ -50,8 +50,10 @@ __all__ = [
 ]
 
 #: Size guards for the generic exact wrappers, per engine.  The pruned
-#: branch-and-bound engine reaches noticeably further than flat enumeration.
-_ENGINE_LIMITS = {"enumerate": 7, "bnb": 10}
+#: branch-and-bound engine reaches noticeably further than flat enumeration,
+#: and the MILP engine (optional backend) pushes the closed frontier to a
+#: few tens of stages/processors.
+_ENGINE_LIMITS = {"enumerate": 7, "bnb": 10, "milp": 30}
 
 
 def _guard(n_stages: int, p: int, engine: str = "bnb",

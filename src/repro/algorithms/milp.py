@@ -1,0 +1,1144 @@
+"""MILP exact engine (``engine="milp"``) over an optional solver backend.
+
+The combinatorial engines close instances up to roughly ``n = 10`` (bnb)
+before PR 6's budgets degrade them to anytime incumbents with combinatorial
+gaps.  This module formulates the same problems — single-criterion period
+or latency minimization and the bi-criteria threshold variants, for interval
+mappings of pipelines and partitionings of fork / fork-join graphs — as a
+mixed-integer linear program, pushing the exactly-closed frontier toward
+``n = 20..30`` and tightening dual bounds via the LP relaxation.
+
+Backends
+--------
+The MILP is solved by the first available backend:
+
+* ``pulp`` (CBC) — the preferred optional dependency
+  (``pip install -e .[milp]``), imported lazily;
+* ``scipy.optimize.milp`` (HiGHS) — used automatically when PuLP is not
+  installed but SciPy is.
+
+``REPRO_MILP_BACKEND`` overrides the choice (``auto`` / ``pulp`` /
+``scipy`` / ``none``; ``none`` forces unavailability, which the test suite
+uses to exercise the skip machinery).  When no backend is importable every
+entry point raises :class:`~repro.core.exceptions.ReproError` carrying
+:data:`INSTALL_HINT`.
+
+Formulation
+-----------
+Processors only enter the cost model through the *minimum* and the *sum*
+of a group's speeds, so groups are assigned **processor types** rather
+than explicit processor subsets:
+
+* a replicated type ``(k, c)`` claims ``k`` processors drawn from speed
+  classes at least as fast as class ``c`` (claimed cost uses ``s_c``);
+* a data-parallel type is an exact per-class count vector (claimed cost
+  uses the summed speed).
+
+Feasibility of a type selection is enforced by Hall-style counting
+constraints over the nested up-sets of speed classes (plus exact per-class
+rows for the data-parallel vectors), which are necessary *and* sufficient:
+:func:`_realize_processors` turns any feasible selection into disjoint
+concrete processor sets, giving each replicated group the *slowest*
+available processors of its admissible classes.  The realized mapping is
+never slower than claimed, and the true optimum always has an encoding
+whose claimed cost is exact, so the realized value of the MILP optimum
+equals the enumerated optimum (the three-way differential suite in
+``tests/algorithms/test_bnb_equivalence.py`` enforces this).
+
+Pipelines become a set-partitioning model over (interval, type) columns —
+no big-M at all.  Fork and fork-join graphs use a slot model (stage →
+group-slot assignment with restricted-growth symmetry breaking) with
+indicator big-M rows tying each slot's linear work expression to its
+chosen type's period / delay / phase times.
+
+Budgets
+-------
+``Budget.max_seconds`` maps to the backend time limit (``max_nodes`` to
+the branch-and-bound node limit where the backend exposes one).  On
+exhaustion the incumbent is returned with ``meta["status"] ==
+"budget_exhausted"`` and a dual bound that is the best of the backend's
+own bound, the LP relaxation and the combinatorial root bound of
+:func:`repro.algorithms.bnb.root_lower_bound` — the same anytime contract
+as the bnb engine, with tighter gaps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.application import ForkApplication, ForkJoinApplication
+from ..core.costs import FLOAT_TOL, evaluate
+from ..core.exceptions import InfeasibleProblemError, ReproError
+from ..core.mapping import (
+    AssignmentKind,
+    ForkJoinMapping,
+    ForkMapping,
+    GroupAssignment,
+    PipelineMapping,
+)
+from ..core.validation import is_valid
+from .budget import Budget, BudgetExhaustedError
+from .problem import Objective, ProblemSpec, Solution
+
+__all__ = [
+    "INSTALL_HINT",
+    "backend_name",
+    "milp_available",
+    "lp_lower_bound",
+    "optimal",
+]
+
+_INF = float("inf")
+
+#: Environment override for the backend choice.
+_BACKEND_ENV = "REPRO_MILP_BACKEND"
+
+#: Actionable message raised whenever no MILP backend is importable.
+INSTALL_HINT = (
+    "the milp engine needs an MILP backend: install PuLP/CBC with "
+    "`pip install -e .[milp]` (or `pip install pulp`), or install scipy "
+    "for the HiGHS fallback; engines 'bnb' and 'enumerate' work without "
+    "either"
+)
+
+#: Cap on the data-parallel type pool (product of per-class counts).  A
+#: wildly heterogeneous platform would otherwise explode the column pool;
+#: the combinatorial engines remain available for such instances.
+_DP_POOL_CAP = 20_000
+
+
+# ----------------------------------------------------------------------
+# backend detection
+# ----------------------------------------------------------------------
+def _detect_backend() -> str | None:
+    """Name of the backend to use (``"pulp"`` / ``"scipy"``) or ``None``.
+
+    Re-evaluated on every call so tests can flip :data:`_BACKEND_ENV`.
+    """
+    choice = os.environ.get(_BACKEND_ENV, "auto").strip().lower() or "auto"
+    if choice not in ("auto", "pulp", "scipy", "none"):
+        raise ReproError(
+            f"unknown {_BACKEND_ENV} value {choice!r} "
+            "(choose from auto/pulp/scipy/none)"
+        )
+    if choice == "none":
+        return None
+    if choice in ("auto", "pulp"):
+        try:
+            import pulp  # noqa: F401
+        except ImportError:
+            if choice == "pulp":
+                return None
+        else:
+            return "pulp"
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:
+        return None
+    return "scipy"
+
+
+def milp_available() -> bool:
+    """True when an MILP backend is importable (and not disabled)."""
+    return _detect_backend() is not None
+
+
+def backend_name() -> str | None:
+    """The backend :func:`optimal` would use right now, or ``None``."""
+    return _detect_backend()
+
+
+def _require_backend() -> str:
+    backend = _detect_backend()
+    if backend is None:
+        raise ReproError(INSTALL_HINT)
+    return backend
+
+
+# ----------------------------------------------------------------------
+# tiny backend-neutral model IR
+# ----------------------------------------------------------------------
+@dataclass
+class _Model:
+    """A minimize-objective MILP: variables, one objective, range rows."""
+
+    obj: list[float] = field(default_factory=list)
+    lb: list[float] = field(default_factory=list)
+    ub: list[float] = field(default_factory=list)
+    integer: list[bool] = field(default_factory=list)
+    #: rows as ``(terms, row_lb, row_ub)`` with ``terms = [(var, coef)]``
+    rows: list[tuple[list[tuple[int, float]], float, float]] = field(
+        default_factory=list
+    )
+
+    def add_var(
+        self,
+        *,
+        obj: float = 0.0,
+        lb: float = 0.0,
+        ub: float = _INF,
+        integer: bool = False,
+    ) -> int:
+        self.obj.append(obj)
+        self.lb.append(lb)
+        self.ub.append(ub)
+        self.integer.append(integer)
+        return len(self.obj) - 1
+
+    def add_row(
+        self,
+        terms: list[tuple[int, float]],
+        lb: float = -_INF,
+        ub: float = _INF,
+    ) -> None:
+        self.rows.append((terms, lb, ub))
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.obj)
+
+
+@dataclass
+class _MilpResult:
+    """Backend-neutral solve outcome."""
+
+    status: str  # "optimal" | "limit" | "infeasible" | "no_solution"
+    x: list[float] | None
+    objective: float | None
+    dual_bound: float | None
+    nodes: int | None
+
+
+def _solve(
+    backend: str,
+    model: _Model,
+    budget: Budget | None = None,
+    relax: bool = False,
+) -> _MilpResult:
+    if backend == "pulp":
+        return _solve_pulp(model, budget, relax)
+    return _solve_scipy(model, budget, relax)
+
+
+def _solve_scipy(
+    model: _Model, budget: Budget | None, relax: bool
+) -> _MilpResult:
+    import numpy as np
+    from scipy import sparse
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n = model.n_vars
+    data, rows, cols = [], [], []
+    row_lb, row_ub = [], []
+    for r, (terms, lb, ub) in enumerate(model.rows):
+        for var, coef in terms:
+            rows.append(r)
+            cols.append(var)
+            data.append(coef)
+        row_lb.append(lb)
+        row_ub.append(ub)
+    a = sparse.csc_array(
+        (data, (rows, cols)), shape=(len(model.rows), n), dtype=float
+    )
+    constraints = LinearConstraint(a, np.array(row_lb), np.array(row_ub))
+    integrality = np.array(
+        [0 if relax else (1 if flag else 0) for flag in model.integer]
+    )
+    options: dict = {"presolve": True}
+    if not relax and any(model.integer):
+        # HiGHS' default 1e-4 relative MIP gap would break exact equality
+        # with the combinatorial engines; demand a proven optimum.
+        options["mip_rel_gap"] = 0.0
+    if budget is not None:
+        if budget.max_seconds is not None:
+            options["time_limit"] = float(budget.max_seconds)
+        if budget.max_nodes is not None and not relax:
+            options["node_limit"] = int(budget.max_nodes)
+    res = milp(
+        c=np.array(model.obj),
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(np.array(model.lb), np.array(model.ub)),
+        options=options,
+    )
+    if res.status not in (0, 1, 2) and options.get("presolve"):
+        # Some HiGHS releases abort ("Status 4: Solve error") in presolve
+        # on models that solve fine without it; retry once presolve-free
+        # before giving up.
+        res = milp(
+            c=np.array(model.obj),
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(np.array(model.lb), np.array(model.ub)),
+            options={**options, "presolve": False},
+        )
+    nodes = getattr(res, "mip_node_count", None)
+    dual = getattr(res, "mip_dual_bound", None)
+    if res.status == 0:
+        return _MilpResult(
+            "optimal", list(res.x), float(res.fun),
+            float(res.fun) if relax else dual, nodes,
+        )
+    if res.status == 2:
+        return _MilpResult("infeasible", None, None, None, nodes)
+    if res.status == 1:  # iteration / time / node limit
+        if res.x is not None:
+            return _MilpResult(
+                "limit", list(res.x), float(res.fun), dual, nodes
+            )
+        return _MilpResult("limit", None, None, dual, nodes)
+    raise ReproError(
+        f"milp backend 'scipy' failed: {res.message!r} (status {res.status})"
+    )
+
+
+def _solve_pulp(
+    model: _Model, budget: Budget | None, relax: bool
+) -> _MilpResult:
+    import pulp
+
+    prob = pulp.LpProblem("repro_milp", pulp.LpMinimize)
+    xs = []
+    for i in range(model.n_vars):
+        ub = None if model.ub[i] == _INF else model.ub[i]
+        cat = (
+            pulp.LpInteger
+            if model.integer[i] and not relax
+            else pulp.LpContinuous
+        )
+        xs.append(
+            pulp.LpVariable(f"x{i}", lowBound=model.lb[i], upBound=ub, cat=cat)
+        )
+    prob += pulp.lpSum(
+        coef * xs[i] for i, coef in enumerate(model.obj) if coef != 0.0
+    )
+    for terms, lb, ub in model.rows:
+        expr = pulp.lpSum(coef * xs[var] for var, coef in terms)
+        if lb == ub:
+            prob += expr == lb
+            continue
+        if ub != _INF:
+            prob += expr <= ub
+        if lb != -_INF:
+            prob += expr >= lb
+    seconds = None
+    options = []
+    if budget is not None:
+        if budget.max_seconds is not None:
+            seconds = float(budget.max_seconds)
+        if budget.max_nodes is not None and not relax:
+            options.append(f"maxNodes {int(budget.max_nodes)}")
+    solver = pulp.PULP_CBC_CMD(
+        msg=0, gapRel=0.0, timeLimit=seconds, options=options
+    )
+    prob.solve(solver)
+    status = prob.status
+    have_x = all(x.varValue is not None for x in xs)
+    values = [float(x.varValue) for x in xs] if have_x else None
+    objective = float(pulp.value(prob.objective)) if have_x else None
+    # prob.sol_status distinguishes a proven optimum from the incumbent of
+    # a limit-stopped solve (pulp >= 2.2); fall back to prob.status.
+    sol_status = getattr(prob, "sol_status", None)
+    proven = status == pulp.LpStatusOptimal and sol_status in (
+        None, getattr(pulp, "LpSolutionOptimal", 1)
+    )
+    if proven and values is not None:
+        return _MilpResult("optimal", values, objective, objective, None)
+    if status == pulp.LpStatusInfeasible:
+        return _MilpResult("infeasible", None, None, None, None)
+    if values is not None:
+        return _MilpResult("limit", values, objective, None, None)
+    return _MilpResult("limit", None, None, None, None)
+
+
+# ----------------------------------------------------------------------
+# processor types & speed classes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ProcType:
+    """A group's processor claim, abstracted to speed-class counts."""
+
+    kind: AssignmentKind
+    k: int = 0  # replicated: processor count
+    cls: int = 0  # replicated: slowest admissible speed class (index)
+    vec: tuple[int, ...] = ()  # data-parallel: exact per-class counts
+    min_speed: float = 0.0
+    sum_speed: float = 0.0
+
+    def demand_ge(self, cls: int) -> int:
+        """Processors this type consumes from classes ``>= cls``."""
+        if self.kind is AssignmentKind.REPLICATED:
+            return self.k if self.cls >= cls else 0
+        return sum(self.vec[cls:])
+
+
+def _speed_classes(platform) -> tuple[list[float], list[list[int]]]:
+    """``(speeds ascending, member processor indices per class)``."""
+    classes: list[float] = sorted(set(platform.speeds))
+    members: list[list[int]] = [[] for _ in classes]
+    index = {s: c for c, s in enumerate(classes)}
+    for proc, speed in enumerate(platform.speeds):
+        members[index[speed]].append(proc)
+    return classes, members
+
+
+def _proc_types(spec: ProblemSpec) -> list[_ProcType]:
+    """Every useful processor type for this platform."""
+    classes, members = _speed_classes(spec.platform)
+    counts = [len(m) for m in members]
+    n_ge = [sum(counts[c:]) for c in range(len(classes))]
+    types: list[_ProcType] = []
+    for c, speed in enumerate(classes):
+        for k in range(1, n_ge[c] + 1):
+            types.append(
+                _ProcType(
+                    AssignmentKind.REPLICATED, k=k, cls=c, min_speed=speed
+                )
+            )
+    if spec.allow_data_parallel:
+        pool = 1
+        for count in counts:
+            pool *= count + 1
+        if pool > _DP_POOL_CAP:
+            raise ReproError(
+                "milp engine: the data-parallel type pool for this "
+                f"platform has {pool} per-class count vectors "
+                f"(cap {_DP_POOL_CAP}); use engine='bnb' or disable "
+                "data-parallel groups"
+            )
+        for vec in itertools.product(*(range(c + 1) for c in counts)):
+            if sum(vec) < 2:  # a 1-processor dp group is never enumerated
+                continue
+            types.append(
+                _ProcType(
+                    AssignmentKind.DATA_PARALLEL,
+                    vec=vec,
+                    sum_speed=sum(
+                        v * s for v, s in zip(vec, classes)
+                    ),
+                )
+            )
+    return types
+
+
+def _realize_processors(
+    platform, chosen: list[tuple[_ProcType, object]]
+) -> list[tuple[object, tuple[int, ...]]]:
+    """Assign concrete, disjoint processor sets to chosen types.
+
+    ``chosen`` pairs each selected type with an opaque tag (the caller's
+    group payload).  Data-parallel vectors are exact, so they are served
+    first; replicated claims form nested up-sets over the speed classes
+    and are served from the most restrictive (fastest class) down, each
+    taking the *slowest* still-available admissible processors — the
+    standard exchange argument keeps every later claim satisfiable, and
+    the realized minimum speed can only exceed the claimed one.
+    """
+    classes, members = _speed_classes(platform)
+    available = [list(m) for m in members]  # ascending index per class
+    out: list[tuple[object, tuple[int, ...]]] = []
+    for ptype, tag in chosen:
+        if ptype.kind is not AssignmentKind.DATA_PARALLEL:
+            continue
+        procs: list[int] = []
+        for c, need in enumerate(ptype.vec):
+            if need > len(available[c]):
+                raise ReproError(
+                    "milp internal error: infeasible data-parallel "
+                    "realization (Hall rows violated)"
+                )
+            procs.extend(available[c][:need])
+            del available[c][:need]
+        out.append((tag, tuple(sorted(procs))))
+    replicated = [
+        (ptype, tag)
+        for ptype, tag in chosen
+        if ptype.kind is AssignmentKind.REPLICATED
+    ]
+    for ptype, tag in sorted(
+        replicated, key=lambda pair: pair[0].cls, reverse=True
+    ):
+        procs = []
+        for c in range(ptype.cls, len(classes)):
+            while available[c] and len(procs) < ptype.k:
+                procs.append(available[c].pop(0))
+            if len(procs) == ptype.k:
+                break
+        if len(procs) != ptype.k:
+            raise ReproError(
+                "milp internal error: infeasible replicated realization "
+                "(Hall rows violated)"
+            )
+        out.append((tag, tuple(sorted(procs))))
+    return out
+
+
+def _add_hall_rows(
+    model: _Model,
+    spec: ProblemSpec,
+    weighted: list[tuple[int, _ProcType]],
+) -> None:
+    """Processor-capacity rows over the selection variables.
+
+    ``weighted`` pairs each selection variable with its type; a selected
+    variable consumes its type's claim once.  One row per speed class
+    bounds the nested up-set demand (replicated + data-parallel), and —
+    because data-parallel vectors name *exact* classes, not up-sets — one
+    extra row per class bounds their exact per-class draw.
+    """
+    classes, members = _speed_classes(spec.platform)
+    counts = [len(m) for m in members]
+    n_ge = [sum(counts[c:]) for c in range(len(classes))]
+    for c in range(len(classes)):
+        terms = []
+        for var, ptype in weighted:
+            demand = ptype.demand_ge(c)
+            if demand:
+                terms.append((var, float(demand)))
+        if terms:
+            model.add_row(terms, ub=float(n_ge[c]))
+    if spec.allow_data_parallel:
+        for c in range(len(classes)):
+            terms = [
+                (var, float(ptype.vec[c]))
+                for var, ptype in weighted
+                if ptype.kind is AssignmentKind.DATA_PARALLEL
+                and ptype.vec[c]
+            ]
+            if terms:
+                model.add_row(terms, ub=float(counts[c]))
+
+
+# ----------------------------------------------------------------------
+# pipeline: set-partitioning over (interval, type) columns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Column:
+    start: int  # 1-based, inclusive
+    end: int
+    ptype: _ProcType
+    period: float
+    delay: float
+
+
+def _pipeline_columns(spec: ProblemSpec, types: list[_ProcType]) -> list[_Column]:
+    app = spec.application
+    overheads = {stage.index: stage.dp_overhead for stage in app.stages}
+    prefix = [0.0]
+    for work in app.works:
+        prefix.append(prefix[-1] + work)
+    columns: list[_Column] = []
+    for start in range(1, app.n + 1):
+        for end in range(start, app.n + 1):
+            work = prefix[end] - prefix[start - 1]
+            for ptype in types:
+                if ptype.kind is AssignmentKind.DATA_PARALLEL:
+                    # model rule: dp only for single-stage intervals
+                    if start != end:
+                        continue
+                    cost = overheads[start] + work / ptype.sum_speed
+                    period = delay = cost
+                else:
+                    period = work / (ptype.k * ptype.min_speed)
+                    delay = work / ptype.min_speed
+                columns.append(_Column(start, end, ptype, period, delay))
+    return columns
+
+
+def _build_pipeline_model(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None,
+    latency_bound: float | None,
+    columns: list[_Column],
+):
+    """``(model, decode)`` for a pipeline instance.
+
+    ``decode(x)`` maps a feasible solution vector back to the chosen
+    ``(column, ...)`` list in interval order.
+    """
+    model = _Model()
+    if period_bound is not None:
+        cap = period_bound * (1.0 + FLOAT_TOL)
+        columns = [col for col in columns if col.period <= cap]
+    if not columns:
+        # the bound filtered out every (interval, type) column: no valid
+        # mapping can meet it, and the backend needs >= 1 variable anyway
+        raise InfeasibleProblemError(
+            f"no valid mapping satisfies the bounds "
+            f"(period<={period_bound}, latency<={latency_bound})"
+        )
+    z_vars = [
+        model.add_var(
+            obj=col.delay if objective is Objective.LATENCY else 0.0,
+            ub=1.0,
+            integer=True,
+        )
+        for col in columns
+    ]
+    t_per = (
+        model.add_var(obj=1.0) if objective is Objective.PERIOD else None
+    )
+    for stage in range(1, spec.application.n + 1):
+        covering = [
+            (var, col)
+            for var, col in zip(z_vars, columns)
+            if col.start <= stage <= col.end
+        ]
+        model.add_row([(var, 1.0) for var, _ in covering], lb=1.0, ub=1.0)
+        if t_per is not None:
+            # exactly one column covers the stage, so this aggregated row
+            # equals the stage's group period — a much tighter LP
+            # relaxation than one row per column
+            model.add_row(
+                [(t_per, 1.0)]
+                + [(var, -col.period) for var, col in covering],
+                lb=0.0,
+            )
+    if latency_bound is not None:
+        model.add_row(
+            [(var, col.delay) for var, col in zip(z_vars, columns)],
+            ub=latency_bound * (1.0 + FLOAT_TOL),
+        )
+    _add_hall_rows(
+        model, spec, [(var, col.ptype) for var, col in zip(z_vars, columns)]
+    )
+
+    def decode(x: list[float]) -> PipelineMapping:
+        chosen = [
+            col for var, col in zip(z_vars, columns) if x[var] > 0.5
+        ]
+        chosen.sort(key=lambda col: col.start)
+        realized = _realize_processors(
+            spec.platform, [(col.ptype, col) for col in chosen]
+        )
+        by_col = {id(tag): procs for tag, procs in realized}
+        groups = tuple(
+            GroupAssignment(
+                stages=tuple(range(col.start, col.end + 1)),
+                processors=by_col[id(col)],
+                kind=col.ptype.kind,
+            )
+            for col in chosen
+        )
+        return PipelineMapping(
+            application=spec.application,
+            platform=spec.platform,
+            groups=groups,
+        )
+
+    return model, decode
+
+
+# ----------------------------------------------------------------------
+# fork / fork-join: slot model with restricted-growth symmetry breaking
+# ----------------------------------------------------------------------
+def _build_slot_model(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None,
+    latency_bound: float | None,
+    types: list[_ProcType],
+):
+    """``(model, decode)`` for a fork / fork-join instance.
+
+    Stage ``i`` may sit in slot ``g <= i`` only (restricted-growth
+    canonical labelling), which pins the root stage 0 to slot 0 and kills
+    the slot-permutation symmetry.
+    """
+    app = spec.application
+    is_forkjoin = isinstance(app, ForkJoinApplication)
+    stages = list(app.all_stages)
+    works = {stage.index: stage.work for stage in stages}
+    overheads = {stage.index: stage.dp_overhead for stage in stages}
+    indices = sorted(works)
+    n_stages = len(indices)
+    join_index = app.n + 1 if is_forkjoin else None
+    n_slots = min(n_stages, spec.platform.p)
+    if spec.allow_data_parallel and min(works.values()) <= 0.0:
+        raise ReproError(
+            "milp engine: fork/fork-join instances with data-parallel "
+            "groups need strictly positive stage works"
+        )
+    model = _Model()
+    x = {}  # (stage index, slot) -> var
+    for pos, i in enumerate(indices):
+        for g in range(min(pos, n_slots - 1) + 1):
+            x[i, g] = model.add_var(ub=1.0, integer=True)
+    y = {}  # (slot, type position) -> var
+    for g in range(n_slots):
+        for t, _ in enumerate(types):
+            y[g, t] = model.add_var(ub=1.0, integer=True)
+
+    for i in indices:
+        model.add_row(
+            [(x[i, g], 1.0) for g in range(n_slots) if (i, g) in x],
+            lb=1.0,
+            ub=1.0,
+        )
+    for g in range(n_slots):
+        slot_stages = [i for i in indices if (i, g) in x]
+        type_terms = [(y[g, t], 1.0) for t in range(len(types))]
+        model.add_row(type_terms, ub=1.0)
+        # a used slot picks exactly one type; a typed slot is non-empty
+        model.add_row(
+            type_terms + [(x[i, g], -1.0) for i in slot_stages], ub=0.0
+        )
+        for i in slot_stages:
+            model.add_row([(x[i, g], 1.0)] + [
+                (term, -1.0) for term in (y[g, t] for t in range(len(types)))
+            ], ub=0.0)
+    # restricted growth: stage i opens slot g only if some earlier stage
+    # sits in slot g-1
+    for pos, i in enumerate(indices):
+        for g in range(1, min(pos, n_slots - 1) + 1):
+            earlier = [
+                x[j, g - 1] for j in indices[:pos] if (j, g - 1) in x
+            ]
+            model.add_row(
+                [(x[i, g], 1.0)] + [(var, -1.0) for var in earlier], ub=0.0
+            )
+    # dp-validity: a data-parallel slot 0 holds the root alone, and (fork-
+    # join) a data-parallel group holding the join holds it alone
+    dp_positions = [
+        t
+        for t, ptype in enumerate(types)
+        if ptype.kind is AssignmentKind.DATA_PARALLEL
+    ]
+    root_index = indices[0]
+    cap = float(n_stages - 1)
+    if dp_positions:
+        others0 = [i for i in indices if i != root_index and (i, 0) in x]
+        model.add_row(
+            [(x[i, 0], 1.0) for i in others0]
+            + [(y[0, t], cap) for t in dp_positions],
+            ub=cap,
+        )
+        if is_forkjoin:
+            for g in range(n_slots):
+                if (join_index, g) not in x:
+                    continue
+                others = [
+                    i for i in indices if i != join_index and (i, g) in x
+                ]
+                if not others:
+                    continue
+                model.add_row(
+                    [(x[i, g], 1.0) for i in others]
+                    + [(y[g, t], cap) for t in dp_positions]
+                    + [(x[join_index, g], cap)],
+                    ub=2.0 * cap,
+                )
+    _add_hall_rows(
+        model,
+        spec,
+        [(y[g, t], ptype) for g in range(n_slots)
+         for t, ptype in enumerate(types)],
+    )
+
+    def slot_cost_terms(g: int, t: int, members: list[int]):
+        """``(period coefs, delay coefs)`` on the slot's x variables."""
+        ptype = types[t]
+        per, dly = [], []
+        for i in members:
+            if ptype.kind is AssignmentKind.DATA_PARALLEL:
+                coef = overheads[i] + works[i] / ptype.sum_speed
+                per.append((x[i, g], coef))
+                dly.append((x[i, g], coef))
+            else:
+                per.append(
+                    (x[i, g], works[i] / (ptype.k * ptype.min_speed))
+                )
+                dly.append((x[i, g], works[i] / ptype.min_speed))
+        return per, dly
+
+    need_period = objective is Objective.PERIOD or period_bound is not None
+    need_latency = objective is Objective.LATENCY or latency_bound is not None
+    t_per = t_lat = t0 = t_done = None
+    if need_period:
+        t_per = model.add_var(
+            obj=1.0 if objective is Objective.PERIOD else 0.0,
+            ub=(
+                period_bound * (1.0 + FLOAT_TOL)
+                if period_bound is not None
+                else _INF
+            ),
+        )
+    if need_latency:
+        t_lat = model.add_var(
+            obj=1.0 if objective is Objective.LATENCY else 0.0,
+            ub=(
+                latency_bound * (1.0 + FLOAT_TOL)
+                if latency_bound is not None
+                else _INF
+            ),
+        )
+        t0 = model.add_var()
+        if is_forkjoin:
+            t_done = model.add_var()
+
+    w_root = works[root_index]
+    f_root = overheads[root_index]
+
+    def t0_cost_of(ptype: _ProcType) -> float:
+        if ptype.kind is AssignmentKind.DATA_PARALLEL:
+            return f_root + w_root / ptype.sum_speed
+        return w_root / ptype.min_speed
+
+    # per-row big-Ms: each indicator row only needs to absorb its own
+    # expression's range, which is dramatically tighter than one global M
+    t0_max = max(t0_cost_of(ptype) for ptype in types) if types else 0.0
+    phase_max = 0.0
+    for g in range(n_slots):
+        members = [i for i in indices if (i, g) in x]
+        for t, ptype in enumerate(types):
+            per_terms, dly_terms = slot_cost_terms(g, t, members)
+            per_sum = sum(coef for _, coef in per_terms)
+            if need_period:
+                # t_per >= slot period - M (1 - y)
+                model.add_row(
+                    [(t_per, 1.0), (y[g, t], -per_sum)]
+                    + [(var, -coef) for var, coef in per_terms],
+                    lb=-per_sum,
+                )
+            if not need_latency:
+                continue
+            if g == 0:
+                # root completion time: t0 >= cost * y (t0, cost >= 0)
+                model.add_row(
+                    [(t0, 1.0), (y[g, t], -t0_cost_of(ptype))], lb=0.0
+                )
+            if is_forkjoin:
+                # branches-done time covers every group's branch phase
+                branch_terms = [
+                    (var, coef)
+                    for (var, coef), i in zip(dly_terms, members)
+                    if i not in (root_index, join_index)
+                ]
+                branch_sum = sum(coef for _, coef in branch_terms)
+                phase_max = max(phase_max, branch_sum)
+                m_row = t0_max + branch_sum
+                model.add_row(
+                    [(t_done, 1.0), (t0, -1.0), (y[g, t], -m_row)]
+                    + [(var, -coef) for var, coef in branch_terms],
+                    lb=-m_row,
+                )
+            else:
+                dly_sum = sum(coef for _, coef in dly_terms)
+                if g == 0:
+                    # whole root-group delay bounds the latency directly
+                    model.add_row(
+                        [(t_lat, 1.0), (y[g, t], -dly_sum)]
+                        + [(var, -coef) for var, coef in dly_terms],
+                        lb=-dly_sum,
+                    )
+                else:
+                    # non-root groups start at t0
+                    m_row = t0_max + dly_sum
+                    model.add_row(
+                        [(t_lat, 1.0), (t0, -1.0), (y[g, t], -m_row)]
+                        + [(var, -coef) for var, coef in dly_terms],
+                        lb=-m_row,
+                    )
+    if is_forkjoin and need_latency:
+        # join phase on the join group's effective speed; the row fires
+        # only when slot g both holds the join stage and has type t
+        done_max = t0_max + phase_max
+        for g in range(n_slots):
+            if (join_index, g) not in x:
+                continue
+            for t, ptype in enumerate(types):
+                if ptype.kind is AssignmentKind.DATA_PARALLEL:
+                    join_cost = (
+                        overheads[join_index]
+                        + works[join_index] / ptype.sum_speed
+                    )
+                else:
+                    join_cost = works[join_index] / ptype.min_speed
+                m_row = done_max + join_cost
+                model.add_row(
+                    [
+                        (t_lat, 1.0),
+                        (t_done, -1.0),
+                        (y[g, t], -m_row),
+                        (x[join_index, g], -m_row),
+                    ],
+                    lb=join_cost - 2.0 * m_row,
+                )
+
+    def decode(sol: list[float]):
+        chosen: list[tuple[_ProcType, tuple[int, ...]]] = []
+        for g in range(n_slots):
+            slot_stages = tuple(
+                i for i in indices if (i, g) in x and sol[x[i, g]] > 0.5
+            )
+            if not slot_stages:
+                continue
+            picked = [
+                t for t in range(len(types)) if sol[y[g, t]] > 0.5
+            ]
+            if len(picked) != 1:
+                raise ReproError(
+                    "milp internal error: used slot without exactly one "
+                    "processor type"
+                )
+            chosen.append((types[picked[0]], slot_stages))
+        realized = _realize_processors(
+            spec.platform,
+            [(ptype, (ptype, members)) for ptype, members in chosen],
+        )
+        groups = tuple(
+            GroupAssignment(
+                stages=members, processors=procs, kind=ptype.kind
+            )
+            for (ptype, members), procs in realized
+        )
+        mapping_cls = ForkJoinMapping if is_forkjoin else ForkMapping
+        return mapping_cls(
+            application=app, platform=spec.platform, groups=groups
+        )
+
+    return model, decode
+
+
+# ----------------------------------------------------------------------
+# model assembly, shared across optimal() and lp_lower_bound()
+# ----------------------------------------------------------------------
+def _build_model(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None,
+    latency_bound: float | None,
+    context=None,
+):
+    table = context.table("milp") if context is not None else {}
+    types = table.get("types")
+    if types is None:
+        types = _proc_types(spec)
+        table["types"] = types
+    if isinstance(spec.application, ForkApplication):
+        return _build_slot_model(
+            spec, objective, period_bound, latency_bound, types
+        )
+    columns = table.get("columns")
+    if columns is None:
+        columns = _pipeline_columns(spec, types)
+        table["columns"] = columns
+    return _build_pipeline_model(
+        spec, objective, period_bound, latency_bound, columns
+    )
+
+
+def _fallback_incumbent(
+    spec: ProblemSpec,
+    period_bound: float | None,
+    latency_bound: float | None,
+):
+    """A trivially valid mapping (all stages, fastest processor) if it
+    meets the bounds — the milp counterpart of bnb's seeded incumbent."""
+    app = spec.application
+    if isinstance(app, ForkApplication):
+        stage_ids = tuple(sorted(s.index for s in app.all_stages))
+        mapping_cls = (
+            ForkJoinMapping
+            if isinstance(app, ForkJoinApplication)
+            else ForkMapping
+        )
+    else:
+        stage_ids = tuple(range(1, app.n + 1))
+        mapping_cls = PipelineMapping
+    fastest = max(
+        range(spec.platform.p), key=lambda i: spec.platform.speeds[i]
+    )
+    mapping = mapping_cls(
+        application=app,
+        platform=spec.platform,
+        groups=(
+            GroupAssignment(
+                stages=stage_ids,
+                processors=(fastest,),
+                kind=AssignmentKind.REPLICATED,
+            ),
+        ),
+    )
+    period, latency = evaluate(mapping)
+    if period_bound is not None and period > period_bound * (1 + FLOAT_TOL):
+        return None
+    if latency_bound is not None and latency > latency_bound * (1 + FLOAT_TOL):
+        return None
+    return mapping
+
+
+def _exhaustion_reason(budget: Budget, nodes: int | None) -> str:
+    if budget.max_nodes is None:
+        return "max_seconds"
+    if budget.max_seconds is None:
+        return "max_nodes"
+    if nodes is not None and nodes >= budget.max_nodes:
+        return "max_nodes"
+    return "max_seconds"
+
+
+def lp_lower_bound(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+    context=None,
+) -> float:
+    """Dual bound from the LP relaxation of the MILP formulation.
+
+    Always a valid lower bound on the true optimum (the integral optimum
+    encodes the enumerated one exactly).  Raises
+    :class:`InfeasibleProblemError` when even the relaxation is empty —
+    which proves the bi-criteria instance infeasible — and
+    :class:`ReproError` when no backend is available.
+    """
+    backend = _require_backend()
+    if context is not None:
+        context.require(spec)
+    model, _ = _build_model(
+        spec, objective, period_bound, latency_bound, context
+    )
+    res = _solve(backend, model, relax=True)
+    if res.status == "infeasible":
+        raise InfeasibleProblemError(
+            f"no valid mapping satisfies the bounds "
+            f"(period<={period_bound}, latency<={latency_bound})"
+        )
+    if res.status != "optimal" or res.objective is None:
+        raise ReproError(
+            f"milp backend {backend!r} failed on the LP relaxation "
+            f"(status {res.status!r})"
+        )
+    return res.objective
+
+
+def optimal(
+    spec: ProblemSpec,
+    objective: Objective,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+    context=None,
+    budget: Budget | None = None,
+) -> Solution:
+    """MILP exact optimum (same contract as the bnb / enumerate engines).
+
+    Minimizes ``objective``; ``period_bound`` / ``latency_bound`` turn the
+    call into the paper's bi-criteria problems.  ``context`` (a
+    :class:`~repro.algorithms.solve_context.SolveContext` of this
+    instance) shares the priced column pool / processor-type table across
+    the repeated solves of a threshold sweep.
+
+    ``budget`` maps ``max_seconds`` to the backend's time limit (and
+    ``max_nodes`` to its node limit where supported).  A solve that
+    completes is a *proven* optimum (``meta["status"] == "optimal"``,
+    ``gap == 0``); an exhausted budget returns the incumbent with
+    ``meta["status"] == "budget_exhausted"`` and the tightest known dual
+    bound (backend bound / LP relaxation / combinatorial root bound).
+    Raises :class:`InfeasibleProblemError` when no valid mapping meets
+    the bounds, :class:`BudgetExhaustedError` when the budget runs out
+    with no incumbent, and :class:`ReproError` (with an install hint)
+    when no MILP backend is available.
+    """
+    backend = _require_backend()
+    if context is not None:
+        context.require(spec)
+    bounded = budget is not None and budget.is_bounded
+    model, decode = _build_model(
+        spec, objective, period_bound, latency_bound, context
+    )
+    res = _solve(backend, model, budget=budget if bounded else None)
+    nodes = int(res.nodes) if res.nodes is not None else 0
+
+    if res.status == "infeasible":
+        raise InfeasibleProblemError(
+            f"no valid mapping satisfies the bounds "
+            f"(period<={period_bound}, latency<={latency_bound})"
+        )
+    if res.status == "optimal":
+        mapping = decode(res.x)
+        assert is_valid(mapping, spec.allow_data_parallel)
+        solution = Solution.from_mapping(
+            mapping,
+            algorithm="milp",
+            backend=backend,
+            nodes=nodes,
+            pruned=0,
+            memo_hits=0,
+            status="optimal",
+        )
+        value = solution.objective_value(objective)
+        claimed = res.objective
+        scale = max(1.0, abs(value))
+        # the backend's claimed objective carries its feasibility /
+        # integrality tolerances; the returned value is re-priced exactly
+        # by evaluate(), so only gross drift indicates a formulation bug
+        assert abs(value - claimed) <= 1e-4 * scale, (
+            f"milp claimed optimum {claimed} drifted from evaluate() "
+            f"value {value} on the realized mapping"
+        )
+        return solution
+    if not bounded:
+        raise ReproError(
+            f"milp backend {backend!r} stopped without a limit "
+            f"(status {res.status!r})"
+        )
+
+    # budget exhausted: incumbent (or the seeded fallback) + dual bound
+    reason = _exhaustion_reason(budget, res.nodes)
+    mapping = None
+    if res.x is not None:
+        mapping = decode(res.x)
+    if mapping is None:
+        mapping = _fallback_incumbent(spec, period_bound, latency_bound)
+    if mapping is None:
+        raise BudgetExhaustedError(
+            f"budget exhausted ({reason}) after {nodes} nodes with no "
+            f"feasible incumbent (period<={period_bound}, "
+            f"latency<={latency_bound}): neither solved nor proven "
+            "infeasible within this budget",
+            nodes=nodes,
+            reason=reason,
+        )
+    assert is_valid(mapping, spec.allow_data_parallel)
+
+    from .bnb import root_lower_bound
+
+    lower = root_lower_bound(spec, objective)
+    if res.dual_bound is not None and math.isfinite(res.dual_bound):
+        # the truncated tree's own bound dominates the LP relaxation
+        lower = max(lower, res.dual_bound)
+    else:
+        try:
+            lower = max(
+                lower,
+                lp_lower_bound(
+                    spec, objective, period_bound, latency_bound, context
+                ),
+            )
+        except (InfeasibleProblemError, ReproError):
+            pass  # keep the combinatorial bound
+    solution = Solution.from_mapping(
+        mapping,
+        algorithm="milp",
+        backend=backend,
+        nodes=nodes,
+        pruned=0,
+        memo_hits=0,
+        status="budget_exhausted",
+        lower_bound=lower,
+        budget=budget.to_dict(),
+        budget_reason=reason,
+    )
+    value = solution.objective_value(objective)
+    solution.meta["gap"] = (
+        (value - lower) / lower
+        if lower > 0.0
+        else (0.0 if value <= FLOAT_TOL else _INF)
+    )
+    return solution

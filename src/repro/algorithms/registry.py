@@ -229,8 +229,12 @@ def solve(
     which case the (exponential) exact solvers of
     :mod:`repro.algorithms.exact` are used — only sensible for small
     instances.  ``engine`` selects the generic exact search strategy for
-    the fallback: the pruned branch-and-bound engine (``"bnb"``, default)
-    or the flat enumeration oracle (``"enumerate"``).
+    the fallback: the pruned branch-and-bound engine (``"bnb"``, default),
+    the flat enumeration oracle (``"enumerate"``), or the MILP
+    formulation (``"milp"``, :mod:`repro.algorithms.milp`) over an
+    optional PuLP/CBC or SciPy/HiGHS backend, which closes instances
+    well past the combinatorial engines and always bypasses the
+    structured shortcuts.
 
     ``context`` — a :class:`~repro.algorithms.solve_context.SolveContext`
     built for this instance — shares per-instance solver state across the
@@ -338,8 +342,10 @@ def _exact_dispatch(
 ) -> Solution:
     app = spec.application
     # structured shortcuts are complete searches with no anytime hook, so
-    # a bounded budget routes through the budget-aware generic engines
-    unbudgeted = budget is None or not budget.is_bounded
+    # a bounded budget routes through the budget-aware generic engines; an
+    # explicit engine="milp" request likewise bypasses them so the MILP
+    # formulation actually runs
+    unbudgeted = (budget is None or not budget.is_bounded) and engine != "milp"
     if spec.graph_kind is GraphKind.PIPELINE:
         if (
             unbudgeted

@@ -21,6 +21,10 @@ instance, and reused across every threshold point of a sweep:
 * the **enumeration engine** caches the exhaustive
   ``(groups, period, latency)`` candidate list, so later thresholds are
   a filtered scan instead of a re-enumeration;
+* the **milp engine** caches its processor-type table and (for
+  pipelines) the priced ``(interval, type)`` column pool, which are
+  threshold-independent; each sweep point re-filters the pool instead of
+  re-pricing every interval;
 * the **Theorem 8 DP** (:mod:`repro.algorithms.pipeline_het_platform`)
   memoizes its latency table by *capacity signature*: the DP depends on
   the threshold only through the ``floor(period k s / w)`` block

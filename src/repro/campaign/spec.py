@@ -59,7 +59,7 @@ __all__ = [
 SPEC_VERSION = 1
 
 _MODES = ("auto", "exact", "heuristic", "random")
-_ENGINES = ("bnb", "enumerate")
+_ENGINES = ("bnb", "enumerate", "milp")
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,12 @@ class SolverConfig:
     as anytime rows (``execution.status == "budget_exhausted"``) instead
     of running forever.  Budget knobs join the cache key, so a budgeted
     row never aliases an exact one.
+
+    ``engine`` is one of ``"bnb"``, ``"enumerate"`` or ``"milp"`` (the
+    MILP formulation of :mod:`repro.algorithms.milp`, which needs its
+    optional backend installed on the workers).  The engine already keys
+    the cache for exact-capable modes, so selecting ``"milp"`` never
+    aliases a combinatorial row and pre-existing keys are untouched.
     """
 
     name: str

@@ -257,6 +257,9 @@ def _solve_spec(spec, args, out) -> object | None:
               f"{meta.get('nodes')} nodes — incumbent within "
               f"{meta.get('gap', float('inf')):.2%} of proven lower bound "
               f"{meta.get('lower_bound'):.6g}", file=out)
+    elif meta.get("algorithm") == "milp":
+        print(f"engine    : milp ({meta.get('backend')}) — "
+              "proven optimal (gap 0.00%)", file=out)
     print(f"solution  : {solution.describe()}", file=out)
     return solution
 
@@ -636,10 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_flags(p_solve)
     p_solve.add_argument("--exact", action="store_true",
                          help="exponential exact fallback for NP-hard cells")
-    p_solve.add_argument("--engine", choices=("bnb", "enumerate"),
+    p_solve.add_argument("--engine", choices=("bnb", "enumerate", "milp"),
                          default="bnb",
                          help="exact search engine for --exact: pruned "
-                              "branch-and-bound (default) or flat enumeration")
+                              "branch-and-bound (default), flat enumeration, "
+                              "or the MILP formulation (needs PuLP/CBC or "
+                              "scipy installed)")
     p_solve.add_argument("--heuristic", action="store_true",
                          help="portfolio heuristic for NP-hard pipelines")
     _add_budget_flags(p_solve)
@@ -652,7 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--period-bound", type=float, default=None)
     p_scen.add_argument("--latency-bound", type=float, default=None)
     p_scen.add_argument("--exact", action="store_true")
-    p_scen.add_argument("--engine", choices=("bnb", "enumerate"),
+    p_scen.add_argument("--engine", choices=("bnb", "enumerate", "milp"),
                         default="bnb")
     p_scen.add_argument("--heuristic", action="store_true")
     _add_budget_flags(p_scen)
@@ -660,7 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="solve then simulate")
     _add_instance_flags(p_sim)
     p_sim.add_argument("--exact", action="store_true")
-    p_sim.add_argument("--engine", choices=("bnb", "enumerate"),
+    p_sim.add_argument("--engine", choices=("bnb", "enumerate", "milp"),
                        default="bnb")
     p_sim.add_argument("--heuristic", action="store_true")
     p_sim.add_argument("--data-sets", type=int, default=500)
@@ -738,7 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allow data-parallel stages")
     p_par.add_argument("--exact", action="store_true",
                        help="exponential exact fallback for NP-hard cells")
-    p_par.add_argument("--engine", choices=("bnb", "enumerate"),
+    p_par.add_argument("--engine", choices=("bnb", "enumerate", "milp"),
                        default="bnb")
     p_par.add_argument("--workers", type=int, default=0,
                        help="process-pool size for the threshold sweep")
@@ -827,7 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default="auto", help="solver mode (SolverConfig)")
     p_submit.add_argument("--exact", action="store_true",
                           help="exact_fallback for --mode auto")
-    p_submit.add_argument("--engine", choices=("bnb", "enumerate"),
+    p_submit.add_argument("--engine", choices=("bnb", "enumerate", "milp"),
                           default="bnb")
     p_submit.add_argument("--seed", type=int, default=0,
                           help="seed for heuristic/random modes")

@@ -1,12 +1,20 @@
-"""Property tests: the branch-and-bound engine equals exhaustive enumeration.
+"""Differential property tests: every exact engine equals enumeration.
 
 ``brute_force.optimal_enumerated`` prices every valid mapping from scratch —
 slow, but too simple to be wrong.  These tests draw hundreds of random
-instances (all three graph shapes, heterogeneous speeds, optional
-data-parallelism, nonzero Amdahl ``dp_overhead``) and assert that
-``bnb.optimal`` reproduces the enumeration optimum exactly — for the period
-objective, the latency objective, and the bi-criteria variants — including
-agreeing on *infeasibility* of threshold combinations.
+instances (all three graph shapes, homogeneous *and* heterogeneous
+platforms, optional data-parallelism, nonzero Amdahl ``dp_overhead``) and
+assert that each exact engine — the branch-and-bound search and the MILP
+formulation of :mod:`repro.algorithms.milp` — reproduces the enumeration
+optimum exactly: for the period objective, the latency objective, and the
+bi-criteria variants, including agreeing on *infeasibility* of threshold
+combinations.  Every solution an engine returns is additionally
+revalidated through the real evaluators (:func:`repro.evaluate` /
+:func:`repro.core.validation.is_valid`), so an engine cannot pass by
+reporting the right value on an illegal mapping.
+
+The MILP cells carry the shared ``milp`` marker (see the repo-root
+``conftest.py``): they skip cleanly when no backend is installed.
 """
 
 import random
@@ -18,8 +26,13 @@ from repro.algorithms import bnb
 from repro.algorithms import brute_force as bf
 from repro.algorithms.problem import Objective, ProblemSpec
 from repro.core import FLOAT_TOL, InfeasibleProblemError, Stage
+from repro.core.validation import is_valid
 
-TRIALS_PER_SHAPE = 70  # x3 shapes = 210 instances, each checked 4 ways
+# 3 shapes x 2 platform kinds x TRIALS = 210 instances per engine,
+# each checked 4 ways (2 objectives + 2 bi-criteria thresholds).
+TRIALS = 35
+
+ENGINES = ["bnb", pytest.param("milp", marks=pytest.mark.milp)]
 
 
 def _random_overheads(rng, n):
@@ -28,23 +41,27 @@ def _random_overheads(rng, n):
     ]
 
 
-def _random_platform(rng):
+def _random_platform(rng, homogeneous):
     p = rng.randint(1, 5)
+    if homogeneous:
+        return repro.Platform.homogeneous(p, float(rng.choice([1, 2, 3])))
     return repro.Platform.heterogeneous(
         [rng.choice([1, 1, 2, 3, 5]) for _ in range(p)]
     )
 
 
-def _random_pipeline_spec(rng):
+def _random_pipeline_spec(rng, homogeneous):
     n = rng.randint(1, 5)
     app = repro.PipelineApplication.from_works(
         [rng.randint(1, 9) for _ in range(n)],
         dp_overheads=_random_overheads(rng, n),
     )
-    return ProblemSpec(app, _random_platform(rng), rng.random() < 0.5)
+    return ProblemSpec(
+        app, _random_platform(rng, homogeneous), rng.random() < 0.5
+    )
 
 
-def _random_fork_spec(rng):
+def _random_fork_spec(rng, homogeneous):
     n = rng.randint(1, 4)
     root = Stage(
         index=0, work=float(rng.randint(1, 9)),
@@ -58,10 +75,12 @@ def _random_fork_spec(rng):
         for k, f in enumerate(_random_overheads(rng, n))
     )
     app = repro.ForkApplication(root=root, branches=branches)
-    return ProblemSpec(app, _random_platform(rng), rng.random() < 0.5)
+    return ProblemSpec(
+        app, _random_platform(rng, homogeneous), rng.random() < 0.5
+    )
 
 
-def _random_forkjoin_spec(rng):
+def _random_forkjoin_spec(rng, homogeneous):
     n = rng.randint(1, 3)
     root = Stage(
         index=0, work=float(rng.randint(1, 9)),
@@ -76,7 +95,9 @@ def _random_forkjoin_spec(rng):
         dp_overhead=_random_overheads(rng, 1)[0],
     )
     app = repro.ForkJoinApplication(root=root, branches=branches, join=join)
-    return ProblemSpec(app, _random_platform(rng), rng.random() < 0.5)
+    return ProblemSpec(
+        app, _random_platform(rng, homogeneous), rng.random() < 0.5
+    )
 
 
 def _enumeration_oracle(spec):
@@ -102,51 +123,80 @@ def _enumeration_oracle(spec):
     return best
 
 
-def _bnb_value(spec, objective, period_bound=None, latency_bound=None):
+def _engine_solution(engine, spec, objective,
+                     period_bound=None, latency_bound=None):
     try:
-        return bnb.optimal(
-            spec, objective, period_bound, latency_bound
-        ).objective_value(objective)
+        if engine == "milp":
+            from repro.algorithms import milp
+
+            return milp.optimal(spec, objective, period_bound, latency_bound)
+        return bnb.optimal(spec, objective, period_bound, latency_bound)
     except InfeasibleProblemError:
         return None
 
 
-def _check_instance(spec, rng):
+def _engine_value(engine, spec, objective,
+                  period_bound=None, latency_bound=None):
+    """Objective value of an engine's solve, with the mapping revalidated.
+
+    ``None`` means the engine proved the thresholds infeasible.  A real
+    solution must decode to a mapping the independent validators accept
+    and whose re-evaluated metrics match what the engine reported — the
+    value alone could be right by accident on an illegal mapping.
+    """
+    solution = _engine_solution(
+        engine, spec, objective, period_bound, latency_bound
+    )
+    if solution is None:
+        return None
+    assert is_valid(solution.mapping, spec.allow_data_parallel), (
+        f"{engine} returned an invalid mapping on {spec.describe()}"
+    )
+    period, latency = repro.evaluate(solution.mapping)
+    assert solution.period == pytest.approx(period)
+    assert solution.latency == pytest.approx(latency)
+    assert solution.meta["algorithm"] == engine
+    return solution.objective_value(objective)
+
+
+def _check_instance(engine, spec, rng):
     oracle = _enumeration_oracle(spec)
     optima = {}
     for objective in (Objective.PERIOD, Objective.LATENCY):
         want = oracle(objective)
-        got = _bnb_value(spec, objective)
+        got = _engine_value(engine, spec, objective)
         assert want is not None and got is not None  # unbounded: always feasible
         assert got == pytest.approx(want), (
             f"{objective} mismatch on {spec.describe()}: "
-            f"enumerate={want} bnb={got}"
+            f"enumerate={want} {engine}={got}"
         )
         optima[objective] = want
     # bi-criteria around the mono-criterion optima: a loose threshold (must
     # be feasible) and a too-tight one (both engines must agree either way)
     loose_k = optima[Objective.PERIOD] * (1.0 + rng.random())
     want = oracle(Objective.LATENCY, period_bound=loose_k)
-    got = _bnb_value(spec, Objective.LATENCY, period_bound=loose_k)
+    got = _engine_value(engine, spec, Objective.LATENCY, period_bound=loose_k)
     assert want is not None and got == pytest.approx(want), (
         f"bi-criteria (K={loose_k}) mismatch on {spec.describe()}: "
-        f"enumerate={want} bnb={got}"
+        f"enumerate={want} {engine}={got}"
     )
     tight_l = optima[Objective.LATENCY] * (0.3 + 0.8 * rng.random())
     want = oracle(Objective.PERIOD, latency_bound=tight_l)
-    got = _bnb_value(spec, Objective.PERIOD, latency_bound=tight_l)
+    got = _engine_value(engine, spec, Objective.PERIOD, latency_bound=tight_l)
     if want is None:
         assert got is None, (
-            f"enumerate infeasible but bnb found {got} on {spec.describe()} "
-            f"(L={tight_l})"
+            f"enumerate infeasible but {engine} found {got} on "
+            f"{spec.describe()} (L={tight_l})"
         )
     else:
         assert got == pytest.approx(want), (
             f"bi-criteria (L={tight_l}) mismatch on {spec.describe()}: "
-            f"enumerate={want} bnb={got}"
+            f"enumerate={want} {engine}={got}"
         )
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("homogeneous", [False, True], ids=["het", "hom"])
 @pytest.mark.parametrize(
     "seed,builder",
     [
@@ -156,10 +206,10 @@ def _check_instance(spec, rng):
     ],
     ids=["pipeline", "fork", "forkjoin"],
 )
-def test_bnb_matches_enumeration(seed, builder):
-    rng = random.Random(seed)
-    for _ in range(TRIALS_PER_SHAPE):
-        _check_instance(builder(rng), rng)
+def test_engine_matches_enumeration(engine, homogeneous, seed, builder):
+    rng = random.Random(seed + (1000 if homogeneous else 0))
+    for _ in range(TRIALS):
+        _check_instance(engine, builder(rng, homogeneous), rng)
 
 
 def test_bnb_solution_is_valid_and_consistent():
@@ -169,7 +219,7 @@ def test_bnb_solution_is_valid_and_consistent():
         _random_pipeline_spec, _random_fork_spec, _random_forkjoin_spec
     ):
         for _ in range(10):
-            spec = builder(rng)
+            spec = builder(rng, False)
             sol = bnb.optimal(spec, Objective.PERIOD)
             period, latency = repro.evaluate(sol.mapping)
             assert sol.period == pytest.approx(period)

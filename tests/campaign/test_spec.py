@@ -231,3 +231,50 @@ class TestTaskKeys:
         assert cfg.budget().to_dict() == \
             {"max_seconds": 2.0, "max_nodes": 500}
         assert SolverConfig.from_dict({"name": "ok"}).budget() is None
+
+
+class TestGoldenKeys:
+    """Pinned cache keys: adding the milp engine must not move any.
+
+    These hex digests were recorded before the milp engine landed (the
+    canonical solver dict for bnb / enumerate / auto is untouched by it).
+    If one of these assertions ever fails, a change has silently
+    invalidated every cached campaign row of that solver column —
+    deliberate key-scheme migrations must bump them *knowingly*.
+    """
+
+    GOLDEN = {
+        ("exact", "bnb"):
+            "50825c07fda94c08a238c1e0b7aa5e8ca42a9362abed671f3d56e4bbdfdfd775",
+        ("exact", "enumerate"):
+            "ea5d0272c662642998211ab3e63cd71de5910898b120923b47a64b7115fa8d4d",
+        ("auto", None):
+            "b8daa37c2c9c3f8344c90108e245e3b55a0e778e85ffe1903b6f6ea3845af301",
+    }
+
+    def key(self, mode, engine):
+        solver = {"name": "s", "mode": mode}
+        if engine is not None:
+            solver["engine"] = engine
+        spec = small_spec(solvers=(solver,))
+        return spec.tasks()[0].key
+
+    def test_combinatorial_keys_byte_identical(self):
+        for (mode, engine), digest in self.GOLDEN.items():
+            assert self.key(mode, engine) == digest, (
+                f"cache key for mode={mode} engine={engine} moved"
+            )
+
+    def test_milp_key_is_new_and_round_trips(self):
+        # selecting the milp engine gets its own key (never aliases a
+        # combinatorial row) and the config survives a document round-trip
+        milp_key = self.key("exact", "milp")
+        assert milp_key not in set(self.GOLDEN.values())
+        assert len(milp_key) == 64
+        cfg = SolverConfig.from_dict(
+            {"name": "m", "mode": "exact", "engine": "milp"}
+        )
+        assert SolverConfig.from_dict(cfg.to_dict()) == cfg
+        assert canonical_solver_dict(cfg.to_dict())["engine"] == "milp"
+        # recomputing from an equivalent fresh document is stable
+        assert self.key("exact", "milp") == milp_key
